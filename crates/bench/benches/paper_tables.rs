@@ -1,0 +1,151 @@
+//! Criterion benches over the reproduction's hot paths.
+//!
+//! The *scientific* numbers (Table 2/3) come from simulated cycles via the
+//! `table2`/`table3` binaries; these benches measure the host-side cost of
+//! the reproduction itself: static compilation, the analyses, stitching
+//! throughput, and simulated execution (static vs dynamic), one Criterion
+//! group per regenerated artifact.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dyncomp::{Compiler, Engine, EngineOptions};
+use dyncomp_analysis::{analyze_region, AnalysisConfig};
+use dyncomp_bench::kernels::{calculator, dispatch, smatmul, sorter, spmv};
+use dyncomp_frontend::{compile as fe_compile, LowerOptions};
+use dyncomp_ir::RegionId;
+use std::hint::black_box;
+
+/// Table 2 per-kernel simulated execution: one warm invocation, static vs
+/// dynamic. Host wall time tracks simulated cycles, so the speedups here
+/// mirror the cycle-level speedups.
+#[allow(clippy::type_complexity)]
+fn bench_table2_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_execution");
+    let cases: Vec<(&str, &str, Box<dyn Fn(&mut Engine) -> Vec<u64>>)> = vec![
+        (
+            "calculator",
+            calculator::SRC,
+            Box::new(|e| {
+                let p = calculator::build_program(e);
+                vec![p, 7, 3]
+            }),
+        ),
+        (
+            "dispatcher",
+            dispatch::SRC,
+            Box::new(|e| {
+                let t = dispatch::gen_guards(10, 11);
+                vec![dispatch::build(e, &t), 13, 2]
+            }),
+        ),
+        (
+            "spmv",
+            spmv::SRC,
+            Box::new(|e| {
+                let m = spmv::gen_matrix(24, 4, 42);
+                let (mp, xp, yp) = spmv::build(e, &m);
+                vec![mp, xp, yp]
+            }),
+        ),
+    ];
+    let funcs = ["calc", "dispatch", "spmv"];
+    for ((name, src, prep), func) in cases.into_iter().zip(funcs) {
+        for dynamic in [false, true] {
+            let compiler = if dynamic {
+                Compiler::new()
+            } else {
+                Compiler::static_baseline()
+            };
+            let program = compiler.compile(src).expect("compiles");
+            let mut engine = Engine::new(&program);
+            let args = prep(&mut engine);
+            engine.call(func, &args).expect("warm-up"); // stitch happens here
+            let label = if dynamic {
+                format!("{name}/dynamic")
+            } else {
+                format!("{name}/static")
+            };
+            g.bench_function(label, |b| {
+                b.iter(|| black_box(engine.call(func, black_box(&args)).unwrap()));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Static-compiler throughput: the full pipeline on the paper kernels.
+fn bench_static_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("static_compile");
+    for (name, src) in [
+        ("calculator", calculator::SRC),
+        ("smatmul", smatmul::SRC),
+        ("spmv", spmv::SRC),
+        ("dispatcher", dispatch::SRC),
+        ("sorter", sorter::SRC),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(Compiler::new().compile(black_box(src)).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+/// The §3.1 analyses alone (run-time constants + reachability fixpoint).
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    for (name, src) in [
+        ("calculator", calculator::SRC),
+        ("spmv", spmv::SRC),
+        ("sorter", sorter::SRC),
+    ] {
+        let mut m = fe_compile(src, &LowerOptions::default()).unwrap().module;
+        let fid = m
+            .funcs
+            .iter_enumerated()
+            .find(|(_, f)| !f.regions.is_empty())
+            .map(|(id, _)| id)
+            .unwrap();
+        let f = &mut m.funcs[fid];
+        dyncomp_ir::ssa::construct_ssa(f);
+        dyncomp_ir::cfg::split_critical_edges(f);
+        f.canonicalize_region_roots();
+        let f = m.funcs[fid].clone();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(analyze_region(
+                    black_box(&f),
+                    RegionId(0),
+                    &AnalysisConfig::default(),
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Stitcher throughput: dynamic compiles per second (first-entry path:
+/// set-up execution + stitching + installation).
+fn bench_stitching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stitch_first_entry");
+    let program = Compiler::new().compile(calculator::SRC).unwrap();
+    g.bench_function("calculator_region", |b| {
+        b.iter_batched(
+            || {
+                let mut engine = Engine::with_options(&program, EngineOptions::default());
+                let p = calculator::build_program(&mut engine);
+                (engine, p)
+            },
+            |(mut engine, p)| black_box(engine.call("calc", &[p, 7, 3]).unwrap()),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2_kernels,
+    bench_static_compile,
+    bench_analysis,
+    bench_stitching
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerate the paper's **Table 2**: speedup and breakeven point
+//! results for the five kernels.
+//!
+//! Usage: `cargo run --release -p dyncomp-bench --bin table2 [--smoke]`
+
+use dyncomp_bench::{run_all, table2_header, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    };
+    println!("Table 2: Speedup and Breakeven Point Results ({scale:?} scale)");
+    println!("{}", table2_header());
+    println!("{}", "-".repeat(180));
+    let rows = run_all(scale).unwrap_or_else(|e| {
+        eprintln!("benchmark failed: {e}");
+        std::process::exit(1);
+    });
+    for row in &rows {
+        println!("{}", row.table2_row());
+    }
+    println!();
+    println!("Columns: speedup (static/dynamic cycles per execution), breakeven point,");
+    println!("dynamic compilation overhead as set-up / stitcher cycles (thousands),");
+    println!("and overhead cycles per stitched instruction (stitched instruction count).");
+}

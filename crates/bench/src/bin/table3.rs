@@ -1,0 +1,31 @@
+//! Regenerate the paper's **Table 3**: which optimizations were applied
+//! dynamically, per benchmark.
+//!
+//! Usage: `cargo run --release -p dyncomp-bench --bin table3 [--smoke]`
+
+use dyncomp_bench::{run_all, table3_header, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    };
+    println!("Table 3: Optimizations Applied Dynamically ({scale:?} scale)");
+    println!("{}", table3_header());
+    println!("{}", "-".repeat(90));
+    let rows = run_all(scale).unwrap_or_else(|e| {
+        eprintln!("benchmark failed: {e}");
+        std::process::exit(1);
+    });
+    // Table 3 has one row per benchmark (not per configuration).
+    let mut seen = std::collections::HashSet::new();
+    for row in &rows {
+        if seen.insert(row.name) {
+            println!("{}", row.table3_row());
+        }
+    }
+    println!();
+    println!("Columns: constant folding, static branch elimination, load elimination,");
+    println!("dead code elimination, complete loop unrolling, strength reduction.");
+}

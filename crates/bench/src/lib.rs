@@ -1,0 +1,142 @@
+//! # dyncomp-bench
+//!
+//! The evaluation of the PLDI'96 reproduction: the paper's five kernels
+//! (§5, Tables 2 and 3), the register-actions experiment, and the
+//! ablations DESIGN.md calls out.
+//!
+//! Each kernel module provides the annotated MiniC source, reproducible
+//! workload generators, host-side reference implementations for
+//! cross-checking, and a `measure` function producing a [`KernelResult`]
+//! with the Table 2 quantities. The binaries (`table2`, `table3`,
+//! `regactions`, `ablation`) print the regenerated tables.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod kernels {
+    //! The paper's five benchmark kernels.
+    pub mod calculator;
+    pub mod dispatch;
+    pub mod smatmul;
+    pub mod sorter;
+    pub mod spmv;
+}
+
+pub use dyncomp::KernelMeasurement;
+
+use dyncomp::Error;
+
+/// One measured Table 2 row.
+#[derive(Clone, Debug)]
+pub struct KernelResult {
+    /// Benchmark name (Table 2's first column).
+    pub name: &'static str,
+    /// Run-time-constant configuration description.
+    pub config: String,
+    /// The paper's breakeven unit for this kernel.
+    pub unit: &'static str,
+    /// Units per measured iteration (e.g. records per sort), for
+    /// converting the breakeven point into the paper's unit.
+    pub unit_scale: u64,
+    /// The measured quantities.
+    pub measurement: KernelMeasurement,
+}
+
+impl KernelResult {
+    /// Render as one row of the Table 2 report.
+    pub fn table2_row(&self) -> String {
+        let m = &self.measurement;
+        let breakeven = match m.breakeven {
+            Some(b) => format!("{} {}", b * self.unit_scale.max(1), self.unit),
+            None => "never".to_string(),
+        };
+        format!(
+            "{:<42} | {:<46} | {:>5.1}x ({:.0}/{:.0}) | {:<26} | {:>7.1}k / {:>7.1}k | {:>6.0} ({})",
+            self.name,
+            self.config,
+            m.speedup,
+            m.static_cycles,
+            m.dynamic_cycles,
+            breakeven,
+            m.setup_cycles as f64 / 1000.0,
+            m.stitch_cycles as f64 / 1000.0,
+            m.cycles_per_stitched_instruction,
+            m.instructions_stitched,
+        )
+    }
+
+    /// Render as one row of the Table 3 report.
+    pub fn table3_row(&self) -> String {
+        let marks = self.measurement.optimizations().checkmarks();
+        let cell = |b: bool| if b { "  ✓  " } else { "     " };
+        format!(
+            "{:<42} |{}|{}|{}|{}|{}|{}|",
+            self.name,
+            cell(marks[0]),
+            cell(marks[1]),
+            cell(marks[2]),
+            cell(marks[3]),
+            cell(marks[4]),
+            cell(marks[5]),
+        )
+    }
+}
+
+/// Problem sizing for the table harnesses.
+#[derive(Clone, Copy, Debug)]
+pub enum Scale {
+    /// Tiny sizes for CI / debug-build smoke runs.
+    Smoke,
+    /// The paper's §5 configurations (run in release builds).
+    Paper,
+}
+
+/// Run every Table 2 row at the given scale.
+///
+/// # Errors
+/// Propagates the first kernel failure.
+pub fn run_all(scale: Scale) -> Result<Vec<KernelResult>, Error> {
+    let mut rows = Vec::new();
+    match scale {
+        Scale::Smoke => {
+            rows.push(kernels::calculator::measure(80)?);
+            rows.push(kernels::smatmul::measure(8, 16, 8)?);
+            rows.push(kernels::spmv::measure(12, 3, 20)?);
+            rows.push(kernels::spmv::measure(8, 2, 20)?);
+            rows.push(kernels::dispatch::measure(10, 60)?);
+            rows.push(kernels::sorter::measure(40, 4, 5)?);
+            rows.push(kernels::sorter::measure(40, 12, 5)?);
+        }
+        Scale::Paper => {
+            rows.push(kernels::calculator::measure(2000)?);
+            rows.push(kernels::smatmul::measure(100, 800, 100)?);
+            rows.push(kernels::spmv::measure(200, 10, 300)?);
+            rows.push(kernels::spmv::measure(96, 5, 300)?);
+            rows.push(kernels::dispatch::measure(10, 2000)?);
+            rows.push(kernels::sorter::measure(500, 4, 20)?);
+            rows.push(kernels::sorter::measure(500, 12, 20)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// The Table 2 header line.
+pub fn table2_header() -> String {
+    format!(
+        "{:<42} | {:<46} | {:<16} | {:<26} | {:<19} | {}",
+        "Benchmark",
+        "Run-time Constant Configurations",
+        "Speedup (st/dyn)",
+        "Breakeven Point",
+        "Overhead setup/stitch",
+        "Cycles/Instr Stitched (count)",
+    )
+}
+
+/// The Table 3 header line.
+pub fn table3_header() -> String {
+    format!(
+        "{:<42} |{}|{}|{}|{}|{}|{}|",
+        "Benchmark", "ConstF", "BrElim", "LdElim", " DCE ", "Unroll", "StrRed",
+    )
+}

@@ -1,0 +1,220 @@
+//! # dyncomp-codegen
+//!
+//! Code generation from `dyncomp-ir` to SimAlpha for the PLDI'96 dynamic
+//! compilation reproduction (§3.4): instruction selection, linear-scan
+//! register allocation over the *whole* function (main body, set-up code
+//! and templates together, so templates are optimized in the context of
+//! their enclosing procedure), and emission of machine-code templates with
+//! stitcher directives as a side effect of emitting template instructions.
+//!
+//! The module-level driver [`compile_module`] destructs SSA, emits every
+//! function, lays out globals and the float-literal pool, resolves call
+//! relocations, and packages per-region [`RegionCode`] for the run-time.
+//! [`install`] loads the result into a [`Vm`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod emit;
+pub mod regalloc;
+
+use dyncomp_ir::eval::MEM_BASE;
+use dyncomp_ir::{FuncId, Module};
+use dyncomp_machine::asm::AsmError;
+use dyncomp_machine::template::RegionCode;
+use dyncomp_machine::vm::Vm;
+use dyncomp_specialize::RegionSpec;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Code-generation failure.
+#[derive(Debug)]
+pub enum CodegenError {
+    /// Assembly failed (label or field range).
+    Asm(AsmError),
+    /// More than six call arguments.
+    TooManyArgs(String),
+    /// A call inside template code (not supported).
+    CallInTemplate(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::Asm(e) => write!(f, "assembly failed: {e}"),
+            CodegenError::TooManyArgs(n) => {
+                write!(f, "function `{n}`: more than 6 call arguments")
+            }
+            CodegenError::CallInTemplate(n) => {
+                write!(
+                    f,
+                    "function `{n}`: calls inside dynamic regions are not supported"
+                )
+            }
+            CodegenError::Internal(m) => write!(f, "internal codegen error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// One compiled function.
+#[derive(Debug, Clone)]
+pub struct CompiledFunc {
+    /// Entry address in the module image.
+    pub entry: u32,
+    /// Function name.
+    pub name: String,
+}
+
+/// A fully compiled module, ready to [`install`] into a VM.
+#[derive(Debug)]
+pub struct CompiledModule {
+    /// The executable image (module base address is 0).
+    pub code: Vec<u32>,
+    /// Per-function entries, indexed by [`FuncId`].
+    pub funcs: Vec<CompiledFunc>,
+    /// Region table; `EnterRegion` immediates index into this.
+    pub regions: Vec<RegionCode>,
+    /// Global addresses in data memory, indexed by `GlobalId`.
+    pub global_addrs: Vec<u64>,
+    /// Float-literal pool contents: `(address, bits)`.
+    pub float_pool: Vec<(u64, u64)>,
+    /// First free data address after globals and pool (heap start).
+    pub data_end: u64,
+}
+
+impl CompiledModule {
+    /// Entry address of a function by name.
+    pub fn entry_of(&self, name: &str) -> Option<u32> {
+        self.funcs.iter().find(|f| f.name == name).map(|f| f.entry)
+    }
+}
+
+/// Deterministic global layout, shared with the reference interpreter:
+/// globals placed from [`MEM_BASE`], each aligned naturally.
+pub fn layout_globals(m: &Module) -> (Vec<u64>, u64) {
+    let mut addrs = Vec::new();
+    let mut brk = MEM_BASE;
+    for g in m.globals.iter() {
+        let align = g.align.max(1);
+        brk = (brk + align - 1) & !(align - 1);
+        brk = (brk + 7) & !7; // bump allocator granularity
+        addrs.push(brk);
+        brk += g.size;
+    }
+    (addrs, (brk + 7) & !7)
+}
+
+/// Compile a module (post-specialization, still SSA) to machine code.
+///
+/// Destructs SSA in place. `specs` carries the [`RegionSpec`] of every
+/// specialized region (may be empty for purely static modules).
+///
+/// # Errors
+/// Returns a [`CodegenError`] on malformed input or emission failure.
+pub fn compile_module(
+    m: &mut Module,
+    specs: &[(FuncId, RegionSpec)],
+) -> Result<CompiledModule, CodegenError> {
+    // Out of SSA.
+    for f in m.funcs.iter_mut() {
+        if f.is_ssa {
+            dyncomp_ir::cfg::split_critical_edges(f);
+            dyncomp_ir::out_of_ssa::destruct_ssa(f);
+        }
+    }
+
+    let (global_addrs, globals_end) = layout_globals(m);
+    let float_pool_addr = globals_end;
+    let mut mcx = emit::ModuleCtx {
+        global_addrs: global_addrs.clone(),
+        float_pool: HashMap::new(),
+        float_pool_addr,
+    };
+
+    let mut code: Vec<u32> = Vec::new();
+    let mut funcs = Vec::new();
+    let mut regions: Vec<RegionCode> = Vec::new();
+    let mut relocs: Vec<(u32, FuncId)> = Vec::new();
+
+    let fids: Vec<FuncId> = m.funcs.ids().collect();
+    for fid in fids {
+        let fspecs: Vec<&RegionSpec> = specs
+            .iter()
+            .filter(|(f2, _)| *f2 == fid)
+            .map(|(_, s)| s)
+            .collect();
+        let f = &m.funcs[fid];
+        let emitted = emit::emit_function(f, &fspecs, regions.len() as u16, &mut mcx)?;
+        let base = code.len() as u32;
+        for (_, mut rc) in emitted.regions {
+            rc.enter_pc += base;
+            rc.setup_pc += base;
+            for pc in rc.exit_pcs.iter_mut() {
+                *pc += base;
+            }
+            regions.push(rc);
+        }
+        for (w, callee) in emitted.call_relocs {
+            relocs.push((base + w, callee));
+        }
+        funcs.push(CompiledFunc {
+            entry: base,
+            name: f.name.clone(),
+        });
+        code.extend(emitted.words);
+    }
+
+    // Patch call relocations: the Ldiw immediate is the word after the
+    // instruction word.
+    for (w, callee) in relocs {
+        code[w as usize + 1] = funcs[callee.index()].entry;
+    }
+
+    let mut float_pool: Vec<(u64, u64)> = mcx
+        .float_pool
+        .iter()
+        .map(|(&bits, &off)| (float_pool_addr + u64::from(off), bits))
+        .collect();
+    float_pool.sort_unstable();
+    let data_end = float_pool_addr + 8 * mcx.float_pool.len() as u64;
+
+    Ok(CompiledModule {
+        code,
+        funcs,
+        regions,
+        global_addrs,
+        float_pool,
+        data_end: (data_end + 7) & !7,
+    })
+}
+
+/// Load a compiled module into a fresh VM: code at address 0, global
+/// initializers and the float pool written into data memory, heap opened
+/// after them.
+///
+/// # Panics
+/// Panics if the VM already holds code (module addresses are absolute).
+pub fn install(cm: &CompiledModule, m: &Module, vm: &mut Vm) {
+    assert!(vm.code.is_empty(), "install requires a fresh VM");
+    vm.append_code(&cm.code);
+    for (g, &addr) in m.globals.iter().zip(cm.global_addrs.iter()) {
+        for (i, &byte) in g.init.iter().enumerate().take(g.size as usize) {
+            vm.mem
+                .write(addr + i as u64, dyncomp_ir::MemSize::B1, u64::from(byte))
+                .expect("global initializer fits in memory");
+        }
+    }
+    for &(addr, bits) in &cm.float_pool {
+        vm.mem
+            .write_u64(addr, bits)
+            .expect("float pool fits in memory");
+    }
+    vm.mem.set_brk(cm.data_end);
+}
+
+#[cfg(test)]
+mod tests;

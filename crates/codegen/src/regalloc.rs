@@ -1,0 +1,441 @@
+//! Liveness analysis and linear-scan register allocation.
+//!
+//! Works on post-SSA-destruction IR: the allocatable entities are SSA
+//! values ([`InstId`]) and the φ-variables SSA destruction introduced
+//! ([`VarId`]). Intervals are Poletto-style: `[first definition, last
+//! point live]` over a fixed linear block order, widened by per-block
+//! liveness so loops are covered.
+//!
+//! Intervals live across a call may only receive callee-saved registers
+//! (the prologue saves them); others prefer caller-saved. Exhaustion spills
+//! to frame slots; reloads use the two reserved codegen scratch registers.
+
+use dyncomp_ir::{BlockId, Function, IdSet, InstId, InstKind, Ty, VarId};
+use dyncomp_machine::isa::Reg;
+use std::collections::HashMap;
+
+/// An allocatable entity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Entity {
+    /// An SSA value (instruction result).
+    Val(InstId),
+    /// A φ-variable from SSA destruction.
+    Var(VarId),
+}
+
+/// Where an entity lives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Loc {
+    /// An integer register.
+    Reg(Reg),
+    /// A float register.
+    FReg(Reg),
+    /// A frame slot at `sp + offset`.
+    Frame(i32),
+}
+
+/// Integer caller-saved allocatable registers.
+pub const INT_CALLER: &[Reg] = &[1, 2, 3, 4, 5, 6, 7, 8];
+/// Integer callee-saved allocatable registers.
+pub const INT_CALLEE: &[Reg] = &[9, 10, 11, 12, 13, 14, 15];
+/// Float caller-saved allocatable registers.
+pub const FLT_CALLER: &[Reg] = &[1, 2, 3, 4, 5, 6, 7, 8, 22, 23, 24, 25];
+/// Float callee-saved allocatable registers.
+pub const FLT_CALLEE: &[Reg] = &[9, 10, 11, 12, 13, 14, 15];
+/// Integer scratch registers reserved for the code generator (reloads and
+/// address arithmetic). Three are needed so three-operand sequences
+/// (selects, min/max) can stage every spilled operand without aliasing.
+/// `r25` belongs to the stitcher and is never touched.
+pub const INT_SCRATCH: [Reg; 3] = [22, 23, 24];
+/// Float scratch registers.
+pub const FLT_SCRATCH: [Reg; 2] = [29, 30];
+
+/// The allocation result.
+#[derive(Debug)]
+pub struct Allocation {
+    /// Location of every entity that appears in the ordered blocks.
+    pub loc: HashMap<Entity, Loc>,
+    /// Callee-saved integer registers used (prologue must save).
+    pub used_int_callee: Vec<Reg>,
+    /// Callee-saved float registers used.
+    pub used_flt_callee: Vec<Reg>,
+    /// Bytes of spill area needed.
+    pub spill_bytes: u32,
+}
+
+struct Interval {
+    ent: Entity,
+    start: u32,
+    end: u32,
+    ty: Ty,
+    crosses_call: bool,
+}
+
+fn uses_defs(f: &Function, i: InstId) -> (Vec<Entity>, Option<Entity>) {
+    let k = f.kind(i);
+    let mut uses: Vec<Entity> = k.operands().into_iter().map(Entity::Val).collect();
+    let mut def = if k.has_result() {
+        Some(Entity::Val(i))
+    } else {
+        None
+    };
+    match k {
+        InstKind::GetVar(v) if f.vars[*v].frame_size.is_none() => {
+            uses.push(Entity::Var(*v));
+        }
+        InstKind::SetVar(v, _) if f.vars[*v].frame_size.is_none() => {
+            def = Some(Entity::Var(*v));
+        }
+        _ => {}
+    }
+    (uses, def)
+}
+
+/// Compute per-block live-in/out over the given block order, then assign
+/// locations with linear scan.
+pub fn allocate(f: &Function, order: &[BlockId]) -> Allocation {
+    // ---- instruction numbering ----
+    let mut pos_of_block_start: HashMap<BlockId, u32> = HashMap::new();
+    let mut pos_of_block_end: HashMap<BlockId, u32> = HashMap::new();
+    let mut inst_pos: HashMap<InstId, u32> = HashMap::new();
+    let mut call_positions: Vec<u32> = Vec::new();
+    let mut pos: u32 = 0;
+    for &b in order {
+        pos_of_block_start.insert(b, pos);
+        for &i in &f.blocks[b].insts {
+            inst_pos.insert(i, pos);
+            if matches!(f.kind(i), InstKind::Call { .. }) {
+                call_positions.push(pos);
+            }
+            pos += 1;
+        }
+        pos += 1; // terminator slot
+        pos_of_block_end.insert(b, pos);
+        pos += 1; // inter-block gap
+    }
+
+    // ---- per-block use/def sets ----
+    let in_order: IdSet<BlockId> = order.iter().copied().collect();
+    let mut block_use: HashMap<BlockId, Vec<Entity>> = HashMap::new();
+    let mut block_def: HashMap<BlockId, Vec<Entity>> = HashMap::new();
+    for &b in order {
+        let mut uses = Vec::new();
+        let mut defs: Vec<Entity> = Vec::new();
+        for &i in &f.blocks[b].insts {
+            let (u, d) = uses_defs(f, i);
+            for e in u {
+                if !defs.contains(&e) {
+                    uses.push(e);
+                }
+            }
+            if let Some(d) = d {
+                defs.push(d);
+            }
+        }
+        for v in f.blocks[b].term.operands() {
+            let e = Entity::Val(v);
+            if !defs.contains(&e) {
+                uses.push(e);
+            }
+        }
+        block_use.insert(b, uses);
+        block_def.insert(b, defs);
+    }
+
+    // ---- backward liveness fixpoint ----
+    let mut live_in: HashMap<BlockId, Vec<Entity>> = order.iter().map(|&b| (b, vec![])).collect();
+    let mut live_out: HashMap<BlockId, Vec<Entity>> = order.iter().map(|&b| (b, vec![])).collect();
+    loop {
+        let mut changed = false;
+        for &b in order.iter().rev() {
+            let mut out: Vec<Entity> = Vec::new();
+            for s in f.blocks[b].term.successors() {
+                if !in_order.contains(s) {
+                    continue;
+                }
+                for &e in &live_in[&s] {
+                    if !out.contains(&e) {
+                        out.push(e);
+                    }
+                }
+            }
+            let mut inn: Vec<Entity> = block_use[&b].clone();
+            for &e in &out {
+                if !block_def[&b].contains(&e) && !inn.contains(&e) {
+                    inn.push(e);
+                }
+            }
+            inn.sort();
+            out.sort();
+            if inn != live_in[&b] {
+                live_in.insert(b, inn);
+                changed = true;
+            }
+            if out != live_out[&b] {
+                live_out.insert(b, out);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- intervals ----
+    let ty_of = |e: Entity| -> Ty {
+        match e {
+            Entity::Val(v) => f.ty(v),
+            Entity::Var(v) => f.vars[v].ty,
+        }
+    };
+    let mut ivals: HashMap<Entity, (u32, u32)> = HashMap::new();
+    let touch = |e: Entity, p: u32, ivals: &mut HashMap<Entity, (u32, u32)>| {
+        let ent = ivals.entry(e).or_insert((p, p));
+        ent.0 = ent.0.min(p);
+        ent.1 = ent.1.max(p);
+    };
+    for &b in order {
+        for &i in &f.blocks[b].insts {
+            let p = inst_pos[&i];
+            let (u, d) = uses_defs(f, i);
+            for e in u {
+                touch(e, p, &mut ivals);
+            }
+            if let Some(d) = d {
+                touch(d, p, &mut ivals);
+            }
+        }
+        let tp = pos_of_block_end[&b] - 1;
+        for v in f.blocks[b].term.operands() {
+            touch(Entity::Val(v), tp, &mut ivals);
+        }
+        // Widen by block liveness.
+        let (s, e) = (pos_of_block_start[&b], pos_of_block_end[&b]);
+        for &ent in &live_in[&b] {
+            touch(ent, s, &mut ivals);
+        }
+        for &ent in &live_out[&b] {
+            touch(ent, e, &mut ivals);
+        }
+    }
+
+    let mut intervals: Vec<Interval> = ivals
+        .into_iter()
+        .map(|(ent, (start, end))| Interval {
+            ent,
+            start,
+            end,
+            ty: ty_of(ent),
+            crosses_call: call_positions.iter().any(|&c| start < c && c < end),
+        })
+        .collect();
+    intervals.sort_by_key(|iv| (iv.start, iv.end));
+
+    // ---- linear scan ----
+    struct Active {
+        end: u32,
+        reg: Reg,
+        float: bool,
+        callee: bool,
+    }
+    let mut active: Vec<Active> = Vec::new();
+    let mut free_int_caller: Vec<Reg> = INT_CALLER.to_vec();
+    let mut free_int_callee: Vec<Reg> = INT_CALLEE.to_vec();
+    let mut free_flt_caller: Vec<Reg> = FLT_CALLER.to_vec();
+    let mut free_flt_callee: Vec<Reg> = FLT_CALLEE.to_vec();
+    let mut used_int_callee: Vec<Reg> = Vec::new();
+    let mut used_flt_callee: Vec<Reg> = Vec::new();
+    let mut loc: HashMap<Entity, Loc> = HashMap::new();
+    let mut spill_off: i32 = 0;
+
+    for iv in &intervals {
+        // Expire.
+        active.retain(|a| {
+            if a.end < iv.start {
+                let pool = match (a.float, a.callee) {
+                    (false, false) => &mut free_int_caller,
+                    (false, true) => &mut free_int_callee,
+                    (true, false) => &mut free_flt_caller,
+                    (true, true) => &mut free_flt_callee,
+                };
+                pool.push(a.reg);
+                false
+            } else {
+                true
+            }
+        });
+        if iv.ty == Ty::None {
+            continue;
+        }
+        let float = iv.ty == Ty::Float;
+        let (first, second) = if iv.crosses_call {
+            // Must be callee-saved (or spilled).
+            if float {
+                (&mut free_flt_callee, None)
+            } else {
+                (&mut free_int_callee, None)
+            }
+        } else if float {
+            (&mut free_flt_caller, Some(&mut free_flt_callee))
+        } else {
+            (&mut free_int_caller, Some(&mut free_int_callee))
+        };
+        let mut choice: Option<(Reg, bool)> = None;
+        if let Some(r) = first.pop() {
+            choice = Some((r, iv.crosses_call));
+        } else if let Some(second) = second {
+            if let Some(r) = second.pop() {
+                choice = Some((r, true));
+            }
+        }
+        match choice {
+            Some((r, callee)) => {
+                if callee {
+                    let used = if float {
+                        &mut used_flt_callee
+                    } else {
+                        &mut used_int_callee
+                    };
+                    if !used.contains(&r) {
+                        used.push(r);
+                    }
+                }
+                active.push(Active {
+                    end: iv.end,
+                    reg: r,
+                    float,
+                    callee,
+                });
+                loc.insert(iv.ent, if float { Loc::FReg(r) } else { Loc::Reg(r) });
+            }
+            None => {
+                loc.insert(iv.ent, Loc::Frame(spill_off));
+                spill_off += 8;
+            }
+        }
+    }
+
+    used_int_callee.sort_unstable();
+    used_flt_callee.sort_unstable();
+    Allocation {
+        loc,
+        used_int_callee,
+        used_flt_callee,
+        spill_bytes: spill_off as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyncomp_ir::{BinOp, Function, Terminator};
+
+    #[test]
+    fn simple_allocation_uses_registers() {
+        let mut f = Function::new("t", vec![Ty::Int, Ty::Int], Ty::Int);
+        let e = f.entry;
+        let a = f.append(e, InstKind::Param(0));
+        let b = f.append(e, InstKind::Param(1));
+        let s = f.bin(e, BinOp::Add, a, b);
+        f.blocks[e].term = Terminator::Return(Some(s));
+        let alloc = allocate(&f, &[e]);
+        for ent in [Entity::Val(a), Entity::Val(b), Entity::Val(s)] {
+            assert!(matches!(alloc.loc[&ent], Loc::Reg(_)), "{ent:?}");
+        }
+        assert_eq!(alloc.spill_bytes, 0);
+        assert!(alloc.used_int_callee.is_empty());
+    }
+
+    #[test]
+    fn call_crossing_values_get_callee_saved() {
+        let mut f = Function::new("t", vec![Ty::Int], Ty::Int);
+        let e = f.entry;
+        let a = f.append(e, InstKind::Param(0));
+        let c = f.append(
+            e,
+            InstKind::Call {
+                callee: dyncomp_ir::FuncId(0),
+                args: vec![],
+            },
+        );
+        let s = f.bin(e, BinOp::Add, a, c);
+        f.blocks[e].term = Terminator::Return(Some(s));
+        let alloc = allocate(&f, &[e]);
+        match alloc.loc[&Entity::Val(a)] {
+            Loc::Reg(r) => assert!(INT_CALLEE.contains(&r), "r{r} should be callee-saved"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!alloc.used_int_callee.is_empty());
+    }
+
+    #[test]
+    fn loop_liveness_extends_interval() {
+        // v defined before loop, used in loop body: must stay live through
+        // the whole loop (live-out of latch).
+        let mut f = Function::new("t", vec![Ty::Int], Ty::Int);
+        let e = f.entry;
+        let h = f.add_block();
+        let body = f.add_block();
+        let exit = f.add_block();
+        let v = f.append(e, InstKind::Param(0));
+        f.blocks[e].term = Terminator::Jump(h);
+        let c = f.const_int(h, 1);
+        f.blocks[h].term = Terminator::Branch {
+            cond: c,
+            then_b: body,
+            else_b: exit,
+        };
+        let u = f.bin(body, BinOp::Add, v, v);
+        f.blocks[body].term = Terminator::Jump(h);
+        f.blocks[exit].term = Terminator::Return(Some(u));
+        let alloc = allocate(&f, &[e, h, body, exit]);
+        // u is live-out of body across the back edge (used at exit).
+        assert!(alloc.loc.contains_key(&Entity::Val(u)));
+        assert!(alloc.loc.contains_key(&Entity::Val(v)));
+    }
+
+    #[test]
+    fn spills_when_pressure_exceeds_registers() {
+        // Define 40 simultaneously live values.
+        let mut f = Function::new("t", vec![], Ty::Int);
+        let e = f.entry;
+        let mut vals = Vec::new();
+        for i in 0..40 {
+            vals.push(f.const_int(e, i));
+        }
+        // Sum them all so all stay live until the end.
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = f.bin(e, BinOp::Add, acc, v);
+        }
+        // Uses are interleaved at the end... force overlap by using first
+        // constants late: re-add the early ones.
+        for &v in vals.iter().take(30) {
+            acc = f.bin(e, BinOp::Add, acc, v);
+        }
+        f.blocks[e].term = Terminator::Return(Some(acc));
+        let alloc = allocate(&f, &[e]);
+        let spilled = alloc
+            .loc
+            .values()
+            .filter(|l| matches!(l, Loc::Frame(_)))
+            .count();
+        assert!(spilled > 0, "40 overlapping values exceed 16 registers");
+        assert!(alloc.spill_bytes >= 8 * spilled as u32);
+    }
+
+    #[test]
+    fn float_and_int_pools_are_separate() {
+        let mut f = Function::new("t", vec![Ty::Float, Ty::Int], Ty::Float);
+        let e = f.entry;
+        let a = f.append(e, InstKind::Param(0));
+        let b = f.append(e, InstKind::Param(1));
+        let bf = f.append(e, InstKind::Un(dyncomp_ir::UnOp::IntToFloat, b));
+        let s = f.bin(e, BinOp::FAdd, a, bf);
+        f.blocks[e].term = Terminator::Return(Some(s));
+        let alloc = allocate(&f, &[e]);
+        assert!(matches!(alloc.loc[&Entity::Val(a)], Loc::FReg(_)));
+        assert!(matches!(alloc.loc[&Entity::Val(b)], Loc::Reg(_)));
+        assert!(matches!(alloc.loc[&Entity::Val(s)], Loc::FReg(_)));
+    }
+}

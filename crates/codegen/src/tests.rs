@@ -1,0 +1,351 @@
+//! Codegen tests: compile MiniC to SimAlpha and differential-test the VM
+//! against the reference IR interpreter.
+
+use crate::{compile_module, install, CompiledModule};
+use dyncomp_frontend::{compile, LowerOptions};
+use dyncomp_ir::eval::{EvalOutcome, Evaluator};
+use dyncomp_ir::Module;
+use dyncomp_machine::vm::{Stop, Vm};
+
+/// Static pipeline (no dynamic regions honored) to a compiled module.
+fn build(src: &str) -> (Module, CompiledModule) {
+    let mut m = compile(
+        src,
+        &LowerOptions {
+            honor_annotations: false,
+        },
+    )
+    .expect("compiles")
+    .module;
+    for f in m.funcs.iter_mut() {
+        dyncomp_ir::ssa::construct_ssa(f);
+        dyncomp_opt::optimize(
+            f,
+            &dyncomp_opt::OptOptions {
+                cfg_simplify: true,
+                hole_scope: None,
+            },
+        );
+        dyncomp_ir::verify::verify(f).expect("verifies");
+    }
+    let mut mc = m.clone();
+    let cm = compile_module(&mut mc, &[]).expect("codegen");
+    (m, cm)
+}
+
+fn run_vm(m: &Module, cm: &CompiledModule, func: &str, args: &[u64]) -> (u64, u64) {
+    let mut vm = Vm::new(1 << 22);
+    install(cm, m, &mut vm);
+    let entry = cm.entry_of(func).expect("function exists");
+    vm.setup_call(entry, args);
+    match vm.run() {
+        Ok(Stop::Halted) => (vm.reg(0), vm.cycles),
+        other => panic!("vm stopped unexpectedly: {other:?}"),
+    }
+}
+
+fn run_vm_f(m: &Module, cm: &CompiledModule, func: &str, args: &[u64]) -> f64 {
+    let mut vm = Vm::new(1 << 22);
+    install(cm, m, &mut vm);
+    let entry = cm.entry_of(func).expect("function exists");
+    vm.setup_call(entry, args);
+    match vm.run() {
+        Ok(Stop::Halted) => vm.freg(0),
+        other => panic!("vm stopped unexpectedly: {other:?}"),
+    }
+}
+
+fn run_ref(m: &Module, func: &str, args: &[u64]) -> u64 {
+    let fid = m.func_by_name(func).unwrap();
+    let mut ev = Evaluator::new(m);
+    match ev.call(fid, args).unwrap() {
+        EvalOutcome::Return(v) => v.unwrap_or(0),
+    }
+}
+
+fn differential(src: &str, func: &str, argsets: &[Vec<u64>]) {
+    let (m, cm) = build(src);
+    for args in argsets {
+        let want = run_ref(&m, func, args);
+        let (got, _) = run_vm(&m, &cm, func, args);
+        assert_eq!(got, want, "{func}({args:?})");
+    }
+}
+
+#[test]
+fn arithmetic() {
+    differential(
+        "int f(int a, int b) { return (a + b) * (a - b) + a / b + a % b + (a ^ b) + (a | b) + (a & b); }",
+        "f",
+        &[vec![17, 5], vec![100, 3], vec![0u64.wrapping_sub(9), 4]],
+    );
+}
+
+#[test]
+fn shifts_and_compares() {
+    differential(
+        "int f(int a, unsigned b) { return (a << 3) + (a >> 1) + (b >> 2) + (a < b) + (a == b) + (a >= 100); }",
+        "f",
+        &[vec![12, 40], vec![0u64.wrapping_sub(8), 2], vec![100, 100]],
+    );
+}
+
+#[test]
+fn control_flow_loops() {
+    differential(
+        r#"
+        int collatz(int n) {
+            int steps = 0;
+            while (n != 1) {
+                if (n % 2 == 0) n = n / 2;
+                else n = 3 * n + 1;
+                steps++;
+            }
+            return steps;
+        }
+        "#,
+        "collatz",
+        &[vec![6], vec![27], vec![1]],
+    );
+}
+
+#[test]
+fn switch_dispatch() {
+    differential(
+        r#"
+        int f(int op, int a, int b) {
+            switch (op) {
+                case 0: return a + b;
+                case 1: return a - b;
+                case 2: return a * b;
+                case 1000: return a;
+                default: return 0 - 1;
+            }
+        }
+        "#,
+        "f",
+        &[
+            vec![0, 7, 3],
+            vec![1, 7, 3],
+            vec![2, 7, 3],
+            vec![1000, 42, 0],
+            vec![9, 1, 1],
+        ],
+    );
+}
+
+#[test]
+fn function_calls_and_recursion() {
+    differential(
+        r#"
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int twice(int x) { return fib(x) + fib(x); }
+        "#,
+        "twice",
+        &[vec![10], vec![1], vec![0]],
+    );
+}
+
+#[test]
+fn memory_and_structs() {
+    let src = r#"
+        struct Pt { int x; int y; };
+        int f(int n) {
+            struct Pt p;
+            p.x = n * 2;
+            p.y = n + 5;
+            return p.x * p.y;
+        }
+    "#;
+    differential(src, "f", &[vec![4], vec![0]]);
+}
+
+#[test]
+fn arrays_and_globals() {
+    let src = r#"
+        int tbl[6] = {1, 1, 2, 3, 5, 8};
+        int f(int n) {
+            int s = 0;
+            int i;
+            for (i = 0; i < n; i++) s += tbl[i];
+            return s;
+        }
+        int g(int n) {
+            int buf[10];
+            int i;
+            for (i = 0; i < 10; i++) buf[i] = i * n;
+            return buf[9] - buf[1];
+        }
+    "#;
+    differential(src, "f", &[vec![6], vec![3], vec![0]]);
+    differential(src, "g", &[vec![7]]);
+}
+
+#[test]
+fn floats() {
+    let src = r#"
+        double area(double r) { return 2.75 * r * r; }
+        double hyp(double a, double b) { return sqrt(a * a + b * b); }
+        int cmp(double a, double b) { return a < b; }
+    "#;
+    let (m, cm) = build(src);
+    assert_eq!(run_vm_f(&m, &cm, "area", &[2.0f64.to_bits()]), 2.75 * 4.0);
+    assert_eq!(
+        run_vm_f(&m, &cm, "hyp", &[3.0f64.to_bits(), 4.0f64.to_bits()]),
+        5.0
+    );
+    let (v, _) = run_vm(&m, &cm, "cmp", &[1.0f64.to_bits(), 2.0f64.to_bits()]);
+    assert_eq!(v, 1);
+}
+
+#[test]
+fn intrinsics() {
+    differential(
+        "int f(int a, int b) { return max(a, b) * 1000 + min(a, b) * 10 + abs(a - b); }",
+        "f",
+        &[vec![4, 9], vec![9, 4], vec![5, 5]],
+    );
+}
+
+#[test]
+fn alloc_intrinsic() {
+    differential(
+        r#"
+        int f(int n) {
+            int *p = (int*) alloc(n * 8);
+            int i;
+            for (i = 0; i < n; i++) p[i] = i * i;
+            return p[n - 1];
+        }
+        "#,
+        "f",
+        &[vec![5], vec![1]],
+    );
+}
+
+#[test]
+fn large_constants() {
+    differential(
+        "int f(int x) { return x + 1000000 + (x * 123456789); }",
+        "f",
+        &[vec![1], vec![0]],
+    );
+    differential("unsigned f2() { return 0x12345678; }", "f2", &[vec![]]);
+}
+
+#[test]
+fn register_pressure_spills() {
+    // Many simultaneously live values force spilling; semantics must hold.
+    let mut body = String::new();
+    for i in 0..30 {
+        body.push_str(&format!("int v{i} = x * {} + {i};\n", i + 2));
+    }
+    body.push_str("return ");
+    for i in 0..30 {
+        if i > 0 {
+            body.push_str(" + ");
+        }
+        body.push_str(&format!("v{i} * v{}", 29 - i));
+    }
+    body.push(';');
+    let src = format!("int f(int x) {{ {body} }}");
+    differential(&src, "f", &[vec![3], vec![0]]);
+}
+
+#[test]
+fn narrow_memory_accesses() {
+    let src = r#"
+        struct B { char c; short s; int w; };
+        int f(int v) {
+            struct B b;
+            b.c = v;
+            b.s = v * 3;
+            b.w = v * 7;
+            return b.c + b.s + b.w;
+        }
+    "#;
+    differential(
+        src,
+        "f",
+        &[vec![100], vec![300], vec![0u64.wrapping_sub(2)]],
+    );
+}
+
+#[test]
+fn short_circuit_and_ternary() {
+    let src = r#"
+        int g_count = 0;
+        int bump() { g_count++; return 1; }
+        int f(int a, int b) {
+            int r = (a && bump()) + (b || bump());
+            return r * 100 + g_count + (a > b ? a : b);
+        }
+    "#;
+    differential(src, "f", &[vec![0, 0], vec![1, 0], vec![0, 1], vec![5, 9]]);
+}
+
+#[test]
+fn cycle_counting_is_deterministic() {
+    let src = "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) s += i; return s; }";
+    let (m, cm) = build(src);
+    let (r1, c1) = run_vm(&m, &cm, "f", &[100]);
+    let (r2, c2) = run_vm(&m, &cm, "f", &[100]);
+    assert_eq!(r1, r2);
+    assert_eq!(c1, c2, "cycle counts are deterministic");
+    let (_, c3) = run_vm(&m, &cm, "f", &[200]);
+    assert!(c3 > c1, "more iterations cost more cycles");
+}
+
+#[test]
+fn specialized_module_compiles_with_templates() {
+    // Full pipeline through specialization; check the emitted template has
+    // holes and directives (execution comes with the stitcher).
+    let src = r#"
+        int f(int k, int x) {
+            dynamicRegion (k) {
+                int i; int acc = 0;
+                unrolled for (i = 0; i < k; i++) { acc += x * k + i; }
+                return acc;
+            }
+        }
+    "#;
+    let mut m = compile(src, &LowerOptions::default()).unwrap().module;
+    let mut specs = Vec::new();
+    for fid in m.funcs.ids().collect::<Vec<_>>() {
+        let f = &mut m.funcs[fid];
+        dyncomp_ir::ssa::construct_ssa(f);
+        dyncomp_opt::optimize(
+            f,
+            &dyncomp_opt::OptOptions {
+                cfg_simplify: true,
+                hole_scope: None,
+            },
+        );
+        dyncomp_ir::cfg::split_critical_edges(f);
+        f.canonicalize_region_roots();
+        for rid in f.regions.ids().collect::<Vec<_>>() {
+            let a = dyncomp_analysis::analyze_region(f, rid, &Default::default());
+            let spec = dyncomp_specialize::specialize_region(f, rid, &a).unwrap();
+            specs.push((fid, spec));
+        }
+    }
+    let cm = compile_module(&mut m, &specs).unwrap();
+    assert_eq!(cm.regions.len(), 1);
+    let rc = &cm.regions[0];
+    assert!(
+        rc.template.blocks.len() >= 4,
+        "entry, header, body, markers"
+    );
+    let holes: usize = rc.template.blocks.iter().map(|b| b.holes.len()).sum();
+    assert!(holes >= 2, "k*x product and i are holes");
+    assert!(rc.table_static_len >= 1);
+    assert!(!rc.template.code.is_empty());
+    // EnterRegion instruction present at enter_pc.
+    let w = cm.code[rc.enter_pc as usize];
+    let inst = dyncomp_machine::isa::decode(w, None).unwrap();
+    assert_eq!(inst.op, dyncomp_machine::isa::Op::EnterRegion);
+    assert_eq!(inst.imm, 0);
+}

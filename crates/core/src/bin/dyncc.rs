@@ -1,0 +1,292 @@
+//! `dyncc` — compile, inspect and run annotated MiniC programs.
+//!
+//! ```text
+//! dyncc <file.mc> [--ir] [--templates] [--disasm] [--regions]
+//!                 [--static] [--run <func> [args…]] [--report] [--stitched]
+//! ```
+//!
+//! * `--ir`        print the final IR of every function
+//! * `--templates` print each region's template blocks and directives
+//!   (the paper's Table 1 view)
+//! * `--disasm`    disassemble the compiled module
+//! * `--regions`   summarize dynamic regions (slots, holes, key)
+//! * `--static`    ignore annotations (compile the §5 baseline)
+//! * `--run f a b` call `f` with integer arguments and print the result
+//! * `--report`    after `--run`, print per-region dynamic-compilation
+//!   statistics
+//! * `--stitched`  after `--run`, disassemble every stitched instance
+//!   (the paper's §4 "final code" view)
+//! * `--advise`    ignore annotations and report, per function, what each
+//!   parameter would buy as a run-time constant (the §7 annotation tool)
+
+use dyncomp::{Compiler, Engine};
+use dyncomp_machine::disasm::disassemble;
+use dyncomp_machine::template::{HoleField, LoopMarker, TmplExit};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0].starts_with("--") {
+        eprintln!(
+            "usage: dyncc <file.mc> [--ir] [--templates] [--disasm] [--regions] \
+             [--static] [--run <func> [args…]] [--report] [--stitched] [--advise]"
+        );
+        exit(2);
+    }
+    let path = &args[0];
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dyncc: cannot read {path}: {e}");
+            exit(1);
+        }
+    };
+
+    let flag = |name: &str| args.iter().any(|a| a == name);
+
+    if flag("--advise") {
+        let advice = match dyncomp::advise(&src) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("dyncc: {e}");
+                exit(1);
+            }
+        };
+        for fa in &advice {
+            println!("function {}:", fa.func);
+            for h in &fa.params {
+                let p = h.params[0];
+                println!(
+                    "  arg {p} constant: {:>3.0}% of instructions fold \
+                     ({}/{}), {}/{} branch(es) resolve, {}/{} loop(s) unroll",
+                    h.score() * 100.0,
+                    h.const_insts,
+                    h.total_insts,
+                    h.const_branches,
+                    h.total_branches,
+                    h.unrollable_loops,
+                    h.total_loops
+                );
+            }
+            let a = &fa.all_params;
+            println!(
+                "  all args constant: {:>3.0}% of instructions fold ({}/{})",
+                a.score() * 100.0,
+                a.const_insts,
+                a.total_insts
+            );
+            let rec = fa.recommended(0.3);
+            if rec.is_empty() {
+                println!("  recommendation: no single argument is worth annotating");
+            } else {
+                let list: Vec<String> = rec.iter().map(|p| format!("arg {p}")).collect();
+                println!("  recommendation: annotate {}", list.join(", "));
+            }
+        }
+        exit(0);
+    }
+
+    let compiler = if flag("--static") {
+        Compiler::static_baseline()
+    } else {
+        Compiler::new()
+    };
+    let program = match compiler.compile(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("dyncc: {e}");
+            exit(1);
+        }
+    };
+
+    println!(
+        "compiled {path}: {} function(s), {} dynamic region(s), {} code words",
+        program.module.funcs.len(),
+        program.region_count(),
+        program.compiled.code.len()
+    );
+
+    if flag("--ir") {
+        for f in program.module.funcs.iter() {
+            println!("\n{f}");
+        }
+    }
+
+    if flag("--regions") {
+        for (i, rc) in program.compiled.regions.iter().enumerate() {
+            let holes: usize = rc.template.blocks.iter().map(|b| b.holes.len()).sum();
+            println!(
+                "\nregion {i}: enter@{} setup@{} | {} static table slot(s), {} template \
+                 block(s), {} hole(s), key: {:?}",
+                rc.enter_pc,
+                rc.setup_pc,
+                rc.table_static_len,
+                rc.template.blocks.len(),
+                holes,
+                rc.key_locs
+            );
+        }
+    }
+
+    if flag("--templates") {
+        for (i, rc) in program.compiled.regions.iter().enumerate() {
+            println!(
+                "\n=== region {i} template (entry L{}) ===",
+                rc.template.entry
+            );
+            for (li, b) in rc.template.blocks.iter().enumerate() {
+                let marker = match &b.marker {
+                    Some(LoopMarker::Enter { root }) => format!("  ENTER_LOOP({root})"),
+                    Some(LoopMarker::Restart { next_slot }) => {
+                        format!("  RESTART_LOOP(next={next_slot})")
+                    }
+                    Some(LoopMarker::Exit) => "  EXIT_LOOP".into(),
+                    None => String::new(),
+                };
+                println!("L{li}:{marker}");
+                let code = &rc.template.code[b.start as usize..b.end as usize];
+                let mut hole_iter = b.holes.iter().peekable();
+                for line in disassemble(code, b.start) {
+                    let mut notes = String::new();
+                    while let Some(h) = hole_iter.peek() {
+                        if h.at == line.addr {
+                            let kind = match h.field {
+                                HoleField::Lit => "HOLE(lit",
+                                HoleField::MemDisp { float: true } => "HOLE(fload",
+                                HoleField::MemDisp { float: false } => "HOLE(load",
+                            };
+                            notes.push_str(&format!("   ; {kind}, t[{}])", h.slot));
+                            hole_iter.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    println!("    {:>4}: {}{notes}", line.addr, line.text);
+                }
+                match &b.exit {
+                    TmplExit::Jump(l) => println!("    -> L{l}"),
+                    TmplExit::CondBranch { taken, fall, .. } => {
+                        println!("    branch -> L{taken} | fall L{fall}")
+                    }
+                    TmplExit::ConstBranch {
+                        slot,
+                        then_l,
+                        else_l,
+                    } => {
+                        println!("    CONST_BRANCH(t[{slot}]) -> L{then_l} | L{else_l}")
+                    }
+                    TmplExit::ConstSwitch {
+                        slot,
+                        cases,
+                        default,
+                    } => {
+                        let cs: Vec<String> =
+                            cases.iter().map(|(c, l)| format!("{c}=>L{l}")).collect();
+                        println!(
+                            "    CONST_SWITCH(t[{slot}]) [{}] default L{default}",
+                            cs.join(", ")
+                        )
+                    }
+                    TmplExit::Return => println!("    (return)"),
+                    TmplExit::ExitRegion { exit } => println!("    EXIT_REGION({exit})"),
+                }
+            }
+        }
+    }
+
+    if flag("--disasm") {
+        println!();
+        for line in disassemble(&program.compiled.code, 0) {
+            println!("{:>6}: {}", line.addr, line.text);
+        }
+    }
+
+    if let Some(pos) = args.iter().position(|a| a == "--run") {
+        let Some(func) = args.get(pos + 1) else {
+            eprintln!("dyncc: --run needs a function name");
+            exit(2);
+        };
+        let call_args: Vec<u64> = args[pos + 2..]
+            .iter()
+            .take_while(|a| !a.starts_with("--"))
+            .map(|a| {
+                a.parse::<i64>().map(|v| v as u64).unwrap_or_else(|_| {
+                    eprintln!("dyncc: bad integer argument `{a}`");
+                    exit(2);
+                })
+            })
+            .collect();
+        let mut engine = Engine::new(&program);
+        let before = engine.cycles();
+        match engine.call(func, &call_args) {
+            Ok(v) => {
+                println!(
+                    "\n{func}({}) = {v} ({} as signed) in {} cycles",
+                    call_args
+                        .iter()
+                        .map(|a| a.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    v as i64,
+                    engine.cycles() - before
+                );
+            }
+            Err(e) => {
+                eprintln!("dyncc: run failed: {e}");
+                exit(1);
+            }
+        }
+        if flag("--report") {
+            for i in 0..program.region_count() {
+                let r = engine.region_report(i);
+                println!(
+                    "region {i}: {} stitch(es), set-up {} cycles, stitcher {} cycles, \
+                     {} instruction(s) stitched",
+                    r.stitches, r.setup_cycles, r.stitch_cycles, r.instructions_stitched
+                );
+                let s = r.stitch_stats;
+                println!(
+                    "          {} hole(s) inline, {} via table, {} constant branch(es), \
+                     {} loop iteration(s) unrolled, {} strength reduction(s)",
+                    s.holes_inline,
+                    s.holes_big,
+                    s.const_branches_resolved,
+                    s.loop_iterations,
+                    s.strength_reductions
+                );
+            }
+        }
+        if flag("--stitched") {
+            for i in 0..program.region_count() {
+                for (key, code) in engine.stitched_instances(i) {
+                    let key_str = if key.is_empty() {
+                        String::new()
+                    } else {
+                        format!(
+                            " key ({})",
+                            key.iter()
+                                .map(|k| k.to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    };
+                    println!(
+                        "\nstitched code for region {i}{key_str} ({} words):",
+                        code.len()
+                    );
+                    let base = code_offset_of(&engine, code);
+                    for line in disassemble(code, base) {
+                        println!("{:>6}: {}", line.addr, line.text);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Address of a stitched slice within the engine's code space (the slice
+/// is borrowed from `engine.vm.code`, so pointer arithmetic is exact).
+fn code_offset_of(engine: &Engine, code: &[u32]) -> u32 {
+    let base = engine.vm.code.as_ptr() as usize;
+    ((code.as_ptr() as usize - base) / 4) as u32
+}

@@ -1,0 +1,315 @@
+//! The run-time engine: executes compiled programs on the simulated
+//! machine, servicing dynamic-compilation traps.
+//!
+//! On the first entry to a dynamic region the engine redirects execution
+//! to the region's set-up code (measured in VM cycles, like everything the
+//! program itself runs); at the `EndSetup` trap it invokes the stitcher on
+//! the filled constants table, installs the stitched code at the end of
+//! the code space, and resumes there. Unkeyed regions then have their
+//! `EnterRegion` instruction patched into a direct branch, so later
+//! executions pay only a branch — the paper's "the dynamically-compiled
+//! templates become part of the application". Keyed regions keep the trap
+//! and pay a cache-lookup cost per entry, with one stitched instance per
+//! distinct key tuple.
+
+use crate::{Error, Program};
+use dyncomp_machine::heap::HeapBuilder;
+use dyncomp_machine::isa::{encode, Inst, Op, CTP, SP};
+use dyncomp_machine::template::ValueLoc;
+use dyncomp_machine::vm::{Stop, Vm};
+use dyncomp_stitcher::{StitchOptions, StitchStats};
+use std::collections::HashMap;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Data memory size in bytes.
+    pub memory_bytes: usize,
+    /// Stitcher options (peephole, linearized table, cost model).
+    pub stitch: StitchOptions,
+    /// Cycles charged for an `EnterRegion` trap serviced by the runtime.
+    pub trap_cycles: u64,
+    /// Cycles charged for a keyed code-cache lookup (plus per-key compare).
+    pub keyed_lookup_cycles: u64,
+    /// Per-key compare cycles in the keyed lookup.
+    pub per_key_cycles: u64,
+    /// Maximum stitched instances kept per keyed region (`None` =
+    /// unbounded, the paper's model). When the cache is full the
+    /// least-recently-entered key is evicted: its mapping is dropped and
+    /// the region re-stitches on the next entry with that key. Code space
+    /// itself is append-only (stitched code "becomes part of the
+    /// application"), so eviction reclaims cache slots, not code words.
+    pub keyed_cache_capacity: Option<usize>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            memory_bytes: 1 << 24,
+            stitch: StitchOptions::default(),
+            trap_cycles: 18,
+            keyed_lookup_cycles: 34,
+            per_key_cycles: 9,
+            keyed_cache_capacity: None,
+        }
+    }
+}
+
+/// Per-region run-time bookkeeping.
+#[derive(Debug, Default)]
+struct RegionState {
+    /// Stitched instances by key tuple (unkeyed regions use the empty key).
+    cache: HashMap<Vec<u64>, u32>,
+    /// Keys in least-recently-entered-first order (for bounded caches).
+    lru: Vec<Vec<u64>>,
+    /// Every stitched instance ever produced: (key, code base, length in
+    /// words). Survives eviction — code space is append-only.
+    instances: Vec<(Vec<u64>, u32, u32)>,
+    /// Cache entries dropped to stay within the configured capacity.
+    evictions: u64,
+    /// Key recorded at `EnterRegion`, consumed at `EndSetup`.
+    pending_key: Option<Vec<u64>>,
+    /// Cycle counter value when set-up started.
+    setup_start: u64,
+    /// Accumulated set-up cycles (VM-measured).
+    setup_cycles: u64,
+    /// Accumulated stitcher statistics.
+    stitch: StitchStats,
+    /// Number of stitches performed.
+    stitches: u32,
+    /// Region entries observed (including fast-path re-entries only for
+    /// keyed regions; patched unkeyed regions bypass the trap, so the
+    /// engine counts their entries via [`Engine::call`]'s bookkeeping).
+    invocations: u64,
+}
+
+/// Per-region measurement report (feeds Table 2 / Table 3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegionReport {
+    /// Region entries observed by the engine.
+    pub invocations: u64,
+    /// Times the region was dynamically compiled.
+    pub stitches: u32,
+    /// VM cycles spent in set-up code.
+    pub setup_cycles: u64,
+    /// Simulated stitcher cycles.
+    pub stitch_cycles: u64,
+    /// Instructions the stitcher emitted.
+    pub instructions_stitched: u32,
+    /// Accumulated stitcher counters.
+    pub stitch_stats: StitchStats,
+    /// Keyed-cache entries evicted to respect
+    /// [`EngineOptions::keyed_cache_capacity`].
+    pub evictions: u64,
+}
+
+/// The execution engine.
+pub struct Engine<'p> {
+    program: &'p Program,
+    /// The simulated machine (public for harnesses that need cycle counts
+    /// or direct memory access).
+    pub vm: Vm,
+    options: EngineOptions,
+    regions: Vec<RegionState>,
+}
+
+impl<'p> Engine<'p> {
+    /// An engine with default options.
+    pub fn new(program: &'p Program) -> Self {
+        Self::with_options(program, EngineOptions::default())
+    }
+
+    /// An engine with explicit options.
+    pub fn with_options(program: &'p Program, options: EngineOptions) -> Self {
+        let mut vm = Vm::new(options.memory_bytes);
+        dyncomp_codegen::install(&program.compiled, &program.module, &mut vm);
+        let regions = (0..program.compiled.regions.len())
+            .map(|_| RegionState::default())
+            .collect();
+        Engine {
+            program,
+            vm,
+            options,
+            regions,
+        }
+    }
+
+    /// Build data structures in VM memory.
+    pub fn heap(&mut self) -> HeapBuilder<'_> {
+        HeapBuilder::new(&mut self.vm.mem)
+    }
+
+    /// Call a function by name with raw-bit arguments; returns `r0`.
+    ///
+    /// # Errors
+    /// VM faults, stitching failures, unknown names.
+    pub fn call(&mut self, name: &str, args: &[u64]) -> Result<u64, Error> {
+        let entry = self
+            .program
+            .compiled
+            .entry_of(name)
+            .ok_or_else(|| Error::NoSuchFunction(name.to_string()))?;
+        self.vm.setup_call(entry, args);
+        self.run_to_halt()?;
+        Ok(self.vm.reg(0))
+    }
+
+    /// Call a double-returning function; returns `f0`.
+    ///
+    /// # Errors
+    /// Same as [`Engine::call`].
+    pub fn call_f(&mut self, name: &str, args: &[u64]) -> Result<f64, Error> {
+        self.call(name, args)?;
+        Ok(self.vm.freg(0))
+    }
+
+    /// Drive the VM until `Halt`, servicing dynamic-compilation traps.
+    fn run_to_halt(&mut self) -> Result<(), Error> {
+        loop {
+            match self.vm.run()? {
+                Stop::Halted => return Ok(()),
+                Stop::EnterRegion { region, at } => self.enter_region(region, at)?,
+                Stop::EndSetup { region } => self.end_setup(region)?,
+            }
+        }
+    }
+
+    fn read_key(&self, locs: &[ValueLoc]) -> Vec<u64> {
+        locs.iter()
+            .map(|l| match *l {
+                ValueLoc::Reg(r) => self.vm.reg(r),
+                ValueLoc::FReg(r) => self.vm.freg(r).to_bits(),
+                ValueLoc::Frame(off) => self
+                    .vm
+                    .mem
+                    .read_u64(self.vm.reg(SP).wrapping_add(off as i64 as u64))
+                    .unwrap_or(0),
+            })
+            .collect()
+    }
+
+    fn enter_region(&mut self, region: u16, _at: u32) -> Result<(), Error> {
+        let rc = &self.program.compiled.regions[region as usize];
+        let key = self.read_key(&rc.key_locs);
+        let st = &mut self.regions[region as usize];
+        st.invocations += 1;
+        self.vm.cycles += self.options.trap_cycles;
+        if !rc.key_locs.is_empty() {
+            self.vm.cycles += self.options.keyed_lookup_cycles
+                + self.options.per_key_cycles * rc.key_locs.len() as u64;
+        }
+        match st.cache.get(&key) {
+            Some(&stitched_entry) => {
+                if self.options.keyed_cache_capacity.is_some() {
+                    if let Some(pos) = st.lru.iter().position(|k| *k == key) {
+                        let k = st.lru.remove(pos);
+                        st.lru.push(k);
+                    }
+                }
+                self.vm.pc = stitched_entry;
+            }
+            None => {
+                st.pending_key = Some(key);
+                st.setup_start = self.vm.cycles;
+                self.vm.pc = rc.setup_pc;
+            }
+        }
+        Ok(())
+    }
+
+    fn end_setup(&mut self, region: u16) -> Result<(), Error> {
+        let rc = &self.program.compiled.regions[region as usize];
+        let table = self.vm.reg(CTP);
+        let base = self.vm.code.len() as u32;
+        let stitched =
+            dyncomp_stitcher::stitch(rc, table, &mut self.vm.mem, base, &self.options.stitch)?;
+        self.vm.append_code(&stitched.code);
+
+        let st = &mut self.regions[region as usize];
+        st.setup_cycles += self.vm.cycles - st.setup_start;
+        st.stitches += 1;
+        accumulate(&mut st.stitch, &stitched.stats);
+        let key = st.pending_key.take().unwrap_or_default();
+        st.instances
+            .push((key.clone(), base, stitched.code.len() as u32));
+        if !rc.key_locs.is_empty() {
+            if let Some(cap) = self.options.keyed_cache_capacity {
+                while st.cache.len() >= cap.max(1) && !st.lru.is_empty() {
+                    let victim = st.lru.remove(0);
+                    st.cache.remove(&victim);
+                    st.evictions += 1;
+                }
+            }
+            st.lru.push(key.clone());
+        }
+        st.cache.insert(key, base);
+
+        // Unkeyed regions: retire the trap — patch EnterRegion into a
+        // direct branch to the stitched code (§1: the templates "become
+        // part of the application").
+        if rc.key_locs.is_empty() {
+            let disp = base as i64 - (rc.enter_pc as i64 + 1);
+            let (w, _) = encode(&Inst::branch(
+                Op::Br,
+                dyncomp_machine::isa::ZERO,
+                disp as i32,
+            ))
+            .expect("patch branch encodes");
+            self.vm.code[rc.enter_pc as usize] = w;
+        }
+
+        self.vm.pc = base;
+        Ok(())
+    }
+
+    /// Measurement report for region `index`.
+    pub fn region_report(&self, index: usize) -> RegionReport {
+        let st = &self.regions[index];
+        RegionReport {
+            invocations: st.invocations,
+            stitches: st.stitches,
+            setup_cycles: st.setup_cycles,
+            stitch_cycles: st.stitch.cycles,
+            instructions_stitched: st.stitch.instructions_stitched,
+            stitch_stats: st.stitch,
+            evictions: st.evictions,
+        }
+    }
+
+    /// Total VM cycles so far.
+    pub fn cycles(&self) -> u64 {
+        self.vm.cycles
+    }
+
+    /// Every stitched instance region `index` has produced so far, as
+    /// `(key, code)` pairs in stitch order. Unkeyed regions use the empty
+    /// key. Instances survive cache eviction (code space is append-only),
+    /// so this is the full history, not the current cache contents.
+    pub fn stitched_instances(&self, index: usize) -> Vec<(&[u64], &[u32])> {
+        self.regions[index]
+            .instances
+            .iter()
+            .map(|(key, base, len)| {
+                (
+                    key.as_slice(),
+                    &self.vm.code[*base as usize..(*base + *len) as usize],
+                )
+            })
+            .collect()
+    }
+}
+
+fn accumulate(into: &mut StitchStats, s: &StitchStats) {
+    into.instructions_stitched += s.instructions_stitched;
+    into.words_emitted += s.words_emitted;
+    into.holes_inline += s.holes_inline;
+    into.holes_big += s.holes_big;
+    into.const_branches_resolved += s.const_branches_resolved;
+    into.blocks_skipped += s.blocks_skipped;
+    into.loop_iterations += s.loop_iterations;
+    into.strength_reductions += s.strength_reductions;
+    into.regaction_loads_removed += s.regaction_loads_removed;
+    into.regaction_stores_rewritten += s.regaction_stores_rewritten;
+    into.regaction_promoted += s.regaction_promoted;
+    into.cycles += s.cycles;
+}

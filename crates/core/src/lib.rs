@@ -1,0 +1,268 @@
+//! # dyncomp
+//!
+//! A from-scratch reproduction of **"Fast, Effective Dynamic Compilation"**
+//! (Auslander, Philipose, Chambers, Eggers, Bershad — PLDI 1996): staged
+//! dynamic compilation for a C subset, targeting a simulated Alpha-like
+//! machine with deterministic cycle accounting.
+//!
+//! The system has two halves, exactly as in the paper:
+//!
+//! * a **static compiler** ([`Compiler`]) that parses annotated MiniC,
+//!   runs the run-time-constants + reachability analyses (§3.1), splits
+//!   each `dynamicRegion` into set-up code and machine-code templates
+//!   with holes (§3.2), optimizes (§3.3), and generates simalpha code and
+//!   stitcher directives (§3.4); and
+//! * a **run-time** ([`Engine`]) that executes programs on the simulated
+//!   machine: the first entry to a dynamic region runs its set-up code,
+//!   then the **stitcher** (§4) instantiates the templates into optimized
+//!   executable code, which is installed and (for unkeyed regions) wired
+//!   in by patching the region entry into a direct branch — "the
+//!   dynamically-compiled templates become part of the application".
+//!   Regions annotated `key(…)` keep a keyed code cache instead.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dyncomp::{Compiler, Engine};
+//!
+//! let program = Compiler::new().compile(
+//!     "int poly(int c, int x) {
+//!          dynamicRegion (c) {
+//!              return c * x * x + c * x + c;
+//!          }
+//!      }",
+//! )?;
+//! let mut engine = Engine::new(&program);
+//! assert_eq!(engine.call("poly", &[3, 10])?, 333);
+//! assert_eq!(engine.call("poly", &[3, 1])?, 9); // reuses stitched code
+//! let report = engine.region_report(0);
+//! assert_eq!(report.stitches, 1);
+//! // The entry was patched to a branch, so only the first call trapped.
+//! assert_eq!(report.invocations, 1);
+//! # Ok::<(), dyncomp::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod advisor;
+pub mod engine;
+pub mod measure;
+
+pub use advisor::{advise, FunctionAdvice, Hypothesis};
+pub use engine::{Engine, EngineOptions, RegionReport};
+pub use measure::{
+    measure_kernel, measure_kernel_full, measure_kernel_with, KernelMeasurement, KernelSetup,
+    OptProfile,
+};
+
+use dyncomp_analysis::AnalysisConfig;
+use dyncomp_codegen::CompiledModule;
+use dyncomp_frontend::{FrontendError, LowerOptions, TypeTable};
+use dyncomp_ir::{FuncId, Module};
+use dyncomp_specialize::{RegionSpec, SpecError, SpecStats};
+use std::fmt;
+
+/// Any compilation or execution failure.
+#[derive(Debug)]
+pub enum Error {
+    /// Front-end (parse or lowering) failure.
+    Frontend(FrontendError),
+    /// IR verification failure (an internal pipeline bug).
+    Verify(dyncomp_ir::verify::VerifyError),
+    /// Region specialization failure.
+    Specialize(SpecError),
+    /// Code generation failure.
+    Codegen(dyncomp_codegen::CodegenError),
+    /// Run-time stitching failure.
+    Stitch(dyncomp_stitcher::StitchError),
+    /// VM fault.
+    Vm(dyncomp_machine::VmError),
+    /// Unknown function name.
+    NoSuchFunction(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Frontend(e) => e.fmt(f),
+            Error::Verify(e) => e.fmt(f),
+            Error::Specialize(e) => e.fmt(f),
+            Error::Codegen(e) => e.fmt(f),
+            Error::Stitch(e) => e.fmt(f),
+            Error::Vm(e) => e.fmt(f),
+            Error::NoSuchFunction(n) => write!(f, "no function named `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+macro_rules! from_err {
+    ($var:ident, $ty:ty) => {
+        impl From<$ty> for Error {
+            fn from(e: $ty) -> Self {
+                Error::$var(e)
+            }
+        }
+    };
+}
+from_err!(Frontend, FrontendError);
+from_err!(Verify, dyncomp_ir::verify::VerifyError);
+from_err!(Specialize, SpecError);
+from_err!(Codegen, dyncomp_codegen::CodegenError);
+from_err!(Stitch, dyncomp_stitcher::StitchError);
+from_err!(Vm, dyncomp_machine::VmError);
+
+/// Static-compiler configuration.
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Honor `dynamicRegion`/`unrolled`/`dynamic` annotations. With
+    /// `false`, the same source compiles as plain C — the statically
+    /// compiled baseline of the paper's §5 measurements.
+    pub dynamic: bool,
+    /// Run the global optimizer (§3.3). On for both baseline and dynamic
+    /// compilation, as in the paper (the baseline is *optimized* code).
+    pub optimize: bool,
+    /// Constants/reachability analysis configuration (§3.1 / ablation).
+    pub analysis: AnalysisConfig,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            dynamic: true,
+            optimize: true,
+            analysis: AnalysisConfig::default(),
+        }
+    }
+}
+
+/// The static compiler.
+#[derive(Clone, Debug, Default)]
+pub struct Compiler {
+    options: CompileOptions,
+}
+
+impl Compiler {
+    /// A compiler with default options (annotations honored, optimizer on).
+    pub fn new() -> Self {
+        Compiler {
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// A compiler with explicit options.
+    pub fn with_options(options: CompileOptions) -> Self {
+        Compiler { options }
+    }
+
+    /// A compiler for the static baseline (annotations ignored).
+    pub fn static_baseline() -> Self {
+        Compiler::with_options(CompileOptions {
+            dynamic: false,
+            ..Default::default()
+        })
+    }
+
+    /// Compile MiniC source through the full static pipeline.
+    ///
+    /// # Errors
+    /// Reports the first front-end, analysis, specialization or code
+    /// generation failure.
+    pub fn compile(&self, src: &str) -> Result<Program, Error> {
+        let lowered = dyncomp_frontend::compile(
+            src,
+            &LowerOptions {
+                honor_annotations: self.options.dynamic,
+            },
+        )?;
+        let mut module = lowered.module;
+        let mut specs: Vec<(FuncId, RegionSpec)> = Vec::new();
+
+        for fid in module.funcs.ids().collect::<Vec<_>>() {
+            let f = &mut module.funcs[fid];
+            dyncomp_ir::ssa::construct_ssa(f);
+            if self.options.optimize {
+                dyncomp_opt::optimize(
+                    f,
+                    &dyncomp_opt::OptOptions {
+                        cfg_simplify: true,
+                        hole_scope: None,
+                    },
+                );
+            }
+            dyncomp_ir::cfg::split_critical_edges(f);
+            f.canonicalize_region_roots();
+            dyncomp_ir::verify::verify(f)?;
+
+            let mut template_scope = dyncomp_ir::IdSet::new();
+            for rid in f.regions.ids().collect::<Vec<_>>() {
+                let mut analysis = dyncomp_analysis::analyze_region(f, rid, &self.options.analysis);
+                if dyncomp_specialize::legalize_dynamic_switches(f, rid, &analysis) {
+                    // New compare-chain blocks exist: restore the
+                    // split-critical-edges invariant and refresh the
+                    // analysis over the new CFG.
+                    dyncomp_ir::cfg::split_critical_edges(f);
+                    dyncomp_ir::verify::verify(f)?;
+                    analysis = dyncomp_analysis::analyze_region(f, rid, &self.options.analysis);
+                }
+                let spec = dyncomp_specialize::specialize_region(f, rid, &analysis)?;
+                dyncomp_ir::verify::verify(f)?;
+                for &b in &spec.template_blocks {
+                    template_scope.insert(b);
+                }
+                specs.push((fid, spec));
+            }
+            if self.options.optimize && !f.regions.is_empty() {
+                // Post-split optimization with the hole barrier (§3.3).
+                dyncomp_opt::optimize(
+                    f,
+                    &dyncomp_opt::OptOptions {
+                        cfg_simplify: false,
+                        hole_scope: Some(template_scope),
+                    },
+                );
+                dyncomp_ir::verify::verify(f)?;
+            }
+        }
+
+        let spec_stats: Vec<(FuncId, SpecStats)> =
+            specs.iter().map(|(f, s)| (*f, s.stats)).collect();
+        let compiled = dyncomp_codegen::compile_module(&mut module, &specs)?;
+        Ok(Program {
+            module,
+            types: lowered.types,
+            compiled,
+            spec_stats,
+        })
+    }
+}
+
+/// A fully statically compiled program, ready to run on an [`Engine`].
+#[derive(Debug)]
+pub struct Program {
+    /// The final IR (post-SSA-destruction; for inspection).
+    pub module: Module,
+    /// Struct layouts for host-side data construction.
+    pub types: TypeTable,
+    /// The compiled machine code, templates and region metadata.
+    pub compiled: CompiledModule,
+    /// Per-region planned-optimization counters (Table 3's static half).
+    pub spec_stats: Vec<(FuncId, SpecStats)>,
+}
+
+impl Program {
+    /// Entry address of a function (for advanced/VM-level use).
+    pub fn entry_of(&self, name: &str) -> Option<u32> {
+        self.compiled.entry_of(name)
+    }
+
+    /// Number of dynamic regions.
+    pub fn region_count(&self) -> usize {
+        self.compiled.regions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,257 @@
+//! Measurement harness for the paper's §5 methodology.
+//!
+//! Compiles the same annotated source twice — once honoring annotations
+//! (dynamic compilation) and once ignoring them (the statically compiled,
+//! fully optimized baseline) — runs both on identical inputs, and reports
+//! the quantities of the paper's Table 2: asymptotic speedup, dynamic
+//! compilation overhead split into set-up and stitcher cycles, breakeven
+//! point, and cycles per stitched instruction. The per-kernel optimization
+//! profile of Table 3 comes from the specializer's and stitcher's
+//! counters.
+
+use crate::{Compiler, Engine, Error, Program};
+use dyncomp_specialize::SpecStats;
+use dyncomp_stitcher::StitchStats;
+
+/// How to run one kernel for measurement.
+pub struct KernelSetup<'a> {
+    /// Annotated MiniC source (compiled both ways).
+    pub src: &'a str,
+    /// Function to invoke.
+    pub func: &'a str,
+    /// Executions to measure.
+    pub iterations: u64,
+    /// Build input data in VM memory; returns values (typically addresses)
+    /// that [`KernelSetup::args`] may use.
+    #[allow(clippy::type_complexity)]
+    pub prepare: Box<dyn Fn(&mut Engine) -> Vec<u64> + 'a>,
+    /// Arguments for invocation `i`, given the prepared values.
+    #[allow(clippy::type_complexity)]
+    pub args: Box<dyn Fn(u64, &[u64]) -> Vec<u64> + 'a>,
+}
+
+/// Everything Table 2 needs for one kernel/configuration row.
+#[derive(Clone, Debug)]
+pub struct KernelMeasurement {
+    /// Executions measured.
+    pub iterations: u64,
+    /// Statically compiled cycles per execution.
+    pub static_cycles: f64,
+    /// Dynamically compiled cycles per execution (set-up excluded).
+    pub dynamic_cycles: f64,
+    /// Asymptotic speedup (static / dynamic).
+    pub speedup: f64,
+    /// Set-up code cycles (VM-measured, first execution only).
+    pub setup_cycles: u64,
+    /// Stitcher cycles (cost-model accounted).
+    pub stitch_cycles: u64,
+    /// Breakeven point: least n where n·static ≥ overhead + n·dynamic
+    /// (`None` when the dynamic version is never profitable).
+    pub breakeven: Option<u64>,
+    /// Instructions the stitcher emitted.
+    pub instructions_stitched: u32,
+    /// Total overhead cycles per stitched instruction.
+    pub cycles_per_stitched_instruction: f64,
+    /// Static-side planned-optimization counters (summed over regions).
+    pub spec: SpecStats,
+    /// Run-time stitcher counters (summed over regions).
+    pub stitch: StitchStats,
+    /// Sum of the results of every invocation (both versions must agree —
+    /// checked by the harness).
+    pub checksum: u64,
+}
+
+impl KernelMeasurement {
+    /// The Table 3 row: which optimizations were applied dynamically.
+    pub fn optimizations(&self) -> OptProfile {
+        OptProfile {
+            constant_folding: self.spec.const_insts_eliminated > 0,
+            static_branch_elimination: self.stitch.const_branches_resolved > 0,
+            load_elimination: self.spec.loads_eliminated > 0,
+            dead_code_elimination: self.stitch.blocks_skipped > 0,
+            complete_loop_unrolling: self.stitch.loop_iterations > 0,
+            strength_reduction: self.stitch.strength_reductions > 0,
+        }
+    }
+}
+
+/// Which of the paper's Table 3 optimization categories fired.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptProfile {
+    /// Run-time constant propagation and folding planned into set-up code.
+    pub constant_folding: bool,
+    /// Constant branches removed by the stitcher.
+    pub static_branch_elimination: bool,
+    /// Loads of run-time constants eliminated.
+    pub load_elimination: bool,
+    /// Unreachable template code skipped.
+    pub dead_code_elimination: bool,
+    /// Loops completely unrolled.
+    pub complete_loop_unrolling: bool,
+    /// Value-based peephole strength reduction.
+    pub strength_reduction: bool,
+}
+
+impl OptProfile {
+    /// Render as the paper's check-mark row.
+    pub fn checkmarks(&self) -> [bool; 6] {
+        [
+            self.constant_folding,
+            self.static_branch_elimination,
+            self.load_elimination,
+            self.dead_code_elimination,
+            self.complete_loop_unrolling,
+            self.strength_reduction,
+        ]
+    }
+}
+
+/// Run one kernel both ways and measure (default engine options).
+///
+/// # Errors
+/// Compilation or execution failure in either version.
+///
+/// # Panics
+/// Panics when the static and dynamic versions disagree on any result —
+/// a mismatch is a correctness bug, not an environmental error.
+pub fn measure_kernel(setup: &KernelSetup<'_>) -> Result<KernelMeasurement, Error> {
+    measure_kernel_with(setup, crate::EngineOptions::default())
+}
+
+/// Like [`measure_kernel`], with explicit engine options for the dynamic
+/// version (ablations: peephole off, fused cost model, register actions).
+///
+/// # Errors
+/// Compilation or execution failure in either version.
+///
+/// # Panics
+/// Panics when the static and dynamic versions disagree on any result.
+pub fn measure_kernel_with(
+    setup: &KernelSetup<'_>,
+    engine_options: crate::EngineOptions,
+) -> Result<KernelMeasurement, Error> {
+    measure_kernel_full(setup, &Compiler::new(), engine_options)
+}
+
+/// The fully general entry: explicit compiler (analysis ablations) and
+/// engine options for the dynamic version.
+///
+/// # Errors
+/// Compilation or execution failure in either version.
+///
+/// # Panics
+/// Panics when the static and dynamic versions disagree on any result.
+pub fn measure_kernel_full(
+    setup: &KernelSetup<'_>,
+    dynamic_compiler: &Compiler,
+    engine_options: crate::EngineOptions,
+) -> Result<KernelMeasurement, Error> {
+    // ---- static baseline ----
+    let static_prog = Compiler::static_baseline().compile(setup.src)?;
+    let (static_total, static_checksum) = run_version(&static_prog, setup)?;
+
+    // ---- dynamic version ----
+    let dyn_prog = dynamic_compiler.compile(setup.src)?;
+    let (dyn_result, dyn_checksum, reports) = {
+        let mut engine = Engine::with_options(&dyn_prog, engine_options);
+        let prepared = (setup.prepare)(&mut engine);
+        let mut checksum = 0u64;
+        let mut total = 0u64;
+        for i in 0..setup.iterations {
+            let args = (setup.args)(i, &prepared);
+            let before = engine.cycles();
+            let r = engine.call(setup.func, &args)?;
+            total += engine.cycles() - before;
+            checksum = checksum.wrapping_mul(1099511628211).wrapping_add(r);
+        }
+        let reports: Vec<_> = (0..dyn_prog.region_count())
+            .map(|i| engine.region_report(i))
+            .collect();
+        (total, checksum, reports)
+    };
+
+    assert_eq!(
+        static_checksum, dyn_checksum,
+        "static and dynamic versions disagree for {}",
+        setup.func
+    );
+
+    let setup_cycles: u64 = reports.iter().map(|r| r.setup_cycles).sum();
+    let stitch_cycles: u64 = reports.iter().map(|r| r.stitch_cycles).sum();
+    let instructions_stitched: u32 = reports.iter().map(|r| r.instructions_stitched).sum();
+    let mut stitch = StitchStats::default();
+    for r in &reports {
+        let s = r.stitch_stats;
+        stitch.instructions_stitched += s.instructions_stitched;
+        stitch.words_emitted += s.words_emitted;
+        stitch.holes_inline += s.holes_inline;
+        stitch.holes_big += s.holes_big;
+        stitch.const_branches_resolved += s.const_branches_resolved;
+        stitch.blocks_skipped += s.blocks_skipped;
+        stitch.loop_iterations += s.loop_iterations;
+        stitch.strength_reductions += s.strength_reductions;
+        stitch.regaction_loads_removed += s.regaction_loads_removed;
+        stitch.regaction_stores_rewritten += s.regaction_stores_rewritten;
+        stitch.regaction_promoted += s.regaction_promoted;
+        stitch.cycles += s.cycles;
+    }
+    let mut spec = SpecStats::default();
+    for (_, s) in &dyn_prog.spec_stats {
+        spec.const_insts_eliminated += s.const_insts_eliminated;
+        spec.loads_eliminated += s.loads_eliminated;
+        spec.const_branches += s.const_branches;
+        spec.unrolled_loops += s.unrolled_loops;
+        spec.holes += s.holes;
+    }
+
+    let n = setup.iterations.max(1) as f64;
+    let static_cycles = static_total as f64 / n;
+    // Exclude one-time set-up from the asymptotic dynamic cost.
+    let dynamic_cycles = (dyn_result.saturating_sub(setup_cycles)) as f64 / n;
+    let speedup = if dynamic_cycles > 0.0 {
+        static_cycles / dynamic_cycles
+    } else {
+        f64::NAN
+    };
+    let overhead = setup_cycles + stitch_cycles;
+    let breakeven = if static_cycles > dynamic_cycles {
+        Some((overhead as f64 / (static_cycles - dynamic_cycles)).ceil() as u64)
+    } else {
+        None
+    };
+    let cycles_per_stitched_instruction = if instructions_stitched > 0 {
+        overhead as f64 / f64::from(instructions_stitched)
+    } else {
+        0.0
+    };
+
+    Ok(KernelMeasurement {
+        iterations: setup.iterations,
+        static_cycles,
+        dynamic_cycles,
+        speedup,
+        setup_cycles,
+        stitch_cycles,
+        breakeven,
+        instructions_stitched,
+        cycles_per_stitched_instruction,
+        spec,
+        stitch,
+        checksum: dyn_checksum,
+    })
+}
+
+fn run_version(prog: &Program, setup: &KernelSetup<'_>) -> Result<(u64, u64), Error> {
+    let mut engine = Engine::new(prog);
+    let prepared = (setup.prepare)(&mut engine);
+    let mut checksum = 0u64;
+    let mut total = 0u64;
+    for i in 0..setup.iterations {
+        let args = (setup.args)(i, &prepared);
+        let before = engine.cycles();
+        let r = engine.call(setup.func, &args)?;
+        total += engine.cycles() - before;
+        checksum = checksum.wrapping_mul(1099511628211).wrapping_add(r);
+    }
+    Ok((total, checksum))
+}

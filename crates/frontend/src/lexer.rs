@@ -1,0 +1,536 @@
+//! MiniC lexer.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    // Keywords.
+    /// `int`
+    KwInt,
+    /// `unsigned`
+    KwUnsigned,
+    /// `signed`
+    KwSigned,
+    /// `char`
+    KwChar,
+    /// `short`
+    KwShort,
+    /// `long`
+    KwLong,
+    /// `double`
+    KwDouble,
+    /// `void`
+    KwVoid,
+    /// `struct`
+    KwStruct,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `do`
+    KwDo,
+    /// `for`
+    KwFor,
+    /// `switch`
+    KwSwitch,
+    /// `case`
+    KwCase,
+    /// `default`
+    KwDefault,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `return`
+    KwReturn,
+    /// `goto`
+    KwGoto,
+    /// `sizeof`
+    KwSizeof,
+    /// `dynamicRegion` (§2 annotation)
+    KwDynamicRegion,
+    /// `key` (§2 annotation)
+    KwKey,
+    /// `unrolled` (§2 annotation)
+    KwUnrolled,
+    /// `dynamic` (§2 annotation on dereferences)
+    KwDynamic,
+    // Punctuation / operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `?`
+    Question,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `=`
+    Eq,
+    /// `+=`
+    PlusEq,
+    /// `-=`
+    MinusEq,
+    /// `*=`
+    StarEq,
+    /// `/=`
+    SlashEq,
+    /// `%=`
+    PercentEq,
+    /// `&=`
+    AmpEq,
+    /// `|=`
+    PipeEq,
+    /// `^=`
+    CaretEq,
+    /// `<<=`
+    ShlEq,
+    /// `>>=`
+    ShrEq,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Float(v) => write!(f, "float `{v}`"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Description.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize MiniC source.
+///
+/// # Errors
+/// Fails on unterminated comments, malformed numbers or stray characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let (mut line, mut col) = (1u32, 1u32);
+
+    macro_rules! err {
+        ($($a:tt)*) => { return Err(LexError { msg: format!($($a)*), line, col }) };
+    }
+
+    let keyword = |s: &str| -> Option<Tok> {
+        Some(match s {
+            "int" => Tok::KwInt,
+            "unsigned" => Tok::KwUnsigned,
+            "signed" => Tok::KwSigned,
+            "char" => Tok::KwChar,
+            "short" => Tok::KwShort,
+            "long" => Tok::KwLong,
+            "double" => Tok::KwDouble,
+            "float" => Tok::KwDouble, // MiniC floats are doubles
+            "void" => Tok::KwVoid,
+            "struct" => Tok::KwStruct,
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "while" => Tok::KwWhile,
+            "do" => Tok::KwDo,
+            "for" => Tok::KwFor,
+            "switch" => Tok::KwSwitch,
+            "case" => Tok::KwCase,
+            "default" => Tok::KwDefault,
+            "break" => Tok::KwBreak,
+            "continue" => Tok::KwContinue,
+            "return" => Tok::KwReturn,
+            "goto" => Tok::KwGoto,
+            "sizeof" => Tok::KwSizeof,
+            "dynamicRegion" => Tok::KwDynamicRegion,
+            "key" => Tok::KwKey,
+            "unrolled" => Tok::KwUnrolled,
+            "dynamic" => Tok::KwDynamic,
+            _ => return None,
+        })
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+        let mut push = |tok: Tok| {
+            out.push(Token {
+                tok,
+                line: tline,
+                col: tcol,
+            })
+        };
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        err!("unterminated block comment");
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                    col += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                match keyword(&word) {
+                    Some(k) => push(k),
+                    None => push(Tok::Ident(word)),
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                if c == '0' && bytes.get(i + 1).is_some_and(|&c| c == 'x' || c == 'X') {
+                    i += 2;
+                    col += 2;
+                    let hstart = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                        col += 1;
+                    }
+                    let hex: String = bytes[hstart..i].iter().collect();
+                    if hex.is_empty() {
+                        err!("malformed hex literal");
+                    }
+                    let v = u64::from_str_radix(&hex, 16).map_err(|e| LexError {
+                        msg: format!("bad hex literal: {e}"),
+                        line,
+                        col,
+                    })?;
+                    push(Tok::Int(v as i64));
+                    continue;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                if i < bytes.len()
+                    && bytes[i] == '.'
+                    && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    col += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                        col += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == 'e' || bytes[i] == 'E') {
+                    is_float = true;
+                    i += 1;
+                    col += 1;
+                    if i < bytes.len() && (bytes[i] == '+' || bytes[i] == '-') {
+                        i += 1;
+                        col += 1;
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                        col += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|e| LexError {
+                        msg: format!("bad float: {e}"),
+                        line,
+                        col,
+                    })?;
+                    push(Tok::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| LexError {
+                        msg: format!("bad integer: {e}"),
+                        line,
+                        col,
+                    })?;
+                    push(Tok::Int(v));
+                }
+            }
+            _ => {
+                // Multi-char operators, longest first.
+                let rest: String = bytes[i..bytes.len().min(i + 3)].iter().collect();
+                let table: &[(&str, Tok)] = &[
+                    ("<<=", Tok::ShlEq),
+                    (">>=", Tok::ShrEq),
+                    ("->", Tok::Arrow),
+                    ("++", Tok::PlusPlus),
+                    ("--", Tok::MinusMinus),
+                    ("<<", Tok::Shl),
+                    (">>", Tok::Shr),
+                    ("<=", Tok::Le),
+                    (">=", Tok::Ge),
+                    ("==", Tok::EqEq),
+                    ("!=", Tok::Ne),
+                    ("&&", Tok::AndAnd),
+                    ("||", Tok::OrOr),
+                    ("+=", Tok::PlusEq),
+                    ("-=", Tok::MinusEq),
+                    ("*=", Tok::StarEq),
+                    ("/=", Tok::SlashEq),
+                    ("%=", Tok::PercentEq),
+                    ("&=", Tok::AmpEq),
+                    ("|=", Tok::PipeEq),
+                    ("^=", Tok::CaretEq),
+                    ("(", Tok::LParen),
+                    (")", Tok::RParen),
+                    ("{", Tok::LBrace),
+                    ("}", Tok::RBrace),
+                    ("[", Tok::LBracket),
+                    ("]", Tok::RBracket),
+                    (";", Tok::Semi),
+                    (",", Tok::Comma),
+                    (":", Tok::Colon),
+                    ("?", Tok::Question),
+                    (".", Tok::Dot),
+                    ("+", Tok::Plus),
+                    ("-", Tok::Minus),
+                    ("*", Tok::Star),
+                    ("/", Tok::Slash),
+                    ("%", Tok::Percent),
+                    ("&", Tok::Amp),
+                    ("|", Tok::Pipe),
+                    ("^", Tok::Caret),
+                    ("~", Tok::Tilde),
+                    ("!", Tok::Bang),
+                    ("<", Tok::Lt),
+                    (">", Tok::Gt),
+                    ("=", Tok::Eq),
+                ];
+                let mut matched = false;
+                for (s, t) in table {
+                    if rest.starts_with(s) {
+                        push(t.clone());
+                        i += s.len();
+                        col += s.len() as u32;
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    err!("unexpected character `{c}`");
+                }
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("int x unrolled dynamicRegion dynamic key"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::KwUnrolled,
+                Tok::KwDynamicRegion,
+                Tok::KwDynamic,
+                Tok::KwKey,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("0 42 0x1F 3.5 1e3 2.5e-2"),
+            vec![
+                Tok::Int(0),
+                Tok::Int(42),
+                Tok::Int(31),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Float(0.025),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            kinds("a->b <<= >> >= = == != ++x"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::ShlEq,
+                Tok::Shr,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::PlusPlus,
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line\n /* block \n comment */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn stray_character_errors() {
+        assert!(lex("a @ b").is_err());
+    }
+}

@@ -1,0 +1,1472 @@
+//! Lowering from MiniC AST to the `dyncomp-ir` three-address CFG.
+//!
+//! Annotations lower as follows (§2 of the paper):
+//!
+//! * `dynamicRegion (v…) { … }` — the body becomes a single-entry block
+//!   range recorded in [`dyncomp_ir::DynRegion`]; the values of the
+//!   annotated variables at region entry become the region's constant
+//!   roots; `key(…)` variables are additionally recorded as cache keys.
+//! * `unrolled for` — the loop's header block is flagged
+//!   `unrolled_header`.
+//! * `dynamic*p`, `p dynamic-> f`, `a dynamic[i]` — the emitted load
+//!   carries `dynamic: true` so the constants analysis never treats the
+//!   loaded value as invariant.
+//!
+//! With [`LowerOptions::honor_annotations`] off, the same source lowers as
+//! plain C (the statically compiled baseline of §5's measurements).
+
+use crate::ast::*;
+use crate::types::{CType, TypeTable};
+use dyncomp_ir::{
+    BinOp, BlockId, DynRegion, FuncId, Function, Global, GlobalId, IdSet, InstId, InstKind,
+    Intrinsic, MemSize, Module, Signedness, Terminator, Ty, UnOp, VarId, VarInfo,
+};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Lowering configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LowerOptions {
+    /// Honor `dynamicRegion`/`unrolled`/`dynamic` annotations. When false
+    /// the program lowers as plain C (the static baseline).
+    pub honor_annotations: bool,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions {
+            honor_annotations: true,
+        }
+    }
+}
+
+/// Lowering failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerError(pub String);
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<crate::types::TypeError> for LowerError {
+    fn from(e: crate::types::TypeError) -> Self {
+        LowerError(e.0)
+    }
+}
+
+/// The lowered module together with its type table.
+#[derive(Debug)]
+pub struct Lowered {
+    /// The IR module (not yet in SSA form).
+    pub module: Module,
+    /// Struct layouts, for host-side data construction.
+    pub types: TypeTable,
+}
+
+/// Lower a parsed program.
+///
+/// # Errors
+/// Reports type errors, unknown identifiers, unsupported constructs and
+/// malformed annotations.
+pub fn lower(prog: &Program, opts: &LowerOptions) -> Result<Lowered, LowerError> {
+    let mut types = TypeTable::new();
+    let mut module = Module::new();
+    let mut globals: HashMap<String, (GlobalId, CType)> = HashMap::new();
+    let mut funcs: HashMap<String, (FuncId, CType, Vec<CType>)> = HashMap::new();
+
+    // Pass 0: declare struct tags (allows self-referential pointer fields).
+    for top in &prog.tops {
+        if let Top::Struct { name, .. } = top {
+            types.declare_struct(name);
+        }
+    }
+
+    // Pass 1: structs, globals, function signatures.
+    for top in &prog.tops {
+        match top {
+            Top::Struct { name, fields } => {
+                let mut fs = Vec::new();
+                for (tn, fname, array) in fields {
+                    fs.push((fname.clone(), types.resolve(tn, *array)?));
+                }
+                types.define_struct(name, fs)?;
+            }
+            Top::Global {
+                ty,
+                name,
+                array,
+                init,
+            } => {
+                let cty = types.resolve(ty, *array)?;
+                let size = types.size_of(&cty)?;
+                let align = types.align_of(&cty)?;
+                let mut bytes = Vec::new();
+                let elem = match &cty {
+                    CType::Array(e, _) => (**e).clone(),
+                    other => other.clone(),
+                };
+                let esize = types.size_of(&elem)? as usize;
+                for e in init {
+                    let v = const_expr(e, &elem)?;
+                    bytes.extend_from_slice(&v.to_le_bytes()[..esize]);
+                }
+                if bytes.len() as u64 > size {
+                    return Err(LowerError(format!("too many initializers for `{name}`")));
+                }
+                let gid = module.globals.push(Global {
+                    name: name.clone(),
+                    size,
+                    init: bytes,
+                    align,
+                });
+                if globals.insert(name.clone(), (gid, cty)).is_some() {
+                    return Err(LowerError(format!("duplicate global `{name}`")));
+                }
+            }
+            Top::Func {
+                ret, name, params, ..
+            } => {
+                let rty = types.resolve(ret, None)?;
+                let ptys: Vec<CType> = params
+                    .iter()
+                    .map(|(t, _)| types.resolve(t, None))
+                    .collect::<Result<_, _>>()?;
+                for p in &ptys {
+                    if matches!(p, CType::Struct(_) | CType::Array(..)) {
+                        return Err(LowerError(format!(
+                            "function `{name}`: struct/array parameters by value are not supported"
+                        )));
+                    }
+                }
+                let ir_params: Vec<Ty> = ptys.iter().map(ty_of).collect();
+                let fid = module.funcs.push(Function::new(
+                    name.clone(),
+                    ir_params,
+                    match rty {
+                        CType::Void => Ty::None,
+                        ref t => ty_of(t),
+                    },
+                ));
+                if funcs.insert(name.clone(), (fid, rty, ptys)).is_some() {
+                    return Err(LowerError(format!("duplicate function `{name}`")));
+                }
+            }
+        }
+    }
+
+    // Pass 2: function bodies.
+    for top in &prog.tops {
+        let Top::Func {
+            name, params, body, ..
+        } = top
+        else {
+            continue;
+        };
+        let (fid, _, ptys) = funcs[name].clone();
+        let mut func =
+            std::mem::replace(&mut module.funcs[fid], Function::new("", vec![], Ty::None));
+        {
+            let mut lw = FnLowerer {
+                types: &types,
+                globals: &globals,
+                funcs: &funcs,
+                opts,
+                f: &mut func,
+                cur: BlockId(0),
+                scopes: vec![HashMap::new()],
+                loop_stack: vec![],
+                labels: HashMap::new(),
+                defined_labels: HashSet::new(),
+                region_depth: 0,
+                label_region: HashMap::new(),
+                frame_names: HashSet::new(),
+                ret_ty: funcs[name].1.clone(),
+            };
+            lw.cur = lw.f.entry;
+            lw.collect_frame_names(body, params);
+            lw.lower_params(params, &ptys)?;
+            lw.stmt(body)?;
+            lw.finish()?;
+        }
+        module.funcs[fid] = func;
+    }
+    module.retype_calls();
+    Ok(Lowered { module, types })
+}
+
+/// Evaluate a constant initializer expression.
+fn const_expr(e: &Expr, ty: &CType) -> Result<u64, LowerError> {
+    Ok(match e {
+        Expr::IntLit(v) => {
+            if *ty == CType::Double {
+                (*v as f64).to_bits()
+            } else {
+                *v as u64
+            }
+        }
+        Expr::FloatLit(v) => {
+            if *ty == CType::Double {
+                v.to_bits()
+            } else {
+                *v as i64 as u64
+            }
+        }
+        Expr::Un(UnAop::Neg, inner) => {
+            let v = const_expr(inner, ty)?;
+            if *ty == CType::Double {
+                (-f64::from_bits(v)).to_bits()
+            } else {
+                (v as i64).wrapping_neg() as u64
+            }
+        }
+        _ => {
+            return Err(LowerError(
+                "global initializers must be literal constants".into(),
+            ))
+        }
+    })
+}
+
+fn ty_of(t: &CType) -> Ty {
+    match t {
+        CType::Double => Ty::Float,
+        CType::Void => Ty::None,
+        _ => Ty::Int,
+    }
+}
+
+fn mem_size(types: &TypeTable, t: &CType) -> Result<MemSize, LowerError> {
+    Ok(match types.size_of(t).map_err(LowerError::from)? {
+        1 => MemSize::B1,
+        2 => MemSize::B2,
+        4 => MemSize::B4,
+        8 => MemSize::B8,
+        n => {
+            return Err(LowerError(format!(
+                "cannot load/store {n}-byte object directly"
+            )))
+        }
+    })
+}
+
+#[derive(Clone)]
+struct LocalInfo {
+    var: VarId,
+    ty: CType,
+}
+
+/// An lvalue: either a renameable variable or a memory location.
+enum LValue {
+    Var(VarId, CType),
+    Mem {
+        addr: InstId,
+        ty: CType,
+        dynamic: bool,
+    },
+}
+
+struct LoopCtx {
+    break_to: BlockId,
+    continue_to: BlockId,
+}
+
+struct FnLowerer<'a> {
+    types: &'a TypeTable,
+    globals: &'a HashMap<String, (GlobalId, CType)>,
+    funcs: &'a HashMap<String, (FuncId, CType, Vec<CType>)>,
+    opts: &'a LowerOptions,
+    f: &'a mut Function,
+    cur: BlockId,
+    scopes: Vec<HashMap<String, LocalInfo>>,
+    loop_stack: Vec<LoopCtx>,
+    labels: HashMap<String, BlockId>,
+    defined_labels: HashSet<String>,
+    region_depth: u32,
+    label_region: HashMap<String, u32>,
+    frame_names: HashSet<String>,
+    ret_ty: CType,
+}
+
+impl FnLowerer<'_> {
+    // ---- plumbing ----
+
+    fn emit(&mut self, kind: InstKind) -> InstId {
+        self.f.append(self.cur, kind)
+    }
+
+    fn iconst(&mut self, v: i64) -> InstId {
+        self.emit(InstKind::Const(dyncomp_ir::Const::Int(v)))
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.f.add_block()
+    }
+
+    fn terminate(&mut self, t: Terminator) {
+        if matches!(self.f.blocks[self.cur].term, Terminator::Unreachable) {
+            self.f.blocks[self.cur].term = t;
+        }
+        // Otherwise the block already ended (e.g. code after return):
+        // subsequent code goes to a fresh unreachable block.
+    }
+
+    fn start_block(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    fn jump_to_new(&mut self) -> BlockId {
+        let b = self.new_block();
+        self.terminate(Terminator::Jump(b));
+        self.start_block(b);
+        b
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, LowerError> {
+        Err(LowerError(format!("in `{}`: {}", self.f.name, msg.into())))
+    }
+
+    // ---- setup ----
+
+    fn collect_frame_names(&mut self, body: &Stmt, params: &[(TypeName, String)]) {
+        fn walk_expr(e: &Expr, out: &mut HashSet<String>) {
+            match e {
+                Expr::AddrOf(inner) => {
+                    if let Expr::Ident(n) = inner.as_ref() {
+                        out.insert(n.clone());
+                    }
+                    walk_expr(inner, out);
+                }
+                Expr::Un(_, a) | Expr::Cast(_, a) | Expr::Deref { expr: a, .. } => {
+                    walk_expr(a, out)
+                }
+                Expr::Bin(_, a, b) => {
+                    walk_expr(a, out);
+                    walk_expr(b, out);
+                }
+                Expr::Assign { lhs, rhs, .. } => {
+                    walk_expr(lhs, out);
+                    walk_expr(rhs, out);
+                }
+                Expr::Call { args, .. } => args.iter().for_each(|a| walk_expr(a, out)),
+                Expr::Index { base, index, .. } => {
+                    walk_expr(base, out);
+                    walk_expr(index, out);
+                }
+                Expr::Member { base, .. } => walk_expr(base, out),
+                Expr::Cond(a, b, c) => {
+                    walk_expr(a, out);
+                    walk_expr(b, out);
+                    walk_expr(c, out);
+                }
+                Expr::PostIncDec { lhs, .. } | Expr::PreIncDec { lhs, .. } => walk_expr(lhs, out),
+                Expr::IntLit(_) | Expr::FloatLit(_) | Expr::Ident(_) | Expr::SizeOf(_) => {}
+            }
+        }
+        fn walk_stmt(s: &Stmt, out: &mut HashSet<String>) {
+            match s {
+                Stmt::Block(v) => v.iter().for_each(|s| walk_stmt(s, out)),
+                Stmt::Decl { init: Some(e), .. } => walk_expr(e, out),
+                Stmt::Expr(e) => walk_expr(e, out),
+                Stmt::If(c, t, e) => {
+                    walk_expr(c, out);
+                    walk_stmt(t, out);
+                    if let Some(e) = e {
+                        walk_stmt(e, out);
+                    }
+                }
+                Stmt::While(c, b) => {
+                    walk_expr(c, out);
+                    walk_stmt(b, out);
+                }
+                Stmt::DoWhile(b, c) => {
+                    walk_stmt(b, out);
+                    walk_expr(c, out);
+                }
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    ..
+                } => {
+                    if let Some(i) = init {
+                        walk_stmt(i, out);
+                    }
+                    if let Some(c) = cond {
+                        walk_expr(c, out);
+                    }
+                    if let Some(s) = step {
+                        walk_expr(s, out);
+                    }
+                    walk_stmt(body, out);
+                }
+                Stmt::Switch(e, items) => {
+                    walk_expr(e, out);
+                    for i in items {
+                        if let SwitchItem::Stmt(s) = i {
+                            walk_stmt(s, out);
+                        }
+                    }
+                }
+                Stmt::Return(Some(e)) => walk_expr(e, out),
+                Stmt::Label(_, s) => walk_stmt(s, out),
+                Stmt::DynamicRegion { body, .. } => walk_stmt(body, out),
+                _ => {}
+            }
+        }
+        let mut out = HashSet::new();
+        walk_stmt(body, &mut out);
+        let _ = params;
+        self.frame_names = out;
+    }
+
+    fn lower_params(
+        &mut self,
+        params: &[(TypeName, String)],
+        ptys: &[CType],
+    ) -> Result<(), LowerError> {
+        for (i, ((_, name), cty)) in params.iter().zip(ptys).enumerate() {
+            if self.frame_names.contains(name) {
+                return self.err(format!("cannot take the address of parameter `{name}`"));
+            }
+            let var = self.f.vars.push(VarInfo {
+                name: name.clone(),
+                ty: ty_of(cty),
+                frame_size: None,
+            });
+            let p = self.emit(InstKind::Param(i as u32));
+            self.emit(InstKind::SetVar(var, p));
+            self.scopes.last_mut().unwrap().insert(
+                name.clone(),
+                LocalInfo {
+                    var,
+                    ty: cty.clone(),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), LowerError> {
+        // Implicit return at the end of the function.
+        if matches!(self.f.blocks[self.cur].term, Terminator::Unreachable) {
+            let t = match self.ret_ty {
+                CType::Void => Terminator::Return(None),
+                CType::Double => {
+                    let z = self.emit(InstKind::Const(dyncomp_ir::Const::Float(0.0)));
+                    Terminator::Return(Some(z))
+                }
+                _ => {
+                    let z = self.iconst(0);
+                    Terminator::Return(Some(z))
+                }
+            };
+            self.terminate(t);
+        }
+        for l in self.labels.keys() {
+            if !self.defined_labels.contains(l) {
+                return Err(LowerError(format!("undefined label `{l}`")));
+            }
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<LocalInfo> {
+        for s in self.scopes.iter().rev() {
+            if let Some(i) = s.get(name) {
+                return Some(i.clone());
+            }
+        }
+        None
+    }
+
+    // ---- statements ----
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LowerError> {
+        match s {
+            Stmt::Block(v) => {
+                self.scopes.push(HashMap::new());
+                for s in v {
+                    self.stmt(s)?;
+                }
+                self.scopes.pop();
+            }
+            Stmt::Decl {
+                ty,
+                name,
+                array,
+                init,
+            } => {
+                let cty = self.types.resolve(ty, *array)?;
+                let is_frame = array.is_some()
+                    || matches!(cty, CType::Struct(_) | CType::Array(..))
+                    || self.frame_names.contains(name);
+                let frame_size = if is_frame {
+                    Some(self.types.size_of(&cty)?)
+                } else {
+                    None
+                };
+                let var = self.f.vars.push(VarInfo {
+                    name: name.clone(),
+                    ty: ty_of(&cty),
+                    frame_size,
+                });
+                self.scopes.last_mut().unwrap().insert(
+                    name.clone(),
+                    LocalInfo {
+                        var,
+                        ty: cty.clone(),
+                    },
+                );
+                if let Some(e) = init {
+                    if matches!(cty, CType::Struct(_) | CType::Array(..)) {
+                        return self.err(format!(
+                            "initializer on aggregate `{name}` is not supported"
+                        ));
+                    }
+                    let (v, vty) = self.expr(e)?;
+                    let v = self.coerce(v, &vty, &cty)?;
+                    if is_frame {
+                        // Address-taken scalar: initialize through memory.
+                        let addr = self.emit(InstKind::FrameAddr(var));
+                        let size = mem_size(self.types, &cty)?;
+                        let float = cty == CType::Double;
+                        self.emit(InstKind::Store {
+                            size,
+                            addr,
+                            val: v,
+                            float,
+                        });
+                    } else {
+                        self.emit(InstKind::SetVar(var, v));
+                    }
+                }
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+            }
+            Stmt::If(c, t, e) => {
+                let cond = self.cond_value(c)?;
+                let bt = self.new_block();
+                let be = self.new_block();
+                let join = self.new_block();
+                self.terminate(Terminator::Branch {
+                    cond,
+                    then_b: bt,
+                    else_b: be,
+                });
+                self.start_block(bt);
+                self.stmt(t)?;
+                self.terminate(Terminator::Jump(join));
+                self.start_block(be);
+                if let Some(e) = e {
+                    self.stmt(e)?;
+                }
+                self.terminate(Terminator::Jump(join));
+                self.start_block(join);
+            }
+            Stmt::While(c, body) => {
+                let header = self.jump_to_new();
+                let bbody = self.new_block();
+                let exit = self.new_block();
+                let cond = self.cond_value(c)?;
+                self.terminate(Terminator::Branch {
+                    cond,
+                    then_b: bbody,
+                    else_b: exit,
+                });
+                self.loop_stack.push(LoopCtx {
+                    break_to: exit,
+                    continue_to: header,
+                });
+                self.start_block(bbody);
+                self.stmt(body)?;
+                self.terminate(Terminator::Jump(header));
+                self.loop_stack.pop();
+                self.start_block(exit);
+            }
+            Stmt::DoWhile(body, c) => {
+                let bbody = self.jump_to_new();
+                let check = self.new_block();
+                let exit = self.new_block();
+                self.loop_stack.push(LoopCtx {
+                    break_to: exit,
+                    continue_to: check,
+                });
+                self.stmt(body)?;
+                self.terminate(Terminator::Jump(check));
+                self.loop_stack.pop();
+                self.start_block(check);
+                let cond = self.cond_value(c)?;
+                self.terminate(Terminator::Branch {
+                    cond,
+                    then_b: bbody,
+                    else_b: exit,
+                });
+                self.start_block(exit);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                unrolled,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let header = self.jump_to_new();
+                if *unrolled && self.opts.honor_annotations {
+                    if cond.is_none() {
+                        return self.err("unrolled for-loop requires a condition");
+                    }
+                    if self.region_depth == 0 {
+                        return self.err("unrolled loop outside a dynamicRegion");
+                    }
+                    self.f.blocks[header].unrolled_header = true;
+                }
+                let bbody = self.new_block();
+                let bstep = self.new_block();
+                let exit = self.new_block();
+                match cond {
+                    Some(c) => {
+                        let cv = self.cond_value(c)?;
+                        self.terminate(Terminator::Branch {
+                            cond: cv,
+                            then_b: bbody,
+                            else_b: exit,
+                        });
+                    }
+                    None => self.terminate(Terminator::Jump(bbody)),
+                }
+                self.loop_stack.push(LoopCtx {
+                    break_to: exit,
+                    continue_to: bstep,
+                });
+                self.start_block(bbody);
+                self.stmt(body)?;
+                self.terminate(Terminator::Jump(bstep));
+                self.loop_stack.pop();
+                self.start_block(bstep);
+                if let Some(s) = step {
+                    self.expr(s)?;
+                }
+                self.terminate(Terminator::Jump(header));
+                self.start_block(exit);
+                self.scopes.pop();
+            }
+            Stmt::Switch(scrut, items) => {
+                let (v, vty) = self.expr(scrut)?;
+                if !vty.is_integer() {
+                    return self.err("switch scrutinee must be an integer");
+                }
+                // One block per label position; statements flow between.
+                let exit = self.new_block();
+                let mut case_blocks: Vec<(Option<i64>, BlockId)> = Vec::new();
+                for item in items {
+                    if let SwitchItem::Label(l) = item {
+                        case_blocks.push((*l, self.new_block()));
+                    }
+                }
+                let default = case_blocks
+                    .iter()
+                    .find(|(l, _)| l.is_none())
+                    .map(|(_, b)| *b)
+                    .unwrap_or(exit);
+                let cases: Vec<(i64, BlockId)> = case_blocks
+                    .iter()
+                    .filter_map(|(l, b)| l.map(|v| (v, *b)))
+                    .collect();
+                self.terminate(Terminator::Switch {
+                    val: v,
+                    cases,
+                    default,
+                });
+                self.loop_stack.push(LoopCtx {
+                    break_to: exit,
+                    continue_to: self
+                        .loop_stack
+                        .last()
+                        .map(|l| l.continue_to)
+                        .unwrap_or(exit),
+                });
+                let mut next_case = 0usize;
+                // Code before the first label is unreachable; start there
+                // anyway in a scratch block.
+                let scratch = self.new_block();
+                self.start_block(scratch);
+                for item in items {
+                    match item {
+                        SwitchItem::Label(_) => {
+                            let b = case_blocks[next_case].1;
+                            next_case += 1;
+                            self.terminate(Terminator::Jump(b)); // fall-through
+                            self.start_block(b);
+                        }
+                        SwitchItem::Stmt(s) => self.stmt(s)?,
+                    }
+                }
+                self.terminate(Terminator::Jump(exit));
+                self.loop_stack.pop();
+                self.start_block(exit);
+            }
+            Stmt::Break => {
+                let Some(l) = self.loop_stack.last() else {
+                    return self.err("break outside loop/switch");
+                };
+                let t = l.break_to;
+                self.terminate(Terminator::Jump(t));
+                let dead = self.new_block();
+                self.start_block(dead);
+            }
+            Stmt::Continue => {
+                let Some(l) = self.loop_stack.last() else {
+                    return self.err("continue outside loop");
+                };
+                let t = l.continue_to;
+                self.terminate(Terminator::Jump(t));
+                let dead = self.new_block();
+                self.start_block(dead);
+            }
+            Stmt::Return(e) => {
+                let t = match e {
+                    Some(e) => {
+                        let (v, vty) = self.expr(e)?;
+                        let rt = self.ret_ty.clone();
+                        let v = self.coerce(v, &vty, &rt)?;
+                        Terminator::Return(Some(v))
+                    }
+                    None => Terminator::Return(None),
+                };
+                self.terminate(t);
+                let dead = self.new_block();
+                self.start_block(dead);
+            }
+            Stmt::Goto(l) => {
+                let depth = self.region_depth;
+                if let Some(&d) = self.label_region.get(l) {
+                    if d != depth {
+                        return self.err(format!("goto `{l}` crosses a dynamicRegion boundary"));
+                    }
+                } else {
+                    self.label_region.insert(l.clone(), depth);
+                }
+                let b = *self
+                    .labels
+                    .entry(l.clone())
+                    .or_insert_with(|| self.f.blocks.push(dyncomp_ir::Block::new()));
+                self.terminate(Terminator::Jump(b));
+                let dead = self.new_block();
+                self.start_block(dead);
+            }
+            Stmt::Label(l, inner) => {
+                if self.defined_labels.contains(l) {
+                    return self.err(format!("duplicate label `{l}`"));
+                }
+                let depth = self.region_depth;
+                if let Some(&d) = self.label_region.get(l) {
+                    if d != depth {
+                        return self.err(format!(
+                            "label `{l}` targeted from across a dynamicRegion boundary"
+                        ));
+                    }
+                } else {
+                    self.label_region.insert(l.clone(), depth);
+                }
+                self.defined_labels.insert(l.clone());
+                let b = *self
+                    .labels
+                    .entry(l.clone())
+                    .or_insert_with(|| self.f.blocks.push(dyncomp_ir::Block::new()));
+                self.terminate(Terminator::Jump(b));
+                self.start_block(b);
+                self.stmt(inner)?;
+            }
+            Stmt::DynamicRegion { consts, keys, body } => {
+                if !self.opts.honor_annotations {
+                    // Static baseline: lower as a plain block.
+                    self.stmt(body)?;
+                    return Ok(());
+                }
+                if self.region_depth > 0 {
+                    return self.err("nested dynamicRegions are not supported");
+                }
+                // Region roots: values of annotated variables at entry.
+                let mut root_ids = Vec::new();
+                for name in consts
+                    .iter()
+                    .chain(keys.iter().filter(|k| !consts.contains(k)))
+                {
+                    let Some(info) = self.lookup(name) else {
+                        return self.err(format!("annotated variable `{name}` is not in scope"));
+                    };
+                    if self.f.vars[info.var].frame_size.is_some() {
+                        return self.err(format!(
+                            "annotated variable `{name}` is frame-allocated; only scalar \
+                             variables can be run-time constants"
+                        ));
+                    }
+                    root_ids.push((name.clone(), self.emit(InstKind::GetVar(info.var))));
+                }
+                let key_ids: Vec<InstId> = keys
+                    .iter()
+                    .map(|k| {
+                        root_ids
+                            .iter()
+                            .find(|(n, _)| n == k)
+                            .map(|(_, v)| *v)
+                            .unwrap()
+                    })
+                    .collect();
+                let entry = self.new_block();
+                self.terminate(Terminator::Jump(entry));
+                self.start_block(entry);
+                let first_region_block = entry;
+                self.region_depth = 1;
+                self.stmt(body)?;
+                self.region_depth = 0;
+                let exit = self.new_block();
+                self.terminate(Terminator::Jump(exit));
+                // All blocks created from `entry` up to (not including)
+                // `exit` belong to the region. Cross-boundary gotos are
+                // rejected above, so the index range is exact.
+                let mut blocks = IdSet::with_domain(self.f.blocks.len());
+                for i in first_region_block.index()..exit.index() {
+                    blocks.insert(BlockId::from_index(i));
+                }
+                self.f.regions.push(DynRegion {
+                    entry,
+                    blocks,
+                    const_roots: root_ids.iter().map(|(_, v)| *v).collect(),
+                    key_roots: key_ids,
+                });
+                self.start_block(exit);
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower an expression used as a branch condition to a truthy value.
+    fn cond_value(&mut self, e: &Expr) -> Result<InstId, LowerError> {
+        let (v, ty) = self.expr(e)?;
+        self.truthy(v, &ty)
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self, e: &Expr) -> Result<(InstId, CType), LowerError> {
+        match e {
+            Expr::IntLit(v) => Ok((self.iconst(*v), CType::int())),
+            Expr::FloatLit(v) => Ok((
+                self.emit(InstKind::Const(dyncomp_ir::Const::Float(*v))),
+                CType::Double,
+            )),
+            Expr::SizeOf(t) => {
+                let ty = self.types.resolve(t, None)?;
+                let s = self.types.size_of(&ty)?;
+                Ok((self.iconst(s as i64), CType::unsigned()))
+            }
+            Expr::Ident(_) | Expr::Deref { .. } | Expr::Index { .. } | Expr::Member { .. } => {
+                let lv = self.lvalue(e)?;
+                self.load_lvalue(lv)
+            }
+            Expr::AddrOf(inner) => {
+                let lv = self.lvalue(inner)?;
+                match lv {
+                    LValue::Mem { addr, ty, .. } => Ok((addr, CType::Ptr(Box::new(ty)))),
+                    LValue::Var(v, ty) => {
+                        if self.f.vars[v].frame_size.is_some() {
+                            Ok((self.emit(InstKind::FrameAddr(v)), CType::Ptr(Box::new(ty))))
+                        } else {
+                            self.err("cannot take the address of a register variable")
+                        }
+                    }
+                }
+            }
+            Expr::Un(op, a) => {
+                let (v, ty) = self.expr(a)?;
+                match op {
+                    UnAop::Neg => {
+                        if ty == CType::Double {
+                            Ok((self.emit(InstKind::Un(UnOp::FNeg, v)), CType::Double))
+                        } else {
+                            Ok((self.emit(InstKind::Un(UnOp::Neg, v)), promote(&ty)))
+                        }
+                    }
+                    UnAop::BitNot => {
+                        if !ty.is_integer() {
+                            return self.err("~ requires an integer");
+                        }
+                        Ok((self.emit(InstKind::Un(UnOp::Not, v)), promote(&ty)))
+                    }
+                    UnAop::LogNot => {
+                        let c = self.truthy(v, &ty)?;
+                        Ok((self.emit(InstKind::Un(UnOp::LogNot, c)), CType::int()))
+                    }
+                }
+            }
+            Expr::Cast(tn, inner) => {
+                let target = self.types.resolve(tn, None)?;
+                let (v, ty) = self.expr(inner)?;
+                let v = self.coerce(v, &ty, &target)?;
+                Ok((v, target))
+            }
+            Expr::Bin(BinAop::LogAnd, a, b) => self.short_circuit(a, b, true),
+            Expr::Bin(BinAop::LogOr, a, b) => self.short_circuit(a, b, false),
+            Expr::Bin(op, a, b) => {
+                let (va, ta) = self.expr(a)?;
+                let (vb, tb) = self.expr(b)?;
+                self.binary(*op, va, ta, vb, tb)
+            }
+            Expr::Assign { op, lhs, rhs } => {
+                let lv = self.lvalue(lhs)?;
+                let lty = lv_type(&lv).clone();
+                let (rv, rty) = self.expr(rhs)?;
+                let value = match op {
+                    None => self.coerce(rv, &rty, &lty)?,
+                    Some(bop) => {
+                        let (cur, cty) = self.load_lvalue_ref(&lv)?;
+                        let (res, resty) = self.binary(*bop, cur, cty, rv, rty)?;
+                        self.coerce(res, &resty, &lty)?
+                    }
+                };
+                self.store_lvalue(&lv, value)?;
+                Ok((value, lty))
+            }
+            Expr::Call { name, args } => self.call(name, args),
+            Expr::Cond(c, t, e) => {
+                let cond = self.cond_value(c)?;
+                let bt = self.new_block();
+                let be = self.new_block();
+                let join = self.new_block();
+                let tmp = self.f.vars.push(VarInfo {
+                    name: "$cond".into(),
+                    ty: Ty::Int, // fixed up below if float
+                    frame_size: None,
+                });
+                self.terminate(Terminator::Branch {
+                    cond,
+                    then_b: bt,
+                    else_b: be,
+                });
+                self.start_block(bt);
+                let (tv, tty) = self.expr(t)?;
+                self.emit(InstKind::SetVar(tmp, tv));
+                self.terminate(Terminator::Jump(join));
+                self.start_block(be);
+                let (ev, ety) = self.expr(e)?;
+                let ev = self.coerce(ev, &ety, &tty)?;
+                self.emit(InstKind::SetVar(tmp, ev));
+                self.terminate(Terminator::Jump(join));
+                self.start_block(join);
+                if tty == CType::Double {
+                    self.f.vars[tmp].ty = Ty::Float;
+                }
+                Ok((self.emit(InstKind::GetVar(tmp)), tty))
+            }
+            Expr::PostIncDec { lhs, inc } => {
+                let lv = self.lvalue(lhs)?;
+                let (old, ty) = self.load_lvalue_ref(&lv)?;
+                let updated = self.inc_dec(old, &ty, *inc)?;
+                self.store_lvalue(&lv, updated)?;
+                Ok((old, ty))
+            }
+            Expr::PreIncDec { lhs, inc } => {
+                let lv = self.lvalue(lhs)?;
+                let (old, ty) = self.load_lvalue_ref(&lv)?;
+                let updated = self.inc_dec(old, &ty, *inc)?;
+                self.store_lvalue(&lv, updated)?;
+                Ok((updated, ty))
+            }
+        }
+    }
+
+    fn inc_dec(&mut self, v: InstId, ty: &CType, inc: bool) -> Result<InstId, LowerError> {
+        let step: i64 = match ty {
+            CType::Ptr(p) => self.types.size_of(p)? as i64,
+            CType::Double => {
+                let one = self.emit(InstKind::Const(dyncomp_ir::Const::Float(1.0)));
+                let op = if inc { BinOp::FAdd } else { BinOp::FSub };
+                return Ok(self.emit(InstKind::Bin(op, v, one)));
+            }
+            _ => 1,
+        };
+        let c = self.iconst(step);
+        let op = if inc { BinOp::Add } else { BinOp::Sub };
+        Ok(self.emit(InstKind::Bin(op, v, c)))
+    }
+
+    fn truthy(&mut self, v: InstId, ty: &CType) -> Result<InstId, LowerError> {
+        if *ty == CType::Double {
+            let z = self.emit(InstKind::Const(dyncomp_ir::Const::Float(0.0)));
+            let eq = self.emit(InstKind::Bin(BinOp::FCmpEq, v, z));
+            Ok(self.emit(InstKind::Un(UnOp::LogNot, eq)))
+        } else {
+            Ok(v)
+        }
+    }
+
+    fn short_circuit(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        is_and: bool,
+    ) -> Result<(InstId, CType), LowerError> {
+        let tmp = self.f.vars.push(VarInfo {
+            name: "$sc".into(),
+            ty: Ty::Int,
+            frame_size: None,
+        });
+        let (va, ta) = self.expr(a)?;
+        let ca = self.truthy(va, &ta)?;
+        let na = self.emit(InstKind::Un(UnOp::LogNot, ca));
+        let nna = self.emit(InstKind::Un(UnOp::LogNot, na)); // normalize to 0/1
+        self.emit(InstKind::SetVar(tmp, nna));
+        let evalb = self.new_block();
+        let join = self.new_block();
+        if is_and {
+            self.terminate(Terminator::Branch {
+                cond: nna,
+                then_b: evalb,
+                else_b: join,
+            });
+        } else {
+            self.terminate(Terminator::Branch {
+                cond: nna,
+                then_b: join,
+                else_b: evalb,
+            });
+        }
+        self.start_block(evalb);
+        let (vb, tb) = self.expr(b)?;
+        let cb = self.truthy(vb, &tb)?;
+        let nb = self.emit(InstKind::Un(UnOp::LogNot, cb));
+        let nnb = self.emit(InstKind::Un(UnOp::LogNot, nb));
+        self.emit(InstKind::SetVar(tmp, nnb));
+        self.terminate(Terminator::Jump(join));
+        self.start_block(join);
+        Ok((self.emit(InstKind::GetVar(tmp)), CType::int()))
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr]) -> Result<(InstId, CType), LowerError> {
+        // Intrinsics first.
+        let intrinsic = match name {
+            "alloc" => Some(Intrinsic::Alloc),
+            "max" => Some(Intrinsic::Max),
+            "min" => Some(Intrinsic::Min),
+            "abs" => Some(Intrinsic::Abs),
+            "sqrt" => Some(Intrinsic::Sqrt),
+            _ => None,
+        };
+        if let Some(which) = intrinsic {
+            if args.len() != which.arity() {
+                return self.err(format!("`{name}` takes {} arguments", which.arity()));
+            }
+            let mut vals = Vec::new();
+            for a in args {
+                let (v, ty) = self.expr(a)?;
+                let want = if which == Intrinsic::Sqrt {
+                    CType::Double
+                } else {
+                    CType::int()
+                };
+                vals.push(self.coerce(v, &ty, &want)?);
+            }
+            let ret = match which {
+                Intrinsic::Sqrt => CType::Double,
+                Intrinsic::Alloc => CType::Ptr(Box::new(CType::Void)),
+                _ => CType::int(),
+            };
+            return Ok((
+                self.emit(InstKind::CallIntrinsic { which, args: vals }),
+                ret,
+            ));
+        }
+        let Some((fid, rty, ptys)) = self.funcs.get(name).cloned() else {
+            return self.err(format!("call to undefined function `{name}`"));
+        };
+        if args.len() != ptys.len() {
+            return self.err(format!(
+                "`{name}` expects {} arguments, got {}",
+                ptys.len(),
+                args.len()
+            ));
+        }
+        let mut vals = Vec::new();
+        for (a, pty) in args.iter().zip(&ptys) {
+            let (v, ty) = self.expr(a)?;
+            vals.push(self.coerce(v, &ty, pty)?);
+        }
+        Ok((
+            self.emit(InstKind::Call {
+                callee: fid,
+                args: vals,
+            }),
+            rty,
+        ))
+    }
+
+    fn binary(
+        &mut self,
+        op: BinAop,
+        va: InstId,
+        ta: CType,
+        vb: InstId,
+        tb: CType,
+    ) -> Result<(InstId, CType), LowerError> {
+        use BinAop::*;
+        // Pointer arithmetic.
+        let ta = ta.decay();
+        let tb = tb.decay();
+        if let (Add | Sub, CType::Ptr(p), t) = (op, &ta, &tb) {
+            if t.is_integer() {
+                let sz = self.types.size_of(p)?;
+                let szc = self.iconst(sz as i64);
+                let scaled = self.emit(InstKind::Bin(BinOp::Mul, vb, szc));
+                let o = if op == Add { BinOp::Add } else { BinOp::Sub };
+                return Ok((self.emit(InstKind::Bin(o, va, scaled)), ta.clone()));
+            }
+        }
+        if let (Add, t, CType::Ptr(p)) = (op, &ta, &tb) {
+            if t.is_integer() {
+                let sz = self.types.size_of(p)?;
+                let szc = self.iconst(sz as i64);
+                let scaled = self.emit(InstKind::Bin(BinOp::Mul, va, szc));
+                return Ok((self.emit(InstKind::Bin(BinOp::Add, vb, scaled)), tb.clone()));
+            }
+        }
+        if let (Sub, CType::Ptr(p), CType::Ptr(_)) = (op, &ta, &tb) {
+            let sz = self.types.size_of(p)?;
+            let diff = self.emit(InstKind::Bin(BinOp::Sub, va, vb));
+            let szc = self.iconst(sz as i64);
+            return Ok((
+                self.emit(InstKind::Bin(BinOp::DivS, diff, szc)),
+                CType::int(),
+            ));
+        }
+
+        // Float arithmetic / comparison.
+        if ta == CType::Double || tb == CType::Double {
+            let fa = self.coerce(va, &ta, &CType::Double)?;
+            let fb = self.coerce(vb, &tb, &CType::Double)?;
+            let (o, swap, is_cmp) = match op {
+                Add => (BinOp::FAdd, false, false),
+                Sub => (BinOp::FSub, false, false),
+                Mul => (BinOp::FMul, false, false),
+                Div => (BinOp::FDiv, false, false),
+                Eq => (BinOp::FCmpEq, false, true),
+                Ne => (BinOp::FCmpEq, false, true), // negated below
+                Lt => (BinOp::FCmpLt, false, true),
+                Le => (BinOp::FCmpLe, false, true),
+                Gt => (BinOp::FCmpLt, true, true),
+                Ge => (BinOp::FCmpLe, true, true),
+                _ => return self.err("invalid float operation"),
+            };
+            let (x, y) = if swap { (fb, fa) } else { (fa, fb) };
+            let mut r = self.emit(InstKind::Bin(o, x, y));
+            if op == Ne {
+                r = self.emit(InstKind::Un(UnOp::LogNot, r));
+            }
+            return Ok((r, if is_cmp { CType::int() } else { CType::Double }));
+        }
+
+        // Integer / pointer.
+        let unsigned = !ta.is_signed() && ta.is_integer()
+            || !tb.is_signed() && tb.is_integer()
+            || ta.is_pointer_like()
+            || tb.is_pointer_like();
+        let (o, swap) = match op {
+            Add => (BinOp::Add, false),
+            Sub => (BinOp::Sub, false),
+            Mul => (BinOp::Mul, false),
+            Div => (if unsigned { BinOp::DivU } else { BinOp::DivS }, false),
+            Rem => (if unsigned { BinOp::RemU } else { BinOp::RemS }, false),
+            BitAnd => (BinOp::And, false),
+            BitOr => (BinOp::Or, false),
+            BitXor => (BinOp::Xor, false),
+            Shl => (BinOp::Shl, false),
+            Shr => (
+                if ta.is_signed() {
+                    BinOp::ShrS
+                } else {
+                    BinOp::ShrU
+                },
+                false,
+            ),
+            Eq => (BinOp::CmpEq, false),
+            Ne => (BinOp::CmpNe, false),
+            Lt => (
+                if unsigned {
+                    BinOp::CmpLtU
+                } else {
+                    BinOp::CmpLtS
+                },
+                false,
+            ),
+            Le => (
+                if unsigned {
+                    BinOp::CmpLeU
+                } else {
+                    BinOp::CmpLeS
+                },
+                false,
+            ),
+            Gt => (
+                if unsigned {
+                    BinOp::CmpLtU
+                } else {
+                    BinOp::CmpLtS
+                },
+                true,
+            ),
+            Ge => (
+                if unsigned {
+                    BinOp::CmpLeU
+                } else {
+                    BinOp::CmpLeS
+                },
+                true,
+            ),
+            LogAnd | LogOr => unreachable!("short-circuit handled earlier"),
+        };
+        let (x, y) = if swap { (vb, va) } else { (va, vb) };
+        let is_cmp = matches!(op, Eq | Ne | Lt | Le | Gt | Ge);
+        let rty = if is_cmp {
+            CType::int()
+        } else if ta.is_pointer_like() {
+            ta.clone()
+        } else if unsigned {
+            CType::unsigned()
+        } else {
+            promote(&ta)
+        };
+        Ok((self.emit(InstKind::Bin(o, x, y)), rty))
+    }
+
+    /// Coerce `v: from` to type `to`.
+    fn coerce(&mut self, v: InstId, from: &CType, to: &CType) -> Result<InstId, LowerError> {
+        let from = from.decay();
+        match (&from, to) {
+            (CType::Double, CType::Double) => Ok(v),
+            (CType::Double, t) if t.is_integer() || t.is_pointer_like() => {
+                Ok(self.emit(InstKind::Un(UnOp::FloatToInt, v)))
+            }
+            (f, CType::Double) if f.is_integer() || f.is_pointer_like() => {
+                Ok(self.emit(InstKind::Un(UnOp::IntToFloat, v)))
+            }
+            (_, CType::Int { size, signed }) if *size < 8 => {
+                let op = if *signed {
+                    UnOp::Sext(size * 8)
+                } else {
+                    UnOp::Zext(size * 8)
+                };
+                Ok(self.emit(InstKind::Un(op, v)))
+            }
+            _ => Ok(v), // same-width int/pointer conversions are free
+        }
+    }
+
+    // ---- lvalues ----
+
+    fn lvalue(&mut self, e: &Expr) -> Result<LValue, LowerError> {
+        match e {
+            Expr::Ident(name) => {
+                if let Some(info) = self.lookup(name) {
+                    if self.f.vars[info.var].frame_size.is_some() {
+                        let addr = self.emit(InstKind::FrameAddr(info.var));
+                        return Ok(LValue::Mem {
+                            addr,
+                            ty: info.ty,
+                            dynamic: false,
+                        });
+                    }
+                    return Ok(LValue::Var(info.var, info.ty));
+                }
+                if let Some((gid, gty)) = self.globals.get(name).cloned() {
+                    let addr = self.emit(InstKind::GlobalAddr(gid));
+                    return Ok(LValue::Mem {
+                        addr,
+                        ty: gty,
+                        dynamic: false,
+                    });
+                }
+                self.err(format!("unknown identifier `{name}`"))
+            }
+            Expr::Deref { expr, dynamic } => {
+                let (v, ty) = self.expr(expr)?;
+                let Some(p) = ty.decay().pointee().cloned() else {
+                    return self.err(format!("cannot dereference non-pointer ({ty})"));
+                };
+                Ok(LValue::Mem {
+                    addr: v,
+                    ty: p,
+                    dynamic: *dynamic && self.opts.honor_annotations,
+                })
+            }
+            Expr::Index {
+                base,
+                index,
+                dynamic,
+            } => {
+                let (bv, bty) = self.expr_or_array_addr(base)?;
+                let Some(elem) = bty.decay().pointee().cloned() else {
+                    return self.err(format!("cannot index non-pointer ({bty})"));
+                };
+                let (iv, _) = self.expr(index)?;
+                let sz = self.types.size_of(&elem)?;
+                let szc = self.iconst(sz as i64);
+                let scaled = self.emit(InstKind::Bin(BinOp::Mul, iv, szc));
+                let addr = self.emit(InstKind::Bin(BinOp::Add, bv, scaled));
+                Ok(LValue::Mem {
+                    addr,
+                    ty: elem,
+                    dynamic: *dynamic && self.opts.honor_annotations,
+                })
+            }
+            Expr::Member {
+                base,
+                field,
+                arrow,
+                dynamic,
+            } => {
+                let (base_addr, sty) = if *arrow {
+                    let (v, ty) = self.expr(base)?;
+                    let Some(p) = ty.decay().pointee().cloned() else {
+                        return self.err(format!("-> on non-pointer ({ty})"));
+                    };
+                    (v, p)
+                } else {
+                    match self.lvalue(base)? {
+                        LValue::Mem { addr, ty, .. } => (addr, ty),
+                        LValue::Var(..) => return self.err("member access on a register variable"),
+                    }
+                };
+                let (off, fty) = self.types.field(&sty, field)?;
+                let offc = self.iconst(off as i64);
+                let addr = self.emit(InstKind::Bin(BinOp::Add, base_addr, offc));
+                Ok(LValue::Mem {
+                    addr,
+                    ty: fty,
+                    dynamic: *dynamic && self.opts.honor_annotations,
+                })
+            }
+            _ => self.err("expression is not an lvalue"),
+        }
+    }
+
+    /// Evaluate an expression, but yield the *address* for array-typed
+    /// lvalues (array-to-pointer decay).
+    fn expr_or_array_addr(&mut self, e: &Expr) -> Result<(InstId, CType), LowerError> {
+        // Only lvalue expressions can have array type.
+        if matches!(
+            e,
+            Expr::Ident(_) | Expr::Deref { .. } | Expr::Index { .. } | Expr::Member { .. }
+        ) {
+            let lv = self.lvalue(e)?;
+            if let LValue::Mem {
+                addr,
+                ty: CType::Array(elem, _),
+                ..
+            } = &lv
+            {
+                return Ok((*addr, CType::Ptr(elem.clone())));
+            }
+            return self.load_lvalue(lv);
+        }
+        self.expr(e)
+    }
+
+    fn load_lvalue(&mut self, lv: LValue) -> Result<(InstId, CType), LowerError> {
+        let (v, t) = self.load_lvalue_ref(&lv)?;
+        Ok((v, t))
+    }
+
+    fn load_lvalue_ref(&mut self, lv: &LValue) -> Result<(InstId, CType), LowerError> {
+        match lv {
+            LValue::Var(v, ty) => Ok((self.emit(InstKind::GetVar(*v)), ty.clone())),
+            LValue::Mem { addr, ty, dynamic } => match ty {
+                CType::Array(elem, _) => {
+                    // Decay: the "value" of an array lvalue is its address.
+                    Ok((*addr, CType::Ptr(elem.clone())))
+                }
+                CType::Struct(_) => self.err("cannot load a whole struct"),
+                _ => {
+                    let size = mem_size(self.types, ty)?;
+                    let sign = if ty.is_signed() {
+                        Signedness::Signed
+                    } else {
+                        Signedness::Unsigned
+                    };
+                    let float = *ty == CType::Double;
+                    let v = self.emit(InstKind::Load {
+                        size,
+                        sign,
+                        addr: *addr,
+                        dynamic: *dynamic,
+                        float,
+                    });
+                    Ok((v, ty.clone()))
+                }
+            },
+        }
+    }
+
+    fn store_lvalue(&mut self, lv: &LValue, value: InstId) -> Result<(), LowerError> {
+        match lv {
+            LValue::Var(v, ty) => {
+                // Maintain the invariant that narrow variables hold their
+                // extended value.
+                let value = match ty {
+                    CType::Int { size, signed } if *size < 8 => {
+                        let op = if *signed {
+                            UnOp::Sext(size * 8)
+                        } else {
+                            UnOp::Zext(size * 8)
+                        };
+                        self.emit(InstKind::Un(op, value))
+                    }
+                    _ => value,
+                };
+                self.emit(InstKind::SetVar(*v, value));
+                Ok(())
+            }
+            LValue::Mem { addr, ty, .. } => {
+                if matches!(ty, CType::Struct(_) | CType::Array(..)) {
+                    return self.err("cannot assign whole structs/arrays");
+                }
+                let size = mem_size(self.types, ty)?;
+                let float = *ty == CType::Double;
+                self.emit(InstKind::Store {
+                    size,
+                    addr: *addr,
+                    val: value,
+                    float,
+                });
+                Ok(())
+            }
+        }
+    }
+}
+
+fn lv_type(lv: &LValue) -> &CType {
+    match lv {
+        LValue::Var(_, t) => t,
+        LValue::Mem { ty, .. } => ty,
+    }
+}
+
+/// Integer promotion: narrow integers compute as full-width `int`.
+fn promote(t: &CType) -> CType {
+    match t {
+        CType::Int { size, signed } if *size < 8 => CType::Int {
+            size: 8,
+            signed: *signed,
+        },
+        other => other.clone(),
+    }
+}

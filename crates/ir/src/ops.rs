@@ -1,0 +1,553 @@
+//! Operators and compile-time constant values, with evaluation semantics.
+//!
+//! The same evaluator is used by the constant folder, the reference IR
+//! interpreter, and (indirectly) the set-up code generator, so operator
+//! semantics are defined exactly once.
+//!
+//! The paper's run-time-constants analysis (§3.1) classifies an operation's
+//! result as a run-time constant only when the operator is *idempotent,
+//! side-effect-free and non-trapping*; [`BinOp::is_specializable`] encodes
+//! that predicate (notably, division and remainder are excluded because they
+//! may trap).
+
+use std::fmt;
+
+/// A compile-time-known value.
+///
+/// All integers are carried as 64-bit two's-complement words (the width of
+/// the simalpha target); narrower source types are represented by their
+/// sign- or zero-extended values. Floats are IEEE-754 doubles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Const {
+    /// An integer (or pointer/boolean) constant.
+    Int(i64),
+    /// A floating-point constant.
+    Float(f64),
+}
+
+impl Const {
+    /// The value as a raw 64-bit word (floats are bit-cast).
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Const::Int(v) => v as u64,
+            Const::Float(v) => v.to_bits(),
+        }
+    }
+
+    /// The integer value, if this is an [`Const::Int`].
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Const::Int(v) => Some(v),
+            Const::Float(_) => None,
+        }
+    }
+
+    /// The float value, if this is a [`Const::Float`].
+    pub fn as_float(self) -> Option<f64> {
+        match self {
+            Const::Float(v) => Some(v),
+            Const::Int(_) => None,
+        }
+    }
+
+    /// Whether the constant is "truthy" in branch position (non-zero).
+    pub fn is_truthy(self) -> bool {
+        match self {
+            Const::Int(v) => v != 0,
+            Const::Float(v) => v != 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int(v) => write!(f, "{v}"),
+            Const::Float(v) => write!(f, "{v:?}f"),
+        }
+    }
+}
+
+/// Binary operators of the three-address code.
+///
+/// Comparison operators produce `Int(0)` or `Int(1)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping integer addition.
+    Add,
+    /// Wrapping integer subtraction.
+    Sub,
+    /// Wrapping integer multiplication.
+    Mul,
+    /// Signed integer division (traps on zero divisor / overflow).
+    DivS,
+    /// Unsigned integer division (traps on zero divisor).
+    DivU,
+    /// Signed remainder (traps on zero divisor / overflow).
+    RemS,
+    /// Unsigned remainder (traps on zero divisor).
+    RemU,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (shift count taken mod 64).
+    Shl,
+    /// Arithmetic (sign-propagating) right shift (count mod 64).
+    ShrS,
+    /// Logical (zero-filling) right shift (count mod 64).
+    ShrU,
+    /// Integer equality.
+    CmpEq,
+    /// Integer inequality.
+    CmpNe,
+    /// Signed less-than.
+    CmpLtS,
+    /// Signed less-or-equal.
+    CmpLeS,
+    /// Unsigned less-than.
+    CmpLtU,
+    /// Unsigned less-or-equal.
+    CmpLeU,
+    /// Float addition.
+    FAdd,
+    /// Float subtraction.
+    FSub,
+    /// Float multiplication.
+    FMul,
+    /// Float division (non-trapping: IEEE semantics).
+    FDiv,
+    /// Float equality (ordered).
+    FCmpEq,
+    /// Float less-than (ordered).
+    FCmpLt,
+    /// Float less-or-equal (ordered).
+    FCmpLe,
+}
+
+impl BinOp {
+    /// Whether the result may be classified as a run-time constant when both
+    /// operands are (§3.1: idempotent, side-effect-free, non-trapping).
+    ///
+    /// Integer division and remainder are excluded because they can trap;
+    /// hoisting them into speculatively executed set-up code would be
+    /// unsound. Float division is IEEE and non-trapping, so it qualifies.
+    pub fn is_specializable(self) -> bool {
+        !matches!(self, BinOp::DivS | BinOp::DivU | BinOp::RemS | BinOp::RemU)
+    }
+
+    /// Whether this operator works on float operands.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            BinOp::FAdd
+                | BinOp::FSub
+                | BinOp::FMul
+                | BinOp::FDiv
+                | BinOp::FCmpEq
+                | BinOp::FCmpLt
+                | BinOp::FCmpLe
+        )
+    }
+
+    /// Whether this operator produces an integer 0/1 from float operands.
+    pub fn is_float_cmp(self) -> bool {
+        matches!(self, BinOp::FCmpEq | BinOp::FCmpLt | BinOp::FCmpLe)
+    }
+
+    /// Whether the operator is commutative.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::CmpEq
+                | BinOp::CmpNe
+                | BinOp::FAdd
+                | BinOp::FMul
+                | BinOp::FCmpEq
+        )
+    }
+
+    /// Evaluate on constant operands.
+    ///
+    /// Returns `None` when evaluation would trap (integer division by zero,
+    /// signed overflow division) or when operand kinds mismatch the
+    /// operator.
+    pub fn eval(self, a: Const, b: Const) -> Option<Const> {
+        use BinOp::*;
+        if self.is_float() {
+            let (x, y) = (a.as_float()?, b.as_float()?);
+            return Some(match self {
+                FAdd => Const::Float(x + y),
+                FSub => Const::Float(x - y),
+                FMul => Const::Float(x * y),
+                FDiv => Const::Float(x / y),
+                FCmpEq => Const::Int((x == y) as i64),
+                FCmpLt => Const::Int((x < y) as i64),
+                FCmpLe => Const::Int((x <= y) as i64),
+                _ => unreachable!(),
+            });
+        }
+        let (x, y) = (a.as_int()?, b.as_int()?);
+        Some(match self {
+            Add => Const::Int(x.wrapping_add(y)),
+            Sub => Const::Int(x.wrapping_sub(y)),
+            Mul => Const::Int(x.wrapping_mul(y)),
+            DivS => {
+                if y == 0 || (x == i64::MIN && y == -1) {
+                    return None;
+                }
+                Const::Int(x.wrapping_div(y))
+            }
+            DivU => {
+                if y == 0 {
+                    return None;
+                }
+                Const::Int(((x as u64) / (y as u64)) as i64)
+            }
+            RemS => {
+                if y == 0 || (x == i64::MIN && y == -1) {
+                    return None;
+                }
+                Const::Int(x.wrapping_rem(y))
+            }
+            RemU => {
+                if y == 0 {
+                    return None;
+                }
+                Const::Int(((x as u64) % (y as u64)) as i64)
+            }
+            And => Const::Int(x & y),
+            Or => Const::Int(x | y),
+            Xor => Const::Int(x ^ y),
+            Shl => Const::Int(x.wrapping_shl(y as u32 & 63)),
+            ShrS => Const::Int(x.wrapping_shr(y as u32 & 63)),
+            ShrU => Const::Int(((x as u64).wrapping_shr(y as u32 & 63)) as i64),
+            CmpEq => Const::Int((x == y) as i64),
+            CmpNe => Const::Int((x != y) as i64),
+            CmpLtS => Const::Int((x < y) as i64),
+            CmpLeS => Const::Int((x <= y) as i64),
+            CmpLtU => Const::Int(((x as u64) < (y as u64)) as i64),
+            CmpLeU => Const::Int(((x as u64) <= (y as u64)) as i64),
+            FAdd | FSub | FMul | FDiv | FCmpEq | FCmpLt | FCmpLe => unreachable!(),
+        })
+    }
+
+    /// The operator's mnemonic in printed IR.
+    pub fn mnemonic(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            DivS => "divs",
+            DivU => "divu",
+            RemS => "rems",
+            RemU => "remu",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            ShrS => "shrs",
+            ShrU => "shru",
+            CmpEq => "cmpeq",
+            CmpNe => "cmpne",
+            CmpLtS => "cmplts",
+            CmpLeS => "cmples",
+            CmpLtU => "cmpltu",
+            CmpLeU => "cmpleu",
+            FAdd => "fadd",
+            FSub => "fsub",
+            FMul => "fmul",
+            FDiv => "fdiv",
+            FCmpEq => "fcmpeq",
+            FCmpLt => "fcmplt",
+            FCmpLe => "fcmple",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Unary operators of the three-address code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Integer negation (wrapping).
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// Logical negation: 0 becomes 1, non-zero becomes 0.
+    LogNot,
+    /// Sign-extend the low `n` bits (operand is the bit width: 8/16/32).
+    Sext(u8),
+    /// Zero out all but the low `n` bits (8/16/32).
+    Zext(u8),
+    /// Float negation.
+    FNeg,
+    /// Convert signed integer to float.
+    IntToFloat,
+    /// Convert float to signed integer (truncating; saturates at bounds).
+    FloatToInt,
+}
+
+impl UnOp {
+    /// Whether the result may be a run-time constant when the operand is.
+    /// All unary operators here are pure and non-trapping.
+    pub fn is_specializable(self) -> bool {
+        true
+    }
+
+    /// Evaluate on a constant operand; `None` on operand-kind mismatch.
+    pub fn eval(self, a: Const) -> Option<Const> {
+        Some(match self {
+            UnOp::Neg => Const::Int(a.as_int()?.wrapping_neg()),
+            UnOp::Not => Const::Int(!a.as_int()?),
+            UnOp::LogNot => Const::Int((a.as_int()? == 0) as i64),
+            UnOp::Sext(bits) => {
+                let v = a.as_int()?;
+                let shift = 64 - u32::from(bits);
+                Const::Int(v.wrapping_shl(shift).wrapping_shr(shift))
+            }
+            UnOp::Zext(bits) => {
+                let v = a.as_int()? as u64;
+                let mask = if bits >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                };
+                Const::Int((v & mask) as i64)
+            }
+            UnOp::FNeg => Const::Float(-a.as_float()?),
+            UnOp::IntToFloat => Const::Float(a.as_int()? as f64),
+            UnOp::FloatToInt => {
+                let v = a.as_float()?;
+                Const::Int(if v.is_nan() {
+                    0
+                } else if v >= i64::MAX as f64 {
+                    i64::MAX
+                } else if v <= i64::MIN as f64 {
+                    i64::MIN
+                } else {
+                    v as i64
+                })
+            }
+        })
+    }
+
+    /// The operator's mnemonic in printed IR.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::LogNot => "lognot",
+            UnOp::Sext(_) => "sext",
+            UnOp::Zext(_) => "zext",
+            UnOp::FNeg => "fneg",
+            UnOp::IntToFloat => "i2f",
+            UnOp::FloatToInt => "f2i",
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Sext(b) => write!(f, "sext{b}"),
+            UnOp::Zext(b) => write!(f, "zext{b}"),
+            other => f.write_str(other.mnemonic()),
+        }
+    }
+}
+
+/// Memory access width, in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemSize {
+    /// One byte.
+    B1,
+    /// Two bytes.
+    B2,
+    /// Four bytes.
+    B4,
+    /// Eight bytes.
+    B8,
+}
+
+impl MemSize {
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemSize::B1 => 1,
+            MemSize::B2 => 2,
+            MemSize::B4 => 4,
+            MemSize::B8 => 8,
+        }
+    }
+
+    /// Width in bits.
+    pub fn bits(self) -> u8 {
+        (self.bytes() * 8) as u8
+    }
+}
+
+impl fmt::Display for MemSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bytes())
+    }
+}
+
+/// Signedness of a narrow memory load's extension to 64 bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Signedness {
+    /// Sign-extend.
+    Signed,
+    /// Zero-extend.
+    Unsigned,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn div_by_zero_does_not_fold() {
+        assert_eq!(BinOp::DivS.eval(Const::Int(1), Const::Int(0)), None);
+        assert_eq!(BinOp::DivU.eval(Const::Int(1), Const::Int(0)), None);
+        assert_eq!(BinOp::RemS.eval(Const::Int(1), Const::Int(0)), None);
+        assert_eq!(BinOp::RemU.eval(Const::Int(1), Const::Int(0)), None);
+    }
+
+    #[test]
+    fn signed_division_overflow_does_not_fold() {
+        assert_eq!(BinOp::DivS.eval(Const::Int(i64::MIN), Const::Int(-1)), None);
+        assert_eq!(BinOp::RemS.eval(Const::Int(i64::MIN), Const::Int(-1)), None);
+    }
+
+    #[test]
+    fn trapping_ops_not_specializable() {
+        assert!(!BinOp::DivS.is_specializable());
+        assert!(!BinOp::DivU.is_specializable());
+        assert!(!BinOp::RemS.is_specializable());
+        assert!(!BinOp::RemU.is_specializable());
+        assert!(BinOp::Add.is_specializable());
+        assert!(BinOp::FDiv.is_specializable());
+    }
+
+    #[test]
+    fn unsigned_ops_use_unsigned_semantics() {
+        assert_eq!(
+            BinOp::DivU.eval(Const::Int(-8), Const::Int(2)),
+            Some(Const::Int(((-8i64) as u64 / 2) as i64))
+        );
+        assert_eq!(
+            BinOp::CmpLtU.eval(Const::Int(-1), Const::Int(1)),
+            Some(Const::Int(0))
+        );
+        assert_eq!(
+            BinOp::CmpLtS.eval(Const::Int(-1), Const::Int(1)),
+            Some(Const::Int(1))
+        );
+        assert_eq!(
+            BinOp::ShrU.eval(Const::Int(-1), Const::Int(63)),
+            Some(Const::Int(1))
+        );
+        assert_eq!(
+            BinOp::ShrS.eval(Const::Int(-1), Const::Int(63)),
+            Some(Const::Int(-1))
+        );
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        assert_eq!(
+            BinOp::Add.eval(Const::Int(i64::MAX), Const::Int(1)),
+            Some(Const::Int(i64::MIN))
+        );
+        assert_eq!(
+            BinOp::Mul.eval(Const::Int(i64::MAX), Const::Int(2)),
+            Some(Const::Int(-2))
+        );
+    }
+
+    #[test]
+    fn float_ops() {
+        assert_eq!(
+            BinOp::FAdd.eval(Const::Float(1.5), Const::Float(2.0)),
+            Some(Const::Float(3.5))
+        );
+        assert_eq!(
+            BinOp::FDiv.eval(Const::Float(1.0), Const::Float(0.0)),
+            Some(Const::Float(f64::INFINITY))
+        );
+        assert_eq!(
+            BinOp::FCmpLt.eval(Const::Float(1.0), Const::Float(2.0)),
+            Some(Const::Int(1))
+        );
+        // Kind mismatch refuses to fold rather than panicking.
+        assert_eq!(BinOp::FAdd.eval(Const::Int(1), Const::Float(2.0)), None);
+        assert_eq!(BinOp::Add.eval(Const::Float(1.0), Const::Int(2)), None);
+    }
+
+    #[test]
+    fn extension_ops() {
+        assert_eq!(UnOp::Sext(8).eval(Const::Int(0xFF)), Some(Const::Int(-1)));
+        assert_eq!(UnOp::Zext(8).eval(Const::Int(-1)), Some(Const::Int(0xFF)));
+        assert_eq!(
+            UnOp::Sext(32).eval(Const::Int(0x8000_0000)),
+            Some(Const::Int(-0x8000_0000))
+        );
+        assert_eq!(
+            UnOp::Zext(32).eval(Const::Int(-1)),
+            Some(Const::Int(0xFFFF_FFFF))
+        );
+    }
+
+    #[test]
+    fn float_int_conversion() {
+        assert_eq!(
+            UnOp::IntToFloat.eval(Const::Int(3)),
+            Some(Const::Float(3.0))
+        );
+        assert_eq!(
+            UnOp::FloatToInt.eval(Const::Float(3.9)),
+            Some(Const::Int(3))
+        );
+        assert_eq!(
+            UnOp::FloatToInt.eval(Const::Float(f64::NAN)),
+            Some(Const::Int(0))
+        );
+        assert_eq!(
+            UnOp::FloatToInt.eval(Const::Float(1e300)),
+            Some(Const::Int(i64::MAX))
+        );
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Const::Int(5).is_truthy());
+        assert!(!Const::Int(0).is_truthy());
+        assert!(Const::Float(0.5).is_truthy());
+        assert!(!Const::Float(0.0).is_truthy());
+    }
+
+    #[test]
+    fn shift_counts_mod_64() {
+        assert_eq!(
+            BinOp::Shl.eval(Const::Int(1), Const::Int(64)),
+            Some(Const::Int(1))
+        );
+        assert_eq!(
+            BinOp::Shl.eval(Const::Int(1), Const::Int(65)),
+            Some(Const::Int(2))
+        );
+    }
+}

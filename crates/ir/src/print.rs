@@ -1,0 +1,232 @@
+//! Human-readable printing of functions and modules.
+
+use crate::func::{Function, Module};
+use crate::inst::{InstKind, TemplateMarker, Terminator};
+use std::fmt;
+
+struct DisplayFn<'a>(&'a Function);
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        DisplayFn(self).fmt(f)
+    }
+}
+
+impl fmt::Display for DisplayFn<'_> {
+    fn fmt(&self, w: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let f = self.0;
+        writeln!(
+            w,
+            "func {}({}) -> {:?} {{",
+            f.name,
+            f.params
+                .iter()
+                .map(|t| format!("{t:?}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            f.ret_ty
+        )?;
+        for (b, blk) in f.iter_blocks() {
+            let mut attrs = Vec::new();
+            if b == f.entry {
+                attrs.push("entry".to_string());
+            }
+            if blk.unrolled_header {
+                attrs.push("unrolled_header".to_string());
+            }
+            if let Some(m) = &blk.marker {
+                attrs.push(match m {
+                    TemplateMarker::EnterLoop { root } => format!("enter_loop({root})"),
+                    TemplateMarker::RestartLoop { next_slot } => {
+                        format!("restart_loop(next={next_slot})")
+                    }
+                    TemplateMarker::ExitLoop => "exit_loop".to_string(),
+                });
+            }
+            let attr_str = if attrs.is_empty() {
+                String::new()
+            } else {
+                format!("  ; {}", attrs.join(", "))
+            };
+            writeln!(w, "{b}:{attr_str}")?;
+            for &i in &blk.insts {
+                writeln!(w, "    {}", fmt_inst(f, i))?;
+            }
+            writeln!(w, "    {}", fmt_term(&blk.term))?;
+        }
+        writeln!(w, "}}")
+    }
+}
+
+/// Render a single instruction.
+pub fn fmt_inst(f: &Function, i: crate::ids::InstId) -> String {
+    let k = f.kind(i);
+    let rhs = match k {
+        InstKind::Const(c) => format!("const {c}"),
+        InstKind::Copy(a) => format!("copy {a}"),
+        InstKind::Un(op, a) => format!("{op} {a}"),
+        InstKind::Bin(op, a, b) => format!("{op} {a}, {b}"),
+        InstKind::Load {
+            size,
+            sign,
+            addr,
+            dynamic,
+            float,
+        } => format!(
+            "load{}{}{} [{addr}]",
+            if *dynamic { ".dyn" } else { "" },
+            if *float { ".f" } else { "" },
+            format_args!(
+                ".{size}{}",
+                if matches!(sign, crate::ops::Signedness::Signed) {
+                    "s"
+                } else {
+                    "u"
+                }
+            ),
+        ),
+        InstKind::Store {
+            size,
+            addr,
+            val,
+            float,
+        } => {
+            format!(
+                "store{}.{size} [{addr}], {val}",
+                if *float { ".f" } else { "" }
+            )
+        }
+        InstKind::Call { callee, args } => format!(
+            "call {callee}({})",
+            args.iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        InstKind::CallIntrinsic { which, args } => format!(
+            "{}({})",
+            which.name(),
+            args.iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        InstKind::Phi(ins) => format!(
+            "phi {}",
+            ins.iter()
+                .map(|(b, v)| format!("[{b}: {v}]"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        InstKind::GetVar(v) => format!("getvar {} ({})", v, f.vars[*v].name),
+        InstKind::SetVar(v, x) => format!("setvar {} ({}), {x}", v, f.vars[*v].name),
+        InstKind::Param(n) => format!("param {n}"),
+        InstKind::GlobalAddr(g) => format!("globaladdr {g}"),
+        InstKind::FrameAddr(v) => format!("frameaddr {} ({})", v, f.vars[*v].name),
+        InstKind::Hole { slot, float } => {
+            format!("hole{} t[{slot}]", if *float { ".f" } else { "" })
+        }
+        InstKind::Select {
+            cond,
+            if_true,
+            if_false,
+        } => {
+            format!("select {cond} ? {if_true} : {if_false}")
+        }
+    };
+    if k.has_result() {
+        format!("{i} = {rhs}")
+    } else {
+        rhs
+    }
+}
+
+/// Render a terminator.
+pub fn fmt_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Jump(b) => format!("jump {b}"),
+        Terminator::Branch {
+            cond,
+            then_b,
+            else_b,
+        } => {
+            format!("branch {cond} ? {then_b} : {else_b}")
+        }
+        Terminator::Switch {
+            val,
+            cases,
+            default,
+        } => format!(
+            "switch {val} [{}] default {default}",
+            cases
+                .iter()
+                .map(|(c, b)| format!("{c} => {b}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Terminator::Return(Some(v)) => format!("return {v}"),
+        Terminator::Return(None) => "return".to_string(),
+        Terminator::ConstBranch {
+            slot,
+            then_b,
+            else_b,
+        } => {
+            format!("constbranch t[{slot}] ? {then_b} : {else_b}")
+        }
+        Terminator::ConstSwitch {
+            slot,
+            cases,
+            default,
+        } => format!(
+            "constswitch t[{slot}] [{}] default {default}",
+            cases
+                .iter()
+                .map(|(c, b)| format!("{c} => {b}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Terminator::EnterRegion { region, setup } => format!("enter_region {region} setup {setup}"),
+        Terminator::EndSetup {
+            region,
+            table,
+            template,
+        } => {
+            format!("end_setup {region} table {table} template {template}")
+        }
+        Terminator::Unreachable => "unreachable".to_string(),
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, w: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for g in self.globals.iter() {
+            writeln!(w, "global {} : {} bytes", g.name, g.size)?;
+        }
+        for f in self.funcs.iter() {
+            writeln!(w, "{f}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Ty;
+    use crate::ops::BinOp;
+
+    #[test]
+    fn prints_function() {
+        let mut f = Function::new("demo", vec![Ty::Int], Ty::Int);
+        let e = f.entry;
+        let p = f.append(e, InstKind::Param(0));
+        let c = f.const_int(e, 2);
+        let s = f.bin(e, BinOp::Mul, p, c);
+        f.blocks[e].term = Terminator::Return(Some(s));
+        let out = f.to_string();
+        assert!(out.contains("func demo"));
+        assert!(out.contains("param 0"));
+        assert!(out.contains("mul"));
+        assert!(out.contains("return"));
+    }
+}

@@ -1,0 +1,304 @@
+//! The IR verifier: structural well-formedness checks run between passes.
+
+use crate::cfg::Preds;
+use crate::dom::DomTree;
+use crate::func::Function;
+use crate::ids::{BlockId, IdSet, IndexVec, InstId};
+use crate::inst::{InstKind, Terminator};
+use std::fmt;
+
+/// A verification failure, with enough context to locate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError(pub String);
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IR verification failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Check structural invariants of `f`:
+///
+/// * every placed instruction appears in exactly one block;
+/// * terminator targets are valid blocks;
+/// * operands refer to placed instructions;
+/// * in SSA functions: no `GetVar`/`SetVar` (for renameable variables),
+///   φ-operand predecessor lists match actual predecessors, and
+///   definitions dominate uses (φ uses checked at the predecessor);
+/// * φ-instructions appear only at the start of their block.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify(f: &Function) -> Result<(), VerifyError> {
+    let err = |m: String| Err(VerifyError(format!("{}: {m}", f.name)));
+
+    // Placement map.
+    let mut place: IndexVec<InstId, Option<BlockId>> = (0..f.insts.len()).map(|_| None).collect();
+    for (b, blk) in f.iter_blocks() {
+        let mut seen_non_phi = false;
+        for &i in &blk.insts {
+            if i.index() >= f.insts.len() {
+                return err(format!("block {b} references nonexistent inst {i}"));
+            }
+            if let Some(prev) = place[i] {
+                return err(format!("inst {i} placed in both {prev} and {b}"));
+            }
+            place[i] = Some(b);
+            if matches!(f.kind(i), InstKind::Phi(_)) {
+                if seen_non_phi {
+                    return err(format!("φ {i} not at start of block {b}"));
+                }
+            } else {
+                seen_non_phi = true;
+            }
+        }
+        for s in blk.term.successors() {
+            if s.index() >= f.blocks.len() {
+                return err(format!("block {b} targets nonexistent block {s}"));
+            }
+        }
+    }
+
+    if f.entry.index() >= f.blocks.len() {
+        return err("entry block out of range".into());
+    }
+
+    // Operands must be placed instructions (in reachable code).
+    let live = crate::cfg::reachable(f);
+    let check_op = |user: String, v: InstId| -> Result<(), VerifyError> {
+        if v.index() >= f.insts.len() {
+            return Err(VerifyError(format!(
+                "{}: {user} uses nonexistent value {v}",
+                f.name
+            )));
+        }
+        if place[v].is_none() {
+            return Err(VerifyError(format!(
+                "{}: {user} uses unplaced value {v}",
+                f.name
+            )));
+        }
+        if !f.kind(v).has_result() {
+            return Err(VerifyError(format!(
+                "{}: {user} uses value of result-less inst {v}",
+                f.name
+            )));
+        }
+        Ok(())
+    };
+    for (b, blk) in f.iter_blocks() {
+        if !live.contains(b) {
+            continue;
+        }
+        for &i in &blk.insts {
+            for v in f.kind(i).operands() {
+                check_op(format!("inst {i} in {b}"), v)?;
+            }
+        }
+        for v in blk.term.operands() {
+            check_op(format!("terminator of {b}"), v)?;
+        }
+    }
+
+    if f.is_ssa {
+        verify_ssa(f, &place, &live)?;
+    }
+
+    Ok(())
+}
+
+fn verify_ssa(
+    f: &Function,
+    place: &IndexVec<InstId, Option<BlockId>>,
+    live: &IdSet<BlockId>,
+) -> Result<(), VerifyError> {
+    let err = |m: String| Err(VerifyError(format!("{}: {m}", f.name)));
+    let preds = Preds::compute(f);
+    let dom = DomTree::compute(f);
+
+    for (b, blk) in f.iter_blocks() {
+        if !live.contains(b) {
+            continue;
+        }
+        for (pos, &i) in blk.insts.iter().enumerate() {
+            match f.kind(i) {
+                InstKind::GetVar(v) | InstKind::SetVar(v, _) => {
+                    if f.vars[*v].frame_size.is_none() {
+                        return err(format!("SSA function contains variable access {i}"));
+                    }
+                }
+                InstKind::Phi(ins) => {
+                    let mut ps: Vec<BlockId> = preds.of(b).to_vec();
+                    ps.sort();
+                    let mut got: Vec<BlockId> = ins.iter().map(|(p, _)| *p).collect();
+                    got.sort();
+                    got.dedup();
+                    if got.len() != ins.len() {
+                        return err(format!("φ {i} has duplicate predecessor operands"));
+                    }
+                    // Every operand must name an actual predecessor; every
+                    // reachable predecessor must be covered.
+                    for (p, _) in ins {
+                        if !ps.contains(p) {
+                            return err(format!("φ {i} names non-predecessor {p}"));
+                        }
+                    }
+                    for p in &ps {
+                        if live.contains(*p) && !got.contains(p) {
+                            return err(format!("φ {i} missing operand for predecessor {p}"));
+                        }
+                    }
+                    // φ uses must dominate the predecessor end.
+                    for (p, v) in ins {
+                        if !live.contains(*p) {
+                            continue;
+                        }
+                        let db = place[*v].expect("checked placed");
+                        if !dom.dominates(db, *p) {
+                            return err(format!(
+                                "φ {i} operand {v} (defined in {db}) does not dominate pred {p}"
+                            ));
+                        }
+                    }
+                }
+                _ => {
+                    // Non-φ uses: definition must dominate the use point.
+                    for v in f.kind(i).operands() {
+                        let db = place[v].expect("checked placed");
+                        let ok = if db == b {
+                            // Same block: definition must come earlier.
+                            blk.insts[..pos].contains(&v)
+                        } else {
+                            dom.dominates(db, b)
+                        };
+                        if !ok {
+                            return err(format!(
+                                "inst {i} in {b} uses {v} (defined in {db}) that does not dominate it"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Terminator uses.
+        for v in blk.term.operands() {
+            let db = place[v].expect("checked placed");
+            let ok = if db == b {
+                blk.insts.contains(&v)
+            } else {
+                dom.dominates(db, b)
+            };
+            if !ok {
+                return err(format!("terminator of {b} uses non-dominating value {v}"));
+            }
+        }
+        // Terminator-specific checks.
+        if let Terminator::Switch { cases, .. } | Terminator::ConstSwitch { cases, .. } = &blk.term
+        {
+            let mut vals: Vec<i64> = cases.iter().map(|(c, _)| *c).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            if vals.len() != cases.len() {
+                return err(format!("switch in {b} has duplicate case values"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Ty;
+    use crate::ops::BinOp;
+    use crate::ssa::construct_ssa;
+
+    #[test]
+    fn accepts_well_formed() {
+        let mut f = Function::new("ok", vec![Ty::Int], Ty::Int);
+        let e = f.entry;
+        let p = f.append(e, InstKind::Param(0));
+        let c = f.const_int(e, 1);
+        let s = f.bin(e, BinOp::Add, p, c);
+        f.blocks[e].term = Terminator::Return(Some(s));
+        construct_ssa(&mut f);
+        verify(&f).unwrap();
+    }
+
+    #[test]
+    fn rejects_use_before_def_in_block() {
+        let mut f = Function::new("bad", vec![], Ty::Int);
+        let e = f.entry;
+        // Create an add whose operand is defined *after* it.
+        let c = f.create_inst(InstKind::Const(crate::ops::Const::Int(1)));
+        let s = f.create_inst(InstKind::Bin(BinOp::Add, c, c));
+        f.blocks[e].insts.push(s);
+        f.blocks[e].insts.push(c);
+        f.blocks[e].term = Terminator::Return(Some(s));
+        f.is_ssa = true;
+        assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_double_placement() {
+        let mut f = Function::new("dup", vec![], Ty::None);
+        let e = f.entry;
+        let c = f.const_int(e, 1);
+        f.blocks[e].insts.push(c);
+        f.blocks[e].term = Terminator::Return(None);
+        assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_phi_missing_pred() {
+        let mut f = Function::new("phi", vec![Ty::Int], Ty::Int);
+        let e = f.entry;
+        let t = f.add_block();
+        let el = f.add_block();
+        let j = f.add_block();
+        let p = f.append(e, InstKind::Param(0));
+        f.blocks[e].term = Terminator::Branch {
+            cond: p,
+            then_b: t,
+            else_b: el,
+        };
+        let c1 = f.const_int(t, 1);
+        f.blocks[t].term = Terminator::Jump(j);
+        let _c2 = f.const_int(el, 2);
+        f.blocks[el].term = Terminator::Jump(j);
+        // φ only lists one of the two predecessors.
+        let phi = f.append(j, InstKind::Phi(vec![(t, c1)]));
+        f.blocks[j].term = Terminator::Return(Some(phi));
+        f.is_ssa = true;
+        let e2 = verify(&f).unwrap_err();
+        assert!(e2.0.contains("missing operand"), "{e2}");
+    }
+
+    #[test]
+    fn rejects_unplaced_operand() {
+        let mut f = Function::new("unp", vec![], Ty::Int);
+        let e = f.entry;
+        let ghost = f.create_inst(InstKind::Const(crate::ops::Const::Int(7)));
+        let s = f.append(e, InstKind::Copy(ghost));
+        f.blocks[e].term = Terminator::Return(Some(s));
+        assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_switch_cases() {
+        let mut f = Function::new("sw", vec![Ty::Int], Ty::None);
+        let e = f.entry;
+        let d = f.add_block();
+        let p = f.append(e, InstKind::Param(0));
+        f.blocks[e].term = Terminator::Switch {
+            val: p,
+            cases: vec![(1, d), (1, d)],
+            default: d,
+        };
+        f.blocks[d].term = Terminator::Return(None);
+        f.is_ssa = true;
+        assert!(verify(&f).is_err());
+    }
+}

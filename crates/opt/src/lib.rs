@@ -1,0 +1,559 @@
+//! # dyncomp-opt
+//!
+//! Standard global optimizations over `dyncomp-ir` SSA, applied by the
+//! static compiler both before and after dynamic-region splitting (§3.3 of
+//! *"Fast, Effective Dynamic Compilation"*, PLDI 1996).
+//!
+//! Post-split runs must respect the paper's three hole rules:
+//!
+//! 1. instructions containing holes never move out of template code — we
+//!    guarantee this structurally by doing no cross-block code motion
+//!    after splitting (CFG simplification is pre-split only);
+//! 2. hole values never propagate outside the dynamic region —
+//!    [`copy_propagate`] takes the template block set as a barrier;
+//! 3. holes for unrolled-loop induction variables are not loop-invariant —
+//!    we perform no loop-invariant code motion, so this holds trivially.
+//!
+//! Passes: [`fold_constants`] (constant folding + algebraic
+//! simplification + static branch folding), [`copy_propagate`],
+//! [`eliminate_dead_code`], [`local_cse`], and pre-split
+//! [`simplify_cfg`]. [`optimize`] runs them to a fixpoint and reports
+//! [`OptStats`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use dyncomp_ir::{BinOp, BlockId, Const, Function, IdSet, InstId, InstKind, Terminator};
+use std::collections::HashMap;
+
+/// Counters of what the optimizer did (one `optimize` call).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions folded to constants or simplified algebraically.
+    pub folded: usize,
+    /// Branches/switches on compile-time constants rewritten to jumps.
+    pub branches_folded: usize,
+    /// Uses rewritten by copy propagation.
+    pub copies_propagated: usize,
+    /// Dead instructions removed.
+    pub dead_removed: usize,
+    /// Redundant computations unified by local CSE.
+    pub cse_hits: usize,
+    /// Blocks merged / jumps threaded by CFG simplification.
+    pub cfg_simplified: usize,
+}
+
+impl OptStats {
+    fn add(&mut self, o: &OptStats) {
+        self.folded += o.folded;
+        self.branches_folded += o.branches_folded;
+        self.copies_propagated += o.copies_propagated;
+        self.dead_removed += o.dead_removed;
+        self.cse_hits += o.cse_hits;
+        self.cfg_simplified += o.cfg_simplified;
+    }
+
+    fn any(&self) -> bool {
+        *self != OptStats::default()
+    }
+}
+
+/// Optimization options.
+#[derive(Clone, Default)]
+pub struct OptOptions {
+    /// Allow CFG restructuring (block merging, jump threading). Must be
+    /// `false` after region splitting, where block identity is load-bearing
+    /// (template blocks, markers, section boundaries).
+    pub cfg_simplify: bool,
+    /// Hole-propagation barrier: when set, values defined by
+    /// [`InstKind::Hole`] instructions never replace uses outside this
+    /// block set (the template blocks).
+    pub hole_scope: Option<IdSet<BlockId>>,
+}
+
+/// Run all passes to a fixpoint.
+pub fn optimize(f: &mut Function, opts: &OptOptions) -> OptStats {
+    let mut total = OptStats::default();
+    for _ in 0..50 {
+        let mut round = OptStats::default();
+        round.add(&fold_constants(f));
+        round.add(&copy_propagate(f, opts.hole_scope.as_ref()));
+        round.add(&local_cse(f));
+        round.add(&eliminate_dead_code(f));
+        if opts.cfg_simplify {
+            round.add(&simplify_cfg(f));
+        }
+        let progressed = round.any();
+        total.add(&round);
+        if !progressed {
+            break;
+        }
+    }
+    total
+}
+
+fn placed_blocks(f: &Function) -> Vec<BlockId> {
+    dyncomp_ir::cfg::reachable(f).iter().collect()
+}
+
+/// Constant folding, algebraic identities, and static branch folding.
+pub fn fold_constants(f: &mut Function) -> OptStats {
+    let mut stats = OptStats::default();
+    for b in placed_blocks(f) {
+        let insts = f.blocks[b].insts.clone();
+        let mut phi_folded = false;
+        for i in insts {
+            let kind = f.kind(i).clone();
+            let new = match &kind {
+                InstKind::Un(op, a) => f.as_const(*a).and_then(|c| op.eval(c)).map(InstKind::Const),
+                InstKind::Bin(op, a, b2) => fold_bin(f, *op, *a, *b2),
+                InstKind::CallIntrinsic { which, args } => {
+                    let consts: Option<Vec<Const>> = args.iter().map(|&a| f.as_const(a)).collect();
+                    consts.and_then(|cs| which.eval(&cs)).map(InstKind::Const)
+                }
+                InstKind::Phi(ins) => {
+                    // All operands identical (or the φ itself): forward.
+                    let mut srcs: Vec<InstId> =
+                        ins.iter().map(|(_, v)| *v).filter(|v| *v != i).collect();
+                    srcs.dedup();
+                    if srcs.len() == 1 {
+                        Some(InstKind::Copy(srcs[0]))
+                    } else {
+                        // All operands the same literal constant: the φ is
+                        // that constant (a fresh materialization; copying
+                        // one operand would break dominance).
+                        let consts: Option<Vec<Const>> =
+                            srcs.iter().map(|&v| f.as_const(v)).collect();
+                        match consts.as_deref() {
+                            Some([first, rest @ ..]) if rest.iter().all(|c| c == first) => {
+                                Some(InstKind::Const(*first))
+                            }
+                            _ => None,
+                        }
+                    }
+                }
+                _ => None,
+            };
+            if let Some(nk) = new {
+                phi_folded |= matches!(kind, InstKind::Phi(_));
+                let ty = f.infer_ty(&nk);
+                f.insts[i].kind = nk;
+                f.insts[i].ty = ty;
+                stats.folded += 1;
+            }
+        }
+        if phi_folded {
+            // A φ became a Copy/Const in place; restore the invariant that
+            // φs form a prefix of the block. Stable, so the folded value
+            // still precedes every non-φ instruction that uses it (and the
+            // remaining φs read predecessor-end values, which a same-block
+            // definition satisfies even on self-loops).
+            let list = &mut f.blocks[b].insts;
+            list.sort_by_key(|&i| !matches!(f.insts[i].kind, InstKind::Phi(_)));
+        }
+        // Fold terminators on constants.
+        match f.blocks[b].term.clone() {
+            Terminator::Branch {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                if let Some(c) = f.as_const(cond) {
+                    f.blocks[b].term =
+                        Terminator::Jump(if c.is_truthy() { then_b } else { else_b });
+                    stats.branches_folded += 1;
+                } else if then_b == else_b {
+                    f.blocks[b].term = Terminator::Jump(then_b);
+                    stats.branches_folded += 1;
+                }
+            }
+            Terminator::Switch {
+                val,
+                cases,
+                default,
+            } => {
+                if let Some(Const::Int(v)) = f.as_const(val) {
+                    let target = cases
+                        .iter()
+                        .find(|(c, _)| *c == v)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(default);
+                    f.blocks[b].term = Terminator::Jump(target);
+                    stats.branches_folded += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    stats
+}
+
+fn fold_bin(f: &Function, op: BinOp, a: InstId, b: InstId) -> Option<InstKind> {
+    let ca = f.as_const(a);
+    let cb = f.as_const(b);
+    if let (Some(x), Some(y)) = (ca, cb) {
+        if let Some(r) = op.eval(x, y) {
+            return Some(InstKind::Const(r));
+        }
+    }
+    // Algebraic identities (integer only; float identities are unsound
+    // under NaN/-0.0).
+    let int0 = |c: Option<Const>| matches!(c, Some(Const::Int(0)));
+    let int1 = |c: Option<Const>| matches!(c, Some(Const::Int(1)));
+    match op {
+        BinOp::Add => {
+            if int0(ca) {
+                return Some(InstKind::Copy(b));
+            }
+            if int0(cb) {
+                return Some(InstKind::Copy(a));
+            }
+        }
+        BinOp::Sub => {
+            if int0(cb) {
+                return Some(InstKind::Copy(a));
+            }
+            if a == b {
+                return Some(InstKind::Const(Const::Int(0)));
+            }
+        }
+        BinOp::Mul => {
+            if int1(ca) {
+                return Some(InstKind::Copy(b));
+            }
+            if int1(cb) {
+                return Some(InstKind::Copy(a));
+            }
+            if int0(ca) || int0(cb) {
+                return Some(InstKind::Const(Const::Int(0)));
+            }
+        }
+        BinOp::And => {
+            if int0(ca) || int0(cb) {
+                return Some(InstKind::Const(Const::Int(0)));
+            }
+            if a == b {
+                return Some(InstKind::Copy(a));
+            }
+        }
+        BinOp::Or => {
+            if int0(ca) {
+                return Some(InstKind::Copy(b));
+            }
+            if int0(cb) {
+                return Some(InstKind::Copy(a));
+            }
+            if a == b {
+                return Some(InstKind::Copy(a));
+            }
+        }
+        BinOp::Xor => {
+            if int0(cb) {
+                return Some(InstKind::Copy(a));
+            }
+            if int0(ca) {
+                return Some(InstKind::Copy(b));
+            }
+            if a == b {
+                return Some(InstKind::Const(Const::Int(0)));
+            }
+        }
+        BinOp::Shl | BinOp::ShrS | BinOp::ShrU if int0(cb) => {
+            return Some(InstKind::Copy(a));
+        }
+        BinOp::DivS | BinOp::DivU if int1(cb) => {
+            return Some(InstKind::Copy(a));
+        }
+        _ => {}
+    }
+    None
+}
+
+/// Replace uses of `Copy(x)` with `x` directly, respecting the hole
+/// barrier: a chain ending at a [`InstKind::Hole`] is only forwarded to
+/// uses inside `hole_scope`.
+pub fn copy_propagate(f: &mut Function, hole_scope: Option<&IdSet<BlockId>>) -> OptStats {
+    let mut stats = OptStats::default();
+    // Resolve copy chains.
+    let mut target: HashMap<InstId, InstId> = HashMap::new();
+    for (i, inst) in f.insts.iter_enumerated() {
+        if let InstKind::Copy(src) = inst.kind {
+            target.insert(i, src);
+        }
+    }
+    let resolve = |mut v: InstId| {
+        let mut seen = 0;
+        while let Some(&t) = target.get(&v) {
+            v = t;
+            seen += 1;
+            if seen > target.len() {
+                break; // cycle safety (malformed input)
+            }
+        }
+        v
+    };
+    for b in placed_blocks(f) {
+        let insts = f.blocks[b].insts.clone();
+        let in_scope = hole_scope.map(|s| s.contains(b));
+        for i in insts {
+            let mut kind = f.kind(i).clone();
+            let mut changed = false;
+            kind.map_operands(|v| {
+                let r = resolve(v);
+                if r == v {
+                    return v;
+                }
+                // Hole barrier: never forward a hole value to a use outside
+                // the template blocks.
+                if matches!(f.kind(r), InstKind::Hole { .. }) && in_scope == Some(false) {
+                    return v;
+                }
+                changed = true;
+                r
+            });
+            if changed {
+                f.insts[i].kind = kind;
+                stats.copies_propagated += 1;
+            }
+        }
+        let mut term = f.blocks[b].term.clone();
+        let mut changed = false;
+        term.map_operands(|v| {
+            let r = resolve(v);
+            if r == v {
+                return v;
+            }
+            if matches!(f.kind(r), InstKind::Hole { .. }) && in_scope == Some(false) {
+                return v;
+            }
+            changed = true;
+            r
+        });
+        if changed {
+            f.blocks[b].term = term;
+            stats.copies_propagated += 1;
+        }
+    }
+    stats
+}
+
+/// Remove pure instructions whose results are unused.
+pub fn eliminate_dead_code(f: &mut Function) -> OptStats {
+    let mut stats = OptStats::default();
+    loop {
+        let mut used: IdSet<InstId> = IdSet::with_domain(f.insts.len());
+        for b in placed_blocks(f) {
+            for &i in &f.blocks[b].insts {
+                for v in f.kind(i).operands() {
+                    used.insert(v);
+                }
+            }
+            for v in f.blocks[b].term.operands() {
+                used.insert(v);
+            }
+        }
+        // Region roots are observed by the specializer and the runtime.
+        for r in f.regions.iter() {
+            for &v in r.const_roots.iter().chain(r.key_roots.iter()) {
+                used.insert(v);
+            }
+        }
+        let mut removed = 0;
+        for b in placed_blocks(f) {
+            let before = f.blocks[b].insts.len();
+            let keep: Vec<InstId> = f.blocks[b]
+                .insts
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let k = f.kind(i);
+                    k.has_side_effect() || !k.has_result() || used.contains(i)
+                })
+                .collect();
+            removed += before - keep.len();
+            f.blocks[b].insts = keep;
+        }
+        if removed == 0 {
+            break;
+        }
+        stats.dead_removed += removed;
+    }
+    stats
+}
+
+/// Local common-subexpression elimination (within each block).
+pub fn local_cse(f: &mut Function) -> OptStats {
+    let mut stats = OptStats::default();
+    for b in placed_blocks(f) {
+        let mut seen: HashMap<String, InstId> = HashMap::new();
+        let insts = f.blocks[b].insts.clone();
+        for i in insts {
+            let kind = f.kind(i).clone();
+            let key = match &kind {
+                InstKind::Bin(op, a, b2) => {
+                    // Normalize commutative operands.
+                    let (x, y) = if op.is_commutative() && b2 < a {
+                        (*b2, *a)
+                    } else {
+                        (*a, *b2)
+                    };
+                    Some(format!("bin:{op:?}:{x}:{y}"))
+                }
+                InstKind::Un(op, a) => Some(format!("un:{op:?}:{a}")),
+                InstKind::Const(Const::Int(v)) => Some(format!("ci:{v}")),
+                InstKind::Const(Const::Float(v)) => Some(format!("cf:{:x}", v.to_bits())),
+                InstKind::GlobalAddr(g) => Some(format!("ga:{g}")),
+                InstKind::FrameAddr(v) => Some(format!("fa:{v}")),
+                _ => None,
+            };
+            let Some(key) = key else { continue };
+            match seen.get(&key) {
+                Some(&prev) => {
+                    f.insts[i].kind = InstKind::Copy(prev);
+                    stats.cse_hits += 1;
+                }
+                None => {
+                    seen.insert(key, i);
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// CFG simplification: forward empty blocks, merge single-pred/single-succ
+/// chains. Pre-split only (block identity is significant afterwards).
+pub fn simplify_cfg(f: &mut Function) -> OptStats {
+    let mut stats = OptStats::default();
+
+    // Protected blocks: entry, region entries/bodies' special roles.
+    let mut protected = IdSet::with_domain(f.blocks.len());
+    protected.insert(f.entry);
+    for r in f.regions.iter() {
+        protected.insert(r.entry);
+    }
+    for (b, blk) in f.iter_blocks() {
+        if blk.unrolled_header || blk.marker.is_some() {
+            protected.insert(b);
+        }
+        if matches!(
+            blk.term,
+            Terminator::EnterRegion { .. } | Terminator::EndSetup { .. }
+        ) {
+            protected.insert(b);
+        }
+    }
+
+    // 1. Thread jumps through empty forwarding blocks.
+    let mut forward: HashMap<BlockId, BlockId> = HashMap::new();
+    for (b, blk) in f.iter_blocks() {
+        if protected.contains(b) || !blk.insts.is_empty() {
+            continue;
+        }
+        if let Terminator::Jump(t) = blk.term {
+            if t != b {
+                forward.insert(b, t);
+            }
+        }
+    }
+    let resolve = |mut b: BlockId| {
+        let mut n = 0;
+        while let Some(&t) = forward.get(&b) {
+            b = t;
+            n += 1;
+            if n > forward.len() {
+                break;
+            }
+        }
+        b
+    };
+    // A forwarding block whose target holds φs cannot be bypassed blindly
+    // (φ operands are keyed by predecessor). Only bypass when the target
+    // has no φs.
+    let has_phi: Vec<bool> = f
+        .blocks
+        .ids()
+        .map(|b| {
+            f.blocks[b]
+                .insts
+                .first()
+                .map(|&i| matches!(f.kind(i), InstKind::Phi(_)))
+                .unwrap_or(false)
+        })
+        .collect();
+    for b in f.blocks.ids().collect::<Vec<_>>() {
+        let mut term = f.blocks[b].term.clone();
+        let mut changed = false;
+        term.map_successors(|s| {
+            let r = resolve(s);
+            if r != s && !has_phi[r.index()] {
+                changed = true;
+                r
+            } else {
+                s
+            }
+        });
+        if changed {
+            f.blocks[b].term = term;
+            stats.cfg_simplified += 1;
+        }
+    }
+
+    // 2. Merge b -> t when b's only successor is t and t's only
+    //    (reachable) predecessor is b.
+    let live = dyncomp_ir::cfg::reachable(f);
+    let preds = dyncomp_ir::cfg::Preds::compute(f);
+    for b in f.blocks.ids().collect::<Vec<_>>() {
+        if !live.contains(b) {
+            continue;
+        }
+        let Terminator::Jump(t) = f.blocks[b].term else {
+            continue;
+        };
+        if t == b || protected.contains(t) {
+            continue;
+        }
+        let tpreds: Vec<BlockId> = preds
+            .of(t)
+            .iter()
+            .copied()
+            .filter(|p| live.contains(*p))
+            .collect();
+        if tpreds != [b] {
+            continue;
+        }
+        if has_phi[t.index()] {
+            continue;
+        }
+        // Splice t into b.
+        let t_insts = std::mem::take(&mut f.blocks[t].insts);
+        let t_term = std::mem::replace(&mut f.blocks[t].term, Terminator::Unreachable);
+        f.blocks[b].insts.extend(t_insts);
+        f.blocks[b].term = t_term;
+        // Retarget φ operands naming t as predecessor.
+        for ob in f.blocks.ids().collect::<Vec<_>>() {
+            let insts = f.blocks[ob].insts.clone();
+            for i in insts {
+                if let InstKind::Phi(ins) = &mut f.insts[i].kind {
+                    for (p, _) in ins.iter_mut() {
+                        if *p == t {
+                            *p = b;
+                        }
+                    }
+                }
+            }
+        }
+        // Region block sets: replace t by b where present.
+        for r in f.regions.iter_mut() {
+            if r.blocks.remove(t) {
+                r.blocks.insert(b);
+            }
+        }
+        stats.cfg_simplified += 1;
+    }
+    dyncomp_ir::cfg::prune_unreachable(f);
+    stats
+}
+
+#[cfg(test)]
+mod tests;

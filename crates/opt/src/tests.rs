@@ -1,0 +1,485 @@
+//! Optimizer tests: unit tests per pass plus semantic preservation checks
+//! through the reference interpreter.
+
+use crate::*;
+use dyncomp_frontend::{compile, LowerOptions};
+use dyncomp_ir::eval::{EvalOutcome, Evaluator};
+use dyncomp_ir::{Function, Module, SlotPath};
+
+fn build_ssa(src: &str) -> Module {
+    let mut m = compile(src, &LowerOptions::default()).unwrap().module;
+    for f in m.funcs.iter_mut() {
+        dyncomp_ir::ssa::construct_ssa(f);
+    }
+    m
+}
+
+fn run(m: &Module, func: &str, args: &[u64]) -> u64 {
+    let fid = m.func_by_name(func).unwrap();
+    let mut ev = Evaluator::new(m);
+    match ev.call(fid, args).unwrap() {
+        EvalOutcome::Return(v) => v.unwrap_or(0),
+    }
+}
+
+fn opt_all(m: &mut Module) -> OptStats {
+    let mut total = OptStats::default();
+    let opts = OptOptions {
+        cfg_simplify: true,
+        hole_scope: None,
+    };
+    for f in m.funcs.iter_mut() {
+        let s = optimize(f, &opts);
+        dyncomp_ir::verify::verify(f).expect("verifies after optimization");
+        total.add_for_test(&s);
+    }
+    total
+}
+
+impl OptStats {
+    fn add_for_test(&mut self, o: &OptStats) {
+        self.folded += o.folded;
+        self.branches_folded += o.branches_folded;
+        self.copies_propagated += o.copies_propagated;
+        self.dead_removed += o.dead_removed;
+        self.cse_hits += o.cse_hits;
+        self.cfg_simplified += o.cfg_simplified;
+    }
+}
+
+#[test]
+fn folds_constant_expressions() {
+    let mut m = build_ssa("int f() { return (2 + 3) * 4 - 6 / 2; }");
+    let stats = opt_all(&mut m);
+    assert!(stats.folded > 0);
+    assert_eq!(run(&m, "f", &[]), 17);
+    // After folding + DCE the function should be a single return of a
+    // constant.
+    let f = &m.funcs[dyncomp_ir::FuncId(0)];
+    let live: Vec<_> = dyncomp_ir::cfg::reachable(f).iter().collect();
+    let inst_count: usize = live.iter().map(|&b| f.blocks[b].insts.len()).sum();
+    assert_eq!(inst_count, 1, "only the constant remains: {f}");
+}
+
+#[test]
+fn folds_constant_branches_and_prunes() {
+    let mut m = build_ssa("int f(int x) { if (1 < 2) return x; else return x * 1000; }");
+    let stats = opt_all(&mut m);
+    assert!(stats.branches_folded > 0);
+    assert_eq!(run(&m, "f", &[5]), 5);
+    let f = &m.funcs[dyncomp_ir::FuncId(0)];
+    for b in dyncomp_ir::cfg::reachable(f).iter() {
+        assert!(
+            !matches!(f.blocks[b].term, dyncomp_ir::Terminator::Branch { .. }),
+            "no branches remain"
+        );
+    }
+}
+
+#[test]
+fn folds_constant_switch() {
+    let mut m =
+        build_ssa("int f() { switch (2) { case 1: return 10; case 2: return 20; } return 0; }");
+    opt_all(&mut m);
+    assert_eq!(run(&m, "f", &[]), 20);
+}
+
+#[test]
+fn algebraic_identities() {
+    let mut m =
+        build_ssa("int f(int x) { return (x + 0) * 1 + (x - x) + (x ^ x) + (x / 1) - (0 * x); }");
+    opt_all(&mut m);
+    assert_eq!(run(&m, "f", &[21]), 42);
+    // x + x remains; everything else folds away. Expect few instructions.
+    let f = &m.funcs[dyncomp_ir::FuncId(0)];
+    let inst_count: usize = dyncomp_ir::cfg::reachable(f)
+        .iter()
+        .map(|b| f.blocks[b].insts.len())
+        .sum();
+    assert!(inst_count <= 3, "got {inst_count}: {f}");
+}
+
+#[test]
+fn division_by_zero_is_not_folded() {
+    let mut m = build_ssa("int f() { return 1 / 0; }");
+    opt_all(&mut m);
+    let fid = m.func_by_name("f").unwrap();
+    let mut ev = Evaluator::new(&m);
+    assert!(
+        ev.call(fid, &[]).is_err(),
+        "trap preserved, not folded away"
+    );
+}
+
+#[test]
+fn cse_unifies_repeated_expressions() {
+    let mut m = build_ssa("int f(int a, int b) { return (a*b + 1) + (a*b + 1) + (b*a); }");
+    let stats = opt_all(&mut m);
+    assert!(
+        stats.cse_hits >= 2,
+        "a*b appears 3x (once commuted): {stats:?}"
+    );
+    assert_eq!(run(&m, "f", &[3, 4]), 13 + 13 + 12);
+}
+
+#[test]
+fn dce_keeps_side_effects() {
+    let src = r#"
+        int sink = 0;
+        int f(int x) {
+            int unused = x * 99;
+            sink = x;
+            return 7;
+        }
+    "#;
+    let mut m = build_ssa(src);
+    let stats = opt_all(&mut m);
+    assert!(stats.dead_removed > 0);
+    assert_eq!(run(&m, "f", &[3]), 7);
+    // The store to the global must remain.
+    let f = &m.funcs[m.func_by_name("f").unwrap()];
+    let has_store = dyncomp_ir::cfg::reachable(f)
+        .iter()
+        .flat_map(|b| f.blocks[b].insts.clone())
+        .any(|i| matches!(f.kind(i), InstKind::Store { .. }));
+    assert!(has_store);
+}
+
+#[test]
+fn loops_optimize_and_preserve_semantics() {
+    let src = r#"
+        int f(int n) {
+            int s = 0;
+            int i;
+            for (i = 0; i < n; i++) {
+                s += i * 2 + (3 - 3);
+            }
+            return s;
+        }
+    "#;
+    let mut m = build_ssa(src);
+    opt_all(&mut m);
+    assert_eq!(run(&m, "f", &[5]), 20);
+}
+
+#[test]
+fn cfg_simplification_merges_chains() {
+    let mut m = build_ssa("int f(int x) { { { int y = x; { return y + 1; } } } }");
+    let stats = opt_all(&mut m);
+    let f = &m.funcs[dyncomp_ir::FuncId(0)];
+    let live = dyncomp_ir::cfg::reachable(f);
+    assert_eq!(
+        live.len(),
+        1,
+        "straight-line chain collapses to one block: {f}"
+    );
+    let _ = stats;
+    assert_eq!(run(&m, "f", &[4]), 5);
+}
+
+#[test]
+fn region_metadata_survives_optimization() {
+    let src = r#"
+        int f(int k, int x) {
+            dynamicRegion (k) {
+                int t = k * 8;
+                return t + x;
+            }
+        }
+    "#;
+    let mut m = build_ssa(src);
+    opt_all(&mut m);
+    let f = &m.funcs[dyncomp_ir::FuncId(0)];
+    assert_eq!(f.regions.len(), 1);
+    let r = &f.regions[dyncomp_ir::RegionId(0)];
+    let live = dyncomp_ir::cfg::reachable(f);
+    assert!(live.contains(r.entry), "region entry block survives");
+    // Roots still name placed values.
+    for &root in &r.const_roots {
+        let placed = f.iter_blocks().any(|(_, blk)| blk.insts.contains(&root));
+        assert!(placed, "root {root} still placed");
+    }
+    assert_eq!(run(&m, "f", &[2, 5]), 21);
+}
+
+#[test]
+fn hole_barrier_blocks_propagation_outside_scope() {
+    // Hand-build: template block defines a hole and copies it; a block
+    // outside uses the copy. Copy propagation must not rewrite the outside
+    // use to the hole, but may rewrite the inside one.
+    use dyncomp_ir::{InstKind, Terminator, Ty};
+    let mut f = Function::new("h", vec![], Ty::Int);
+    let e = f.entry;
+    let tmpl = f.add_block();
+    let outside = f.add_block();
+    f.blocks[e].term = Terminator::Jump(tmpl);
+    let hole = f.append(
+        tmpl,
+        InstKind::Hole {
+            slot: SlotPath::stat(0),
+            float: false,
+        },
+    );
+    let copy = f.append(tmpl, InstKind::Copy(hole));
+    let one = f.const_int(tmpl, 1);
+    let use_in = f.bin(tmpl, dyncomp_ir::BinOp::Add, copy, one);
+    f.blocks[tmpl].term = Terminator::Jump(outside);
+    let use_out = f.bin(outside, dyncomp_ir::BinOp::Add, copy, one);
+    let sum = f.bin(outside, dyncomp_ir::BinOp::Add, use_in, use_out);
+    f.blocks[outside].term = Terminator::Return(Some(sum));
+    f.is_ssa = true;
+
+    let scope: dyncomp_ir::IdSet<_> = [tmpl].into_iter().collect();
+    copy_propagate(&mut f, Some(&scope));
+    // Inside use now reads the hole directly.
+    assert_eq!(
+        *f.kind(use_in),
+        InstKind::Bin(dyncomp_ir::BinOp::Add, hole, one)
+    );
+    // Outside use still reads the copy.
+    assert_eq!(
+        *f.kind(use_out),
+        InstKind::Bin(dyncomp_ir::BinOp::Add, copy, one)
+    );
+}
+
+#[test]
+fn phi_with_identical_inputs_folds() {
+    let mut m = build_ssa("int f(int p) { int x; if (p) x = 9; else x = 9; return x; }");
+    opt_all(&mut m);
+    assert_eq!(run(&m, "f", &[0]), 9);
+    assert_eq!(run(&m, "f", &[1]), 9);
+    let f = &m.funcs[dyncomp_ir::FuncId(0)];
+    let live = dyncomp_ir::cfg::reachable(f);
+    let phis = live
+        .iter()
+        .flat_map(|b| f.blocks[b].insts.clone())
+        .filter(|&i| matches!(f.kind(i), InstKind::Phi(_)))
+        .count();
+    assert_eq!(phis, 0, "φ(9,9) folded: {f}");
+}
+
+#[test]
+fn optimizer_is_idempotent() {
+    let src = "int f(int a) { int b = a * 2 + 3 * 4; return b + b; }";
+    let mut m = build_ssa(src);
+    opt_all(&mut m);
+    let snapshot = format!("{}", m.funcs[dyncomp_ir::FuncId(0)]);
+    let stats = opt_all(&mut m);
+    assert_eq!(stats, OptStats::default(), "second run is a no-op");
+    assert_eq!(snapshot, format!("{}", m.funcs[dyncomp_ir::FuncId(0)]));
+}
+
+#[test]
+fn semantics_preserved_on_mixed_program() {
+    let src = r#"
+        int g(int a) { return a * 3; }
+        int f(int n) {
+            int acc = 0;
+            int i;
+            for (i = 0; i < n; i++) {
+                switch (i & 3) {
+                    case 0: acc += g(i); break;
+                    case 1: acc += i * 1; break;
+                    case 2: acc += 2 + 2;
+                    default: acc -= 1;
+                }
+            }
+            return acc;
+        }
+    "#;
+    let mut before = build_ssa(src);
+    let expect: Vec<u64> = (0..12).map(|n| run(&before, "f", &[n])).collect();
+    opt_all(&mut before);
+    let after: Vec<u64> = (0..12).map(|n| run(&before, "f", &[n])).collect();
+    assert_eq!(expect, after);
+}
+
+mod cfg_simplify_unit {
+    use super::*;
+    use dyncomp_ir::{BinOp, InstKind, Terminator, Ty};
+
+    /// entry --cond--> fwd1 / fwd2 (both empty) --> join(φ-free) --> ret
+    #[test]
+    fn threads_jumps_through_empty_blocks() {
+        let mut f = Function::new("t", vec![Ty::Int], Ty::Int);
+        let entry = f.entry;
+        let x = f.append(entry, InstKind::Param(0));
+        let fwd1 = f.add_block();
+        let fwd2 = f.add_block();
+        let tail = f.add_block();
+        f.blocks[entry].term = Terminator::Branch {
+            cond: x,
+            then_b: fwd1,
+            else_b: fwd2,
+        };
+        f.blocks[fwd1].term = Terminator::Jump(tail);
+        f.blocks[fwd2].term = Terminator::Jump(tail);
+        let c = f.const_int(tail, 9);
+        f.blocks[tail].term = Terminator::Return(Some(c));
+        dyncomp_ir::ssa::construct_ssa(&mut f);
+
+        let s = simplify_cfg(&mut f);
+        assert!(s.cfg_simplified >= 1, "{s:?}");
+        // Both arms of the branch now point straight at the tail; the
+        // forwarding blocks were pruned.
+        match &f.blocks[entry].term {
+            Terminator::Branch { then_b, else_b, .. } => {
+                assert_eq!(then_b, else_b);
+            }
+            t => panic!("unexpected terminator {t:?}"),
+        }
+        let mut m = Module::new();
+        let fid = m.funcs.push(f);
+        let mut ev = Evaluator::new(&m);
+        assert_eq!(ev.call(fid, &[1]).unwrap(), EvalOutcome::Return(Some(9)));
+    }
+
+    /// Forwarding into a φ-bearing block must NOT be threaded blindly —
+    /// φ operands are keyed by predecessor block.
+    #[test]
+    fn does_not_thread_into_phi_targets() {
+        let src = r#"
+            int pick(int c) {
+                int r;
+                if (c) { r = 10; } else { r = 20; }
+                return r + 1;
+            }
+        "#;
+        let mut m = build_ssa(src);
+        for f in m.funcs.iter_mut() {
+            simplify_cfg(f);
+            dyncomp_ir::verify::verify(f).expect("still verifies");
+        }
+        assert_eq!(run(&m, "pick", &[1]), 11);
+        assert_eq!(run(&m, "pick", &[0]), 21);
+    }
+
+    #[test]
+    fn self_loop_is_not_treated_as_forwarding() {
+        let mut f = Function::new("spin", vec![Ty::Int], Ty::Int);
+        let entry = f.entry;
+        let x = f.append(entry, InstKind::Param(0));
+        let spin = f.add_block();
+        let out = f.add_block();
+        f.blocks[entry].term = Terminator::Branch {
+            cond: x,
+            then_b: spin,
+            else_b: out,
+        };
+        f.blocks[spin].term = Terminator::Jump(spin); // empty self-loop
+        let c = f.const_int(out, 3);
+        f.blocks[out].term = Terminator::Return(Some(c));
+        dyncomp_ir::ssa::construct_ssa(&mut f);
+        simplify_cfg(&mut f);
+        dyncomp_ir::verify::verify(&f).unwrap();
+        // The self-loop must survive as a self-loop (not become a jump into
+        // a pruned block).
+        let mut m = Module::new();
+        let fid = m.funcs.push(f);
+        let mut ev = Evaluator::new(&m);
+        assert_eq!(ev.call(fid, &[0]).unwrap(), EvalOutcome::Return(Some(3)));
+    }
+
+    #[test]
+    fn merges_straight_line_chains_and_counts() {
+        let mut f = Function::new("chain", vec![Ty::Int], Ty::Int);
+        let entry = f.entry;
+        let x = f.append(entry, InstKind::Param(0));
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let one = f.const_int(b1, 1);
+        let y = f.bin(b1, BinOp::Add, x, one);
+        let two = f.const_int(b2, 2);
+        let z = f.bin(b2, BinOp::Mul, y, two);
+        f.blocks[entry].term = Terminator::Jump(b1);
+        f.blocks[b1].term = Terminator::Jump(b2);
+        f.blocks[b2].term = Terminator::Return(Some(z));
+        dyncomp_ir::ssa::construct_ssa(&mut f);
+
+        // One call merges one link of the chain per sweep; iterate to the
+        // fixed point the driver would reach.
+        let mut total = 0;
+        loop {
+            let s = simplify_cfg(&mut f);
+            if s.cfg_simplified == 0 {
+                break;
+            }
+            total += s.cfg_simplified;
+        }
+        assert!(total >= 2, "both links merge: {total}");
+        let live = dyncomp_ir::cfg::reachable(&f);
+        assert_eq!(live.iter().count(), 1, "collapsed to a single block");
+        let mut m = Module::new();
+        let fid = m.funcs.push(f);
+        let mut ev = Evaluator::new(&m);
+        assert_eq!(ev.call(fid, &[20]).unwrap(), EvalOutcome::Return(Some(42)));
+    }
+
+    #[test]
+    fn stats_distinguish_pass_contributions() {
+        let src = r#"
+            int f(int x) {
+                int a = 3 * 4;        /* folded */
+                int b = x + 0;        /* algebraic */
+                int dead = x * 99;    /* never used after prop */
+                int c = x * 7;
+                int d = x * 7;        /* CSE */
+                if (1) { return a + b + c + d; }
+                return dead;
+            }
+        "#;
+        let mut m = build_ssa(src);
+        let s = opt_all(&mut m);
+        assert!(s.folded >= 2, "{s:?}");
+        assert!(s.branches_folded >= 1, "{s:?}");
+        assert!(s.cse_hits >= 1, "{s:?}");
+        assert!(s.dead_removed >= 1, "{s:?}");
+        assert_eq!(run(&m, "f", &[5]), 12 + 5 + 35 + 35);
+    }
+}
+
+#[test]
+fn folding_one_phi_keeps_remaining_phis_at_block_start() {
+    // Regression (found by the random-program property test): folding a φ
+    // to a Copy/Const in place left a later φ in the same block behind a
+    // non-φ instruction, breaking the φ-prefix invariant.
+    use dyncomp_ir::{InstKind, Terminator, Ty};
+    let mut f = Function::new("t", vec![Ty::Int], Ty::Int);
+    let entry = f.entry;
+    let x = f.append(entry, InstKind::Param(0));
+    let l = f.add_block();
+    let r = f.add_block();
+    let j = f.add_block();
+    f.blocks[entry].term = Terminator::Branch {
+        cond: x,
+        then_b: l,
+        else_b: r,
+    };
+    let c1 = f.const_int(l, 5);
+    let a1 = f.bin(l, dyncomp_ir::BinOp::Add, x, c1);
+    f.blocks[l].term = Terminator::Jump(j);
+    let c2 = f.const_int(r, 5);
+    let a2 = f.bin(r, dyncomp_ir::BinOp::Mul, x, c2);
+    f.blocks[r].term = Terminator::Jump(j);
+    // φ1 folds (both operands are the same literal); φ2 does not.
+    let p1 = f.append(j, InstKind::Phi(vec![(l, c1), (r, c2)]));
+    let p2 = f.append(j, InstKind::Phi(vec![(l, a1), (r, a2)]));
+    let s = f.bin(j, dyncomp_ir::BinOp::Add, p1, p2);
+    f.blocks[j].term = Terminator::Return(Some(s));
+    f.is_ssa = true;
+    dyncomp_ir::verify::verify(&f).expect("valid input");
+
+    let stats = fold_constants(&mut f);
+    assert!(stats.folded >= 1);
+    dyncomp_ir::verify::verify(&f).expect("φ prefix preserved after folding");
+
+    let mut m = Module::new();
+    let fid = m.funcs.push(f);
+    let mut ev = Evaluator::new(&m);
+    assert_eq!(
+        ev.call(fid, &[3]).unwrap(),
+        EvalOutcome::Return(Some(5 + 8))
+    );
+    assert_eq!(ev.call(fid, &[0]).unwrap(), EvalOutcome::Return(Some(5)));
+}

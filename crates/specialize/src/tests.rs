@@ -1,0 +1,947 @@
+//! Specializer tests: structural checks plus differential execution —
+//! the reference interpreter executes specialized IR directly (set-up,
+//! constants table, holes, constant branches, unrolled-loop markers), so
+//! every test runs the split region end to end and compares against the
+//! unspecialized program.
+
+use crate::{specialize_region, RegionSpec};
+use dyncomp_analysis::{analyze_region, AnalysisConfig};
+use dyncomp_frontend::{compile, LowerOptions};
+use dyncomp_ir::eval::{EvalOutcome, Evaluator};
+use dyncomp_ir::{FuncId, InstKind, Module, RegionId, Terminator};
+
+/// Full static pipeline through specialization for every function with a
+/// region.
+fn pipeline(src: &str) -> (Module, Vec<(FuncId, RegionSpec)>) {
+    let mut m = compile(src, &LowerOptions::default())
+        .expect("compiles")
+        .module;
+    let mut specs = Vec::new();
+    for fid in m.funcs.ids().collect::<Vec<_>>() {
+        let f = &mut m.funcs[fid];
+        dyncomp_ir::ssa::construct_ssa(f);
+        dyncomp_opt::optimize(
+            f,
+            &dyncomp_opt::OptOptions {
+                cfg_simplify: true,
+                hole_scope: None,
+            },
+        );
+        dyncomp_ir::cfg::split_critical_edges(f);
+        f.canonicalize_region_roots();
+        dyncomp_ir::verify::verify(f).expect("verifies pre-split");
+        for rid in f.regions.ids().collect::<Vec<_>>() {
+            let analysis = analyze_region(f, rid, &AnalysisConfig::default());
+            let spec = specialize_region(f, rid, &analysis).expect("specializes");
+            dyncomp_ir::verify::verify(f).unwrap_or_else(|e| panic!("verify post-split: {e}\n{f}"));
+            specs.push((fid, spec));
+        }
+    }
+    (m, specs)
+}
+
+fn run(m: &Module, func: &str, args: &[u64]) -> u64 {
+    let fid = m.func_by_name(func).expect("function exists");
+    let mut ev = Evaluator::new(m);
+    match ev.call(fid, args).expect("runs") {
+        EvalOutcome::Return(v) => v.unwrap_or(0),
+    }
+}
+
+/// Compare specialized and plain executions over a set of argument tuples.
+fn differential(src: &str, func: &str, argsets: &[Vec<u64>]) {
+    let plain = compile(src, &LowerOptions::default()).unwrap().module;
+    let (spec, _) = pipeline(src);
+    for args in argsets {
+        let want = run(&plain, func, args);
+        let got = run(&spec, func, args);
+        assert_eq!(got, want, "args {args:?}");
+    }
+}
+
+#[test]
+fn straightline_constants() {
+    differential(
+        "int f(int k, int x) { dynamicRegion (k) { int t = k * 3 + 1; return t * x + k; } }",
+        "f",
+        &[vec![2, 10], vec![5, 0], vec![0, 7]],
+    );
+}
+
+#[test]
+fn structure_of_straightline_split() {
+    let (m, specs) = pipeline(
+        "int f(int k, int x) { dynamicRegion (k) { int t = k * 3 + 1; return t * x + k; } }",
+    );
+    assert_eq!(specs.len(), 1);
+    let (fid, spec) = &specs[0];
+    let f = &m.funcs[*fid];
+    // Enter block traps into setup.
+    assert!(matches!(
+        f.blocks[spec.enter_block].term,
+        Terminator::EnterRegion { .. }
+    ));
+    // Setup ends with EndSetup into the template entry.
+    let last_setup = spec
+        .setup_blocks
+        .iter()
+        .find(|&&b| matches!(f.blocks[b].term, Terminator::EndSetup { .. }))
+        .expect("EndSetup present");
+    let Terminator::EndSetup { template, .. } = f.blocks[*last_setup].term else {
+        unreachable!()
+    };
+    assert_eq!(template, spec.template_entry);
+    // Template contains holes, no constant computation of t.
+    let holes: usize = spec
+        .template_blocks
+        .iter()
+        .flat_map(|&b| f.blocks[b].insts.clone())
+        .filter(|&i| matches!(f.kind(i), InstKind::Hole { .. }))
+        .count();
+    assert!(holes >= 2, "t and k are holes: {f}");
+    assert!(spec.stats.const_insts_eliminated >= 2);
+    assert!(spec.table_static_len >= 2);
+    // Setup stores into the table.
+    let setup_stores: usize = spec
+        .setup_blocks
+        .iter()
+        .flat_map(|&b| f.blocks[b].insts.clone())
+        .filter(|&i| matches!(f.kind(i), InstKind::Store { .. }))
+        .count();
+    assert!(setup_stores >= 2);
+}
+
+#[test]
+fn constant_branch_elimination() {
+    // The region's branch on k is constant: the stitcher (here: the
+    // evaluator's ConstBranch) follows exactly one side.
+    let src = r#"
+        int f(int k, int x) {
+            dynamicRegion (k) {
+                if (k > 10) return x * 2;
+                return x + 1;
+            }
+        }
+    "#;
+    differential(
+        src,
+        "f",
+        &[vec![20, 5], vec![3, 5], vec![10, 9], vec![11, 9]],
+    );
+    let (m, specs) = pipeline(src);
+    let (fid, spec) = &specs[0];
+    let f = &m.funcs[*fid];
+    let const_branches = spec
+        .template_blocks
+        .iter()
+        .filter(|&&b| matches!(f.blocks[b].term, Terminator::ConstBranch { .. }))
+        .count();
+    assert_eq!(const_branches, 1);
+    assert_eq!(spec.stats.const_branches, 1);
+}
+
+#[test]
+fn dynamic_branch_stays_in_template() {
+    let src = r#"
+        int f(int k, int x) {
+            dynamicRegion (k) {
+                if (x > k) return 1;
+                return 0;
+            }
+        }
+    "#;
+    differential(src, "f", &[vec![5, 10], vec![5, 2], vec![5, 5]]);
+    let (m, specs) = pipeline(src);
+    let (fid, spec) = &specs[0];
+    let f = &m.funcs[*fid];
+    let dyn_branches = spec
+        .template_blocks
+        .iter()
+        .filter(|&&b| matches!(f.blocks[b].term, Terminator::Branch { .. }))
+        .count();
+    assert_eq!(dyn_branches, 1, "x > k branch is residual: {f}");
+}
+
+#[test]
+fn unrolled_loop_basic() {
+    // Complete unrolling of a counted loop over the run-time constant k.
+    let src = r#"
+        int f(int k, int x) {
+            dynamicRegion (k) {
+                int acc = 0;
+                int i;
+                unrolled for (i = 0; i < k; i++) {
+                    acc += x + i;
+                }
+                return acc;
+            }
+        }
+    "#;
+    differential(
+        src,
+        "f",
+        &[vec![0, 100], vec![1, 100], vec![4, 10], vec![9, 3]],
+    );
+}
+
+#[test]
+fn unrolled_loop_structure() {
+    let src = r#"
+        int f(int k, int x) {
+            dynamicRegion (k) {
+                int acc = 0;
+                int i;
+                unrolled for (i = 0; i < k; i++) { acc += x + i; }
+                return acc;
+            }
+        }
+    "#;
+    let (m, specs) = pipeline(src);
+    let (fid, spec) = &specs[0];
+    let f = &m.funcs[*fid];
+    assert_eq!(spec.stats.unrolled_loops, 1);
+    use dyncomp_ir::TemplateMarker as TM;
+    let mut enter = 0;
+    let mut restart = 0;
+    let mut exit = 0;
+    for &b in &spec.template_blocks {
+        match &f.blocks[b].marker {
+            Some(TM::EnterLoop { .. }) => enter += 1,
+            Some(TM::RestartLoop { .. }) => restart += 1,
+            Some(TM::ExitLoop) => exit += 1,
+            None => {}
+        }
+    }
+    assert_eq!(enter, 1, "one loop entry arc: {f}");
+    assert_eq!(restart, 1, "one back edge");
+    // The region's only exits are returns, which leave with the loop
+    // context still pushed — no ExitLoop marker is required.
+    let _ = exit;
+    // The loop-governing branch is a per-iteration ConstBranch.
+    let cb = spec
+        .template_blocks
+        .iter()
+        .find_map(|&b| match &f.blocks[b].term {
+            Terminator::ConstBranch { slot, .. } => Some(slot.clone()),
+            _ => None,
+        })
+        .expect("loop branch is constant");
+    assert!(
+        !cb.is_static(),
+        "per-iteration predicate slot (paper's 4:0 style), got {cb}"
+    );
+}
+
+#[test]
+fn pointer_chase_unrolled() {
+    // The §3.1 linked-list example: iterate a constant list, summing
+    // dynamic payloads via constant pointers.
+    let src = r#"
+        struct Node { int weight; struct Node *next; };
+        int f(struct Node *lst, int x) {
+            dynamicRegion (lst) {
+                int acc = 0;
+                struct Node *p;
+                unrolled for (p = lst; p != 0; p = p->next) {
+                    acc += p dynamic-> weight * x;
+                }
+                return acc;
+            }
+        }
+    "#;
+    let plain = compile(src, &LowerOptions::default()).unwrap().module;
+    let (spec, _) = pipeline(src);
+    for m in [&plain, &spec] {
+        let fid = m.func_by_name("f").unwrap();
+        let mut ev = Evaluator::new(m);
+        // List: 3 -> 4 -> 5.
+        let n3 = ev.mem.alloc(16).unwrap();
+        let n4 = ev.mem.alloc(16).unwrap();
+        let n5 = ev.mem.alloc(16).unwrap();
+        ev.mem.write_u64(n3, 3).unwrap();
+        ev.mem.write_u64(n3 + 8, n4).unwrap();
+        ev.mem.write_u64(n4, 4).unwrap();
+        ev.mem.write_u64(n4 + 8, n5).unwrap();
+        ev.mem.write_u64(n5, 5).unwrap();
+        ev.mem.write_u64(n5 + 8, 0).unwrap();
+        let out = ev.call(fid, &[n3, 10]).unwrap();
+        assert_eq!(
+            out,
+            EvalOutcome::Return(Some(120)),
+            "module variant differs"
+        );
+    }
+}
+
+#[test]
+fn constant_data_structure_loads() {
+    // Loads through the constant pointer move to setup (load elimination);
+    // dynamic* loads stay.
+    let src = r#"
+        struct Cfg { int scale; int bias; int *data; };
+        int f(struct Cfg *cfg, int i) {
+            dynamicRegion (cfg) {
+                return cfg->data dynamic[ i ] * cfg->scale + cfg->bias;
+            }
+        }
+    "#;
+    let plain = compile(src, &LowerOptions::default()).unwrap().module;
+    let (spec_m, specs) = pipeline(src);
+    for m in [&plain, &spec_m] {
+        let fid = m.func_by_name("f").unwrap();
+        let mut ev = Evaluator::new(m);
+        let data = ev.mem.alloc(32).unwrap();
+        for (j, v) in [10i64, 20, 30, 40].iter().enumerate() {
+            ev.mem.write_u64(data + 8 * j as u64, *v as u64).unwrap();
+        }
+        let cfg = ev.mem.alloc(24).unwrap();
+        ev.mem.write_u64(cfg, 7).unwrap();
+        ev.mem.write_u64(cfg + 8, 100).unwrap();
+        ev.mem.write_u64(cfg + 16, data).unwrap();
+        assert_eq!(
+            ev.call(fid, &[cfg, 2]).unwrap(),
+            EvalOutcome::Return(Some(310))
+        );
+    }
+    let (_, spec) = &specs[0];
+    assert!(
+        spec.stats.loads_eliminated >= 2,
+        "scale/bias/data loads: {:?}",
+        spec.stats
+    );
+}
+
+#[test]
+fn constants_under_dynamic_control_are_speculated() {
+    // t = k*2 is defined under a dynamic branch; setup computes it
+    // speculatively (idempotent), and both template paths work.
+    let src = r#"
+        int f(int k, int x) {
+            dynamicRegion (k) {
+                int r = 0;
+                if (x > 0) {
+                    int t = k * 2;
+                    r = t + x;
+                } else {
+                    r = x - k;
+                }
+                return r;
+            }
+        }
+    "#;
+    differential(
+        src,
+        "f",
+        &[vec![3, 5], vec![3, 0], vec![3, 0u64.wrapping_sub(4)]],
+    );
+}
+
+#[test]
+fn guarded_loads_do_not_fault_when_const_unreachable() {
+    // The load through p only happens when k != 0 — when k == 0, p is the
+    // annotated (valid) pointer anyway; when the *constant branch* makes
+    // the path unreachable, setup must not fault even though it runs the
+    // load's guard with a garbage φ input.
+    let src = r#"
+        struct Box { int v; };
+        int f(struct Box *p, int k, int x) {
+            dynamicRegion (p, k) {
+                int r;
+                if (k > 0) {
+                    r = p->v;
+                } else {
+                    r = k - 1;
+                }
+                return r + x;
+            }
+        }
+    "#;
+    let plain = compile(src, &LowerOptions::default()).unwrap().module;
+    let (spec_m, _) = pipeline(src);
+    for (k, x) in [(5u64, 3u64), (0, 3)] {
+        for m in [&plain, &spec_m] {
+            let fid = m.func_by_name("f").unwrap();
+            let mut ev = Evaluator::new(m);
+            let b = ev.mem.alloc(8).unwrap();
+            ev.mem.write_u64(b, 42).unwrap();
+            let want = if k > 0 {
+                42 + x
+            } else {
+                (k.wrapping_sub(1)).wrapping_add(x)
+            };
+            assert_eq!(
+                ev.call(fid, &[b, k, x]).unwrap(),
+                EvalOutcome::Return(Some(want)),
+                "k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn switch_on_constant() {
+    let src = r#"
+        int f(int k, int x) {
+            dynamicRegion (k) {
+                switch (k) {
+                    case 1: return x + 10;
+                    case 2: return x + 20;
+                    case 3: x = x * 2;      /* fall through */
+                    case 4: return x + 40;
+                    default: return x;
+                }
+            }
+        }
+    "#;
+    differential(
+        src,
+        "f",
+        &[vec![1, 5], vec![2, 5], vec![3, 5], vec![4, 5], vec![9, 5]],
+    );
+    let (m, specs) = pipeline(src);
+    let (fid, spec) = &specs[0];
+    let f = &m.funcs[*fid];
+    let cs = spec
+        .template_blocks
+        .iter()
+        .filter(|&&b| matches!(f.blocks[b].term, Terminator::ConstSwitch { .. }))
+        .count();
+    assert_eq!(cs, 1);
+}
+
+#[test]
+fn switch_on_dynamic_value_inside_region() {
+    let src = r#"
+        int f(int k, int x) {
+            dynamicRegion (k) {
+                switch (x) {
+                    case 1: return k;
+                    case 2: return k * 2;
+                    default: return k + x;
+                }
+            }
+        }
+    "#;
+    differential(src, "f", &[vec![7, 1], vec![7, 2], vec![7, 9]]);
+}
+
+#[test]
+fn nested_unrolled_loops() {
+    // Sparse-matrix shape: outer unrolled loop over rows, inner unrolled
+    // loop over a per-row count, both governed by run-time constants.
+    let src = r#"
+        struct Mat { int rows; int *rowlen; };
+        int f(struct Mat *m, int x) {
+            dynamicRegion (m) {
+                int acc = 0;
+                int i;
+                int j;
+                unrolled for (i = 0; i < m->rows; i++) {
+                    unrolled for (j = 0; j < m->rowlen[i]; j++) {
+                        acc += x + i * 100 + j;
+                    }
+                }
+                return acc;
+            }
+        }
+    "#;
+    let plain = compile(src, &LowerOptions::default()).unwrap().module;
+    let (spec_m, specs) = pipeline(src);
+    assert_eq!(specs[0].1.stats.unrolled_loops, 2);
+    for m in [&plain, &spec_m] {
+        let fid = m.func_by_name("f").unwrap();
+        let mut ev = Evaluator::new(m);
+        let rowlen = ev.mem.alloc(24).unwrap();
+        ev.mem.write_u64(rowlen, 2).unwrap();
+        ev.mem.write_u64(rowlen + 8, 0).unwrap();
+        ev.mem.write_u64(rowlen + 16, 3).unwrap();
+        let mat = ev.mem.alloc(16).unwrap();
+        ev.mem.write_u64(mat, 3).unwrap();
+        ev.mem.write_u64(mat + 8, rowlen).unwrap();
+        // acc = (x+0)+(x+1) + (x+200)+(x+201)+(x+202), x=7
+        #[allow(clippy::identity_op)]
+        let want = (7 + 0) + (7 + 1) + (7 + 200) + (7 + 201) + (7 + 202);
+        assert_eq!(
+            ev.call(fid, &[mat, 7]).unwrap(),
+            EvalOutcome::Return(Some(want)),
+            "variant differs"
+        );
+    }
+}
+
+#[test]
+fn dynamic_exit_from_unrolled_loop() {
+    // The cache-lookup shape: a dynamic branch leaves the unrolled loop
+    // early; the per-iteration value escapes through a variable assigned on
+    // the exiting path (a φ whose copy runs in the ExitLoop marker).
+    let src = r#"
+        int find(int k, int needle) {
+            dynamicRegion (k) {
+                int found = 0 - 1;
+                int i;
+                unrolled for (i = 0; i < k; i++) {
+                    if (i * i == needle) { found = i; break; }
+                }
+                return found;
+            }
+        }
+    "#;
+    differential(
+        src,
+        "find",
+        &[vec![5, 9], vec![5, 16], vec![5, 17], vec![1, 0], vec![5, 0]],
+    );
+}
+
+#[test]
+fn per_iteration_return_from_unrolled_loop() {
+    // `return i` from inside the loop: the return block is reachable only
+    // through the loop, so extended membership stitches it per iteration
+    // and the hole reads that iteration's record.
+    let src = r#"
+        int find(int k, int needle) {
+            dynamicRegion (k) {
+                int i;
+                unrolled for (i = 0; i < k; i++) {
+                    if (i * i == needle) return i;
+                }
+                return 0 - 1;
+            }
+        }
+    "#;
+    differential(
+        src,
+        "find",
+        &[vec![5, 9], vec![5, 16], vec![5, 17], vec![1, 0], vec![5, 0]],
+    );
+}
+
+#[test]
+fn goto_and_fallthrough_inside_region() {
+    // Unstructured flow with a constant switch: the reachability analysis
+    // (not syntax) finds the constant merges.
+    let src = r#"
+        int f(int k, int x) {
+            int r = 0;
+            dynamicRegion (k) {
+                switch (k) {
+                    case 1: r = 10;          /* fall through */
+                    case 2: r = r + 20; break;
+                    case 3: r = 30; goto out;
+                    default: r = 99;
+                }
+                r = r + 1;
+                out: return r + x;
+            }
+        }
+    "#;
+    differential(src, "f", &[vec![1, 0], vec![2, 0], vec![3, 0], vec![7, 0]]);
+}
+
+#[test]
+fn region_value_used_after_region() {
+    let src = r#"
+        int f(int k, int x) {
+            int r = 0;
+            dynamicRegion (k) {
+                r = k * 2 + x;
+            }
+            return r + 1;
+        }
+    "#;
+    differential(src, "f", &[vec![4, 10], vec![0, 0]]);
+}
+
+#[test]
+fn keyed_region_metadata_preserved() {
+    let src = r#"
+        int f(int k, int x) {
+            dynamicRegion key(k) (k) { return k * x; }
+        }
+    "#;
+    let (m, specs) = pipeline(src);
+    let (fid, _) = &specs[0];
+    let f = &m.funcs[*fid];
+    let r = &f.regions[RegionId(0)];
+    assert_eq!(r.key_roots.len(), 1);
+    differential(src, "f", &[vec![3, 4]]);
+}
+
+#[test]
+fn float_constants() {
+    let src = r#"
+        double f(double s, double x) {
+            dynamicRegion (s) {
+                double t = s * 2.0 + 1.5;
+                return t * x;
+            }
+        }
+    "#;
+    let plain = compile(src, &LowerOptions::default()).unwrap().module;
+    let (spec_m, _) = pipeline(src);
+    for m in [&plain, &spec_m] {
+        let out = run(m, "f", &[2.0f64.to_bits(), 3.0f64.to_bits()]);
+        assert_eq!(f64::from_bits(out), 16.5);
+    }
+}
+
+#[test]
+fn multiple_regions_in_one_function() {
+    let src = r#"
+        int f(int k, int j, int x) {
+            int a = 0;
+            int b = 0;
+            dynamicRegion (k) { a = k * x; }
+            dynamicRegion (j) { b = j + x; }
+            return a + b;
+        }
+    "#;
+    let (m, specs) = pipeline(src);
+    assert_eq!(specs.len(), 2);
+    let plain = compile(src, &LowerOptions::default()).unwrap().module;
+    for args in [[3u64, 4, 10], [0, 0, 0]] {
+        assert_eq!(run(&m, "f", &args), run(&plain, "f", &args));
+    }
+}
+
+#[test]
+fn empty_loop_zero_iterations() {
+    // k = 0: the unrolled loop body never runs; setup still allocates one
+    // record (holding the false predicate), the stitcher exits immediately.
+    let src = r#"
+        int f(int k) {
+            dynamicRegion (k) {
+                int acc = 100;
+                int i;
+                unrolled for (i = 0; i < k; i++) { acc += 1; }
+                return acc;
+            }
+        }
+    "#;
+    differential(src, "f", &[vec![0], vec![1], vec![3]]);
+}
+
+#[test]
+fn cache_lookup_specializes_and_runs() {
+    // The paper's full running example through the splitter.
+    let src = r#"
+        struct setStructure { unsigned tag; };
+        struct cacheLine { struct setStructure **sets; };
+        struct Cache {
+            unsigned blockSize;
+            unsigned numLines;
+            struct cacheLine **lines;
+            int associativity;
+        };
+        int cacheLookup(unsigned addr, struct Cache *cache) {
+            dynamicRegion (cache) {
+                unsigned blockSize = cache->blockSize;
+                unsigned numLines = cache->numLines;
+                unsigned tag = addr / (blockSize * numLines);
+                unsigned line = (addr / blockSize) % numLines;
+                struct setStructure **setArray = cache->lines[line]->sets;
+                int assoc = cache->associativity;
+                int set;
+                unrolled for (set = 0; set < assoc; set++) {
+                    if (setArray[set] dynamic-> tag == tag)
+                        return 1;
+                }
+                return 0;
+            }
+        }
+    "#;
+    let plain = compile(src, &LowerOptions::default()).unwrap().module;
+    let (spec_m, specs) = pipeline(src);
+    let (_, spec) = &specs[0];
+    assert_eq!(spec.stats.unrolled_loops, 1);
+    assert!(spec.stats.const_branches >= 1, "the set < assoc branch");
+    assert!(
+        spec.stats.loads_eliminated >= 4,
+        "blockSize/numLines/lines/sets/assoc loads"
+    );
+
+    // But note: setArray depends on the dynamic `line`, so the setArray
+    // load itself is NOT eliminated — check it stayed dynamic:
+    // (the paper's Figure 1 keeps hole3[line]->sets in the template).
+    for m in [&plain, &spec_m] {
+        let fid = m.func_by_name("cacheLookup").unwrap();
+        let mut ev = Evaluator::new(m);
+        let (num_lines, block_size, assoc) = (4u64, 16u64, 2u64);
+        let mut line_recs = Vec::new();
+        let mut set_addrs = Vec::new();
+        for _ in 0..num_lines {
+            let mut sets = Vec::new();
+            for _ in 0..assoc {
+                let s = ev.mem.alloc(8).unwrap();
+                ev.mem.write_u64(s, u64::MAX).unwrap();
+                sets.push(s);
+            }
+            let sets_arr = ev.mem.alloc(8 * assoc).unwrap();
+            for (i, s) in sets.iter().enumerate() {
+                ev.mem.write_u64(sets_arr + 8 * i as u64, *s).unwrap();
+            }
+            let rec = ev.mem.alloc(8).unwrap();
+            ev.mem.write_u64(rec, sets_arr).unwrap();
+            line_recs.push(rec);
+            set_addrs.push(sets);
+        }
+        let lines_arr = ev.mem.alloc(8 * num_lines).unwrap();
+        for (i, r) in line_recs.iter().enumerate() {
+            ev.mem.write_u64(lines_arr + 8 * i as u64, *r).unwrap();
+        }
+        let cache = ev.mem.alloc(32).unwrap();
+        ev.mem.write_u64(cache, block_size).unwrap();
+        ev.mem.write_u64(cache + 8, num_lines).unwrap();
+        ev.mem.write_u64(cache + 16, lines_arr).unwrap();
+        ev.mem.write_u64(cache + 24, assoc).unwrap();
+
+        let addr = 0x1230u64;
+        assert_eq!(
+            ev.call(fid, &[addr, cache]).unwrap(),
+            EvalOutcome::Return(Some(0)),
+            "miss"
+        );
+        let tag = addr / (block_size * num_lines);
+        let line = (addr / block_size) % num_lines;
+        ev.mem.write_u64(set_addrs[line as usize][1], tag).unwrap();
+        assert_eq!(
+            ev.call(fid, &[addr, cache]).unwrap(),
+            EvalOutcome::Return(Some(1)),
+            "hit"
+        );
+    }
+}
+
+#[test]
+fn rejects_illegal_unroll() {
+    // Loop governed by a dynamic bound.
+    let src = r#"
+        int f(int k, int n) {
+            dynamicRegion (k) {
+                int i; int acc = 0;
+                unrolled for (i = 0; i < n; i++) { acc += k; }
+                return acc;
+            }
+        }
+    "#;
+    let mut m = compile(src, &LowerOptions::default()).unwrap().module;
+    let f = &mut m.funcs[FuncId(0)];
+    dyncomp_ir::ssa::construct_ssa(f);
+    dyncomp_ir::cfg::split_critical_edges(f);
+    f.canonicalize_region_roots();
+    let a = analyze_region(f, RegionId(0), &AnalysisConfig::default());
+    let err = specialize_region(f, RegionId(0), &a).unwrap_err();
+    assert!(matches!(err, crate::SpecError::Unroll(_)), "{err}");
+}
+
+mod switch_legalization {
+    use super::*;
+    use crate::legalize_dynamic_switches;
+    use dyncomp_ir::Function;
+
+    /// The full-pipeline helper, plus the legalization step the driver
+    /// performs between analysis and splitting.
+    fn pipeline_legalized(src: &str) -> Module {
+        let mut m = compile(src, &LowerOptions::default())
+            .expect("compiles")
+            .module;
+        for fid in m.funcs.ids().collect::<Vec<_>>() {
+            let f = &mut m.funcs[fid];
+            dyncomp_ir::ssa::construct_ssa(f);
+            dyncomp_opt::optimize(
+                f,
+                &dyncomp_opt::OptOptions {
+                    cfg_simplify: true,
+                    hole_scope: None,
+                },
+            );
+            dyncomp_ir::cfg::split_critical_edges(f);
+            f.canonicalize_region_roots();
+            for rid in f.regions.ids().collect::<Vec<_>>() {
+                let mut analysis = analyze_region(f, rid, &AnalysisConfig::default());
+                if legalize_dynamic_switches(f, rid, &analysis) {
+                    dyncomp_ir::cfg::split_critical_edges(f);
+                    dyncomp_ir::verify::verify(f)
+                        .unwrap_or_else(|e| panic!("verify post-legalize: {e}\n{f}"));
+                    analysis = analyze_region(f, rid, &AnalysisConfig::default());
+                }
+                specialize_region(f, rid, &analysis).expect("specializes");
+                dyncomp_ir::verify::verify(f)
+                    .unwrap_or_else(|e| panic!("verify post-split: {e}\n{f}"));
+            }
+        }
+        m
+    }
+
+    fn no_dynamic_switch_left(f: &Function) {
+        for (b, blk) in f.iter_blocks() {
+            assert!(
+                !matches!(blk.term, Terminator::Switch { .. }),
+                "dynamic switch survived at {b}"
+            );
+        }
+    }
+
+    const DYN_SWITCH: &str = r#"
+        int f(int k, int x) {
+            dynamicRegion (k) {
+                int r = k * 10;
+                switch (x) {                /* selector is dynamic */
+                    case 0: r += 1; break;
+                    case 1: r += 2; break;
+                    case 7: r *= 3; break;
+                    default: r = 0; break;
+                }
+                return r + k;
+            }
+        }
+    "#;
+
+    #[test]
+    fn dynamic_switch_lowers_and_preserves_semantics() {
+        let plain = compile(DYN_SWITCH, &LowerOptions::default())
+            .unwrap()
+            .module;
+        let m = pipeline_legalized(DYN_SWITCH);
+        for f in m.funcs.iter() {
+            no_dynamic_switch_left(f);
+        }
+        for x in [0u64, 1, 2, 7, 100] {
+            for k in [0u64, 3] {
+                assert_eq!(
+                    run(&m, "f", &[k, x]),
+                    run(&plain, "f", &[k, x]),
+                    "k={k} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_switch_keeps_its_directive() {
+        // A switch on the run-time constant must NOT be lowered — it
+        // becomes a CONST_SWITCH resolved at stitch time.
+        let src = r#"
+            int f(int k, int x) {
+                dynamicRegion (k) {
+                    int r;
+                    switch (k) {
+                        case 0: r = x; break;
+                        case 1: r = x * 2; break;
+                        default: r = x + 100; break;
+                    }
+                    return r;
+                }
+            }
+        "#;
+        let mut m = compile(src, &LowerOptions::default()).unwrap().module;
+        let fid = m.func_by_name("f").unwrap();
+        let f = &mut m.funcs[fid];
+        dyncomp_ir::ssa::construct_ssa(f);
+        dyncomp_opt::optimize(
+            f,
+            &dyncomp_opt::OptOptions {
+                cfg_simplify: true,
+                hole_scope: None,
+            },
+        );
+        dyncomp_ir::cfg::split_critical_edges(f);
+        f.canonicalize_region_roots();
+        let rid = RegionId(0);
+        let analysis = analyze_region(f, rid, &AnalysisConfig::default());
+        assert!(
+            !legalize_dynamic_switches(f, rid, &analysis),
+            "constant switch untouched"
+        );
+        let spec = specialize_region(f, rid, &analysis).expect("specializes");
+        let has_const_switch = spec
+            .template_blocks
+            .iter()
+            .any(|&b| matches!(f.blocks[b].term, Terminator::ConstSwitch { .. }));
+        assert!(
+            has_const_switch,
+            "template keeps the CONST_SWITCH directive"
+        );
+    }
+
+    #[test]
+    fn duplicate_case_targets_and_phis() {
+        // Two cases and the default share one merge target carrying a φ:
+        // re-keying must give every new chain predecessor its own entry.
+        let src = r#"
+            int f(int k, int x) {
+                dynamicRegion (k) {
+                    int r = 5;
+                    switch (x) {
+                        case 2: r = k; break;
+                        case 4: r = k; break;
+                        case 9: r = 77; break;
+                        default: break;
+                    }
+                    return r * 2 + x;
+                }
+            }
+        "#;
+        let plain = compile(src, &LowerOptions::default()).unwrap().module;
+        let m = pipeline_legalized(src);
+        for x in [0u64, 2, 4, 9, 10] {
+            assert_eq!(run(&m, "f", &[6, x]), run(&plain, "f", &[6, x]), "x={x}");
+        }
+    }
+
+    #[test]
+    fn empty_and_default_only_switches() {
+        let src = r#"
+            int f(int k, int x) {
+                dynamicRegion (k) {
+                    switch (x) {
+                        default: return k + x;
+                    }
+                }
+            }
+        "#;
+        let plain = compile(src, &LowerOptions::default()).unwrap().module;
+        let m = pipeline_legalized(src);
+        for x in [0u64, 9] {
+            assert_eq!(run(&m, "f", &[3, x]), run(&plain, "f", &[3, x]));
+        }
+    }
+
+    #[test]
+    fn dynamic_switch_inside_unrolled_loop() {
+        // Per-copy dynamic dispatch: the unrolled loop stitches N copies,
+        // each containing the lowered compare chain.
+        let src = r#"
+            int f(int n, int *sel) {
+                dynamicRegion (n) {
+                    int acc = 0;
+                    int i;
+                    unrolled for (i = 0; i < n; i++) {
+                        switch (sel[i]) {
+                            case 0: acc += 1; break;
+                            case 1: acc += 10; break;
+                            default: acc += 100; break;
+                        }
+                    }
+                    return acc;
+                }
+            }
+        "#;
+        let plain = compile(src, &LowerOptions::default()).unwrap().module;
+        let m = pipeline_legalized(src);
+        let run_with = |m: &Module, sels: &[i64]| {
+            let fid = m.func_by_name("f").unwrap();
+            let mut ev = Evaluator::new(m);
+            let addr = ev.mem.alloc(8 * sels.len() as u64).unwrap();
+            for (i, &s) in sels.iter().enumerate() {
+                ev.mem.write_u64(addr + 8 * i as u64, s as u64).unwrap();
+            }
+            match ev.call(fid, &[sels.len() as u64, addr]).unwrap() {
+                EvalOutcome::Return(v) => v.unwrap_or(0),
+            }
+        };
+        for sels in [vec![0i64, 1, 2], vec![1, 1, 1, 1], vec![5, 0]] {
+            assert_eq!(run_with(&m, &sels), run_with(&plain, &sels), "{sels:?}");
+        }
+    }
+}

@@ -1,0 +1,817 @@
+//! # dyncomp-stitcher
+//!
+//! The **stitcher** (§4 of *"Fast, Effective Dynamic Compilation"*, PLDI
+//! 1996): the tiny dynamic compiler that instantiates pre-compiled
+//! machine-code templates at run time.
+//!
+//! Given a region's [`RegionCode`] (template + directives, produced by the
+//! static compiler) and the run-time constants table (filled by the
+//! region's set-up code, in VM data memory), the stitcher:
+//!
+//! * copies template code blocks into fresh executable code, fixing up
+//!   pc-relative branches;
+//! * patches **holes** with constant values — inline when an integer fits
+//!   the 8-bit operate literal, otherwise by constructing the value or
+//!   loading it from a **linearized constants table** it builds (floats
+//!   and pointers always go through the table, §4);
+//! * resolves **constant branches**, stitching only the reachable side
+//!   (run-time dead-code elimination);
+//! * **fully unrolls** annotated loops by walking the per-iteration record
+//!   chains, stitching one copy of the loop body per record;
+//! * applies **value-based peephole optimizations**: multiplication by a
+//!   constant becomes shifts/adds/subtracts, unsigned division and
+//!   remainder by powers of two become shifts and masks.
+//!
+//! Because the stitcher is host code standing in for the paper's
+//! Alpha-resident run time, its work is charged against the deterministic
+//! [`StitchCost`] model rather than measured with a hardware counter.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod regactions;
+
+pub use cost::StitchCost;
+
+use dyncomp_ir::eval::Memory;
+use dyncomp_ir::SlotPath;
+use dyncomp_machine::isa::{decode, encode, Format, Inst, Op, Operand, LIN, SCRATCH0, ZERO};
+use dyncomp_machine::template::{HoleField, LoopMarker, RegionCode, TmplExit};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Stitching options (ablations).
+#[derive(Clone, Debug)]
+pub struct StitchOptions {
+    /// Apply value-based peephole optimizations (§4).
+    pub peephole: bool,
+    /// Build the linearized large-constants table; when off, large integer
+    /// constants are constructed inline from immediates (more stitched
+    /// instructions, no dedicated table loads).
+    pub linearized_table: bool,
+    /// Cost model.
+    pub cost: StitchCost,
+    /// Upper bound on stitched blocks (unrolling runaway protection).
+    pub max_blocks: usize,
+    /// Apply the §5 *register actions* extension, promoting up to this
+    /// many constant-address memory locations into a register bank.
+    /// **Only sound when the promoted memory is scratch** (dead outside
+    /// the region): stores are rewritten without write-back.
+    pub register_actions: Option<usize>,
+}
+
+impl Default for StitchOptions {
+    fn default() -> Self {
+        StitchOptions {
+            peephole: true,
+            linearized_table: true,
+            cost: StitchCost::default(),
+            max_blocks: 200_000,
+            register_actions: None,
+        }
+    }
+}
+
+/// What the stitcher did (feeds Table 2 and Table 3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StitchStats {
+    /// Instructions emitted into the stitched code.
+    pub instructions_stitched: u32,
+    /// Code words emitted (`Ldiw` counts two).
+    pub words_emitted: u32,
+    /// Holes patched inline into literal fields.
+    pub holes_inline: u32,
+    /// Holes satisfied via the linearized table or inline construction.
+    pub holes_big: u32,
+    /// Constant branches resolved (static branch elimination).
+    pub const_branches_resolved: u32,
+    /// Template blocks skipped as unreachable (dead-code elimination).
+    pub blocks_skipped: u32,
+    /// Loop iterations stitched (complete unrolling).
+    pub loop_iterations: u32,
+    /// Peephole strength reductions applied.
+    pub strength_reductions: u32,
+    /// Register-actions: constant-address loads removed.
+    pub regaction_loads_removed: u32,
+    /// Register-actions: constant-address stores rewritten to moves.
+    pub regaction_stores_rewritten: u32,
+    /// Register-actions: addresses promoted to the register bank.
+    pub regaction_promoted: u32,
+    /// Simulated stitcher cycles.
+    pub cycles: u64,
+}
+
+/// The stitched, executable code for one region instance.
+#[derive(Clone, Debug)]
+pub struct Stitched {
+    /// Code words, to be installed at the `base` passed to [`stitch`].
+    pub code: Vec<u32>,
+    /// Address of the linearized constants table in data memory (0 when
+    /// unused).
+    pub lin_table_addr: u64,
+    /// Counters.
+    pub stats: StitchStats,
+}
+
+/// Stitching failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StitchError {
+    /// Constants-table read failed.
+    Table(String),
+    /// The block budget was exhausted (runaway unrolling).
+    UnrollBudget,
+    /// The linearized table outgrew its displacement range.
+    LinTableOverflow,
+    /// A malformed template (decode failure, bad label).
+    BadTemplate(String),
+}
+
+impl fmt::Display for StitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StitchError::Table(m) => write!(f, "constants table access failed: {m}"),
+            StitchError::UnrollBudget => write!(f, "unroll budget exhausted while stitching"),
+            StitchError::LinTableOverflow => write!(f, "linearized constants table overflow"),
+            StitchError::BadTemplate(m) => write!(f, "malformed template: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StitchError {}
+
+/// Stitch `rc`'s template into executable code.
+///
+/// `table` is the constants-table base address the set-up code produced;
+/// `mem` is VM data memory (slot reads, linearized-table allocation);
+/// `base` is the code address where the caller will install the result
+/// (needed for pc-relative branches to the region's exit points).
+///
+/// # Errors
+/// See [`StitchError`].
+pub fn stitch(
+    rc: &RegionCode,
+    table: u64,
+    mem: &mut Memory,
+    base: u32,
+    opts: &StitchOptions,
+) -> Result<Stitched, StitchError> {
+    let mut st = Stitcher {
+        rc,
+        table,
+        mem,
+        base,
+        opts,
+        out: Vec::new(),
+        lin: Vec::new(),
+        lin_dedup: HashMap::new(),
+        stats: StitchStats::default(),
+        done: HashMap::new(),
+        fixups: Vec::new(),
+        lin_ldiw_patches: Vec::new(),
+        lin_far_patches: Vec::new(),
+        queue: Vec::new(),
+        accesses: Vec::new(),
+        reg_known: HashMap::new(),
+        known_load_at: HashMap::new(),
+    };
+
+    // Prologue: establish the linearized-table base register. The address
+    // is unknown until stitching completes; patch afterwards.
+    st.charge(st.opts.cost.directive);
+    st.lin_ldiw_patches.push(st.out.len() as u32);
+    st.emit(Inst::ldiw(LIN, 0));
+
+    // Reserve the register-actions preamble (3 words per promoted
+    // address; unneeded slots remain harmless moves).
+    let nop = encode(&Inst::op3(Op::Bis, ZERO, Operand::Reg(ZERO), ZERO))
+        .expect("nop")
+        .0;
+    let ra_slots = opts.register_actions.map(|k| {
+        let at = st.out.len();
+        for _ in 0..3 * k {
+            st.out.push(nop);
+            st.stats.words_emitted += 1;
+            st.stats.instructions_stitched += 1;
+        }
+        at
+    });
+
+    let entry_key = (rc.template.entry, Vec::new());
+    st.queue.push(entry_key);
+    while let Some(key) = st.queue.pop() {
+        if st.done.contains_key(&key) {
+            continue; // already stitched; fixups resolve to it
+        }
+        st.stitch_chain(key)?;
+    }
+    st.resolve_fixups()?;
+
+    // Allocate and fill the linearized table.
+    let lin_addr = if st.lin.is_empty() {
+        0
+    } else {
+        let addr = st
+            .mem
+            .alloc(8 * st.lin.len() as u64)
+            .map_err(|e| StitchError::Table(e.to_string()))?;
+        for (i, &v) in st.lin.iter().enumerate() {
+            st.mem
+                .write_u64(addr + 8 * i as u64, v)
+                .map_err(|e| StitchError::Table(e.to_string()))?;
+        }
+        addr
+    };
+    for &p in &st.lin_ldiw_patches {
+        st.out[p as usize + 1] = lin_addr as u32;
+    }
+    for &(p, off) in &st.lin_far_patches {
+        st.out[p as usize + 1] = (lin_addr as u32).wrapping_add(off);
+    }
+
+    // §5 register actions: promote hot constant addresses.
+    if let (Some(k), Some(slot_base)) = (opts.register_actions, ra_slots) {
+        let accesses = std::mem::take(&mut st.accesses);
+        if std::env::var_os("DYNCOMP_DEBUG_RA").is_some() {
+            eprintln!("[regactions] {} const accesses recorded", accesses.len());
+        }
+        let (preamble, _rewritten, ra_stats) =
+            crate::regactions::apply_register_actions(&mut st.out, &accesses, k);
+        let mut at = slot_base;
+        for i in &preamble {
+            let (w, extra) = encode(i).expect("preamble encodes");
+            st.out[at] = w;
+            at += 1;
+            if let Some(x) = extra {
+                st.out[at] = x;
+                at += 1;
+            }
+        }
+        st.stats.regaction_loads_removed = ra_stats.loads_removed + ra_stats.addr_loads_removed;
+        st.stats.regaction_stores_rewritten = ra_stats.stores_rewritten;
+        st.stats.regaction_promoted = ra_stats.promoted;
+        st.charge(
+            st.opts.cost.peephole_try * accesses.len() as u64
+                + st.opts.cost.peephole_emit
+                    * (ra_stats.loads_removed + ra_stats.stores_rewritten) as u64,
+        );
+    }
+
+    // The paper deallocates the structured table after stitching; our
+    // bump allocator has no free, but the semantics match: the stitched
+    // code only references the linearized table.
+
+    Ok(Stitched {
+        code: st.out,
+        lin_table_addr: lin_addr,
+        stats: st.stats,
+    })
+}
+
+/// A stitch point: template block + unrolled-loop record stack.
+type Key = (u32, Vec<u64>);
+
+struct Stitcher<'a> {
+    rc: &'a RegionCode,
+    table: u64,
+    mem: &'a mut Memory,
+    base: u32,
+    opts: &'a StitchOptions,
+    out: Vec<u32>,
+    lin: Vec<u64>,
+    lin_dedup: HashMap<u64, u32>,
+    stats: StitchStats,
+    /// Output offset of each stitched (block, context).
+    done: HashMap<Key, u32>,
+    /// Pending pc-relative fixups: `(branch word offset, target key)`.
+    fixups: Vec<(u32, Key)>,
+    lin_ldiw_patches: Vec<u32>,
+    /// Far-entry `Ldiw` positions to patch with `lin_addr + offset`.
+    lin_far_patches: Vec<(u32, u32)>,
+    /// Branch targets waiting to be stitched.
+    queue: Vec<Key>,
+    /// Register-actions log: memory accesses with constant addresses.
+    accesses: Vec<crate::regactions::ConstAccess>,
+    /// Registers currently holding known constants (within one block).
+    reg_known: HashMap<u8, u64>,
+    /// Output position of the hole load that established each known reg.
+    known_load_at: HashMap<u8, u32>,
+}
+
+impl Stitcher<'_> {
+    fn charge(&mut self, c: u64) {
+        self.stats.cycles += c;
+    }
+
+    fn emit(&mut self, i: Inst) {
+        let (w, extra) = encode(&i).expect("stitched instruction encodes");
+        self.out.push(w);
+        self.stats.words_emitted += 1;
+        self.stats.instructions_stitched += 1;
+        if let Some(x) = extra {
+            self.out.push(x);
+            self.stats.words_emitted += 1;
+        }
+    }
+
+    fn abs_pos(&self) -> u32 {
+        self.base + self.out.len() as u32
+    }
+
+    /// Resolve a slot path against the current record stack and read it.
+    fn read_slot(&mut self, path: &SlotPath, ctx: &[u64]) -> Result<u64, StitchError> {
+        self.charge(self.opts.cost.table_read);
+        let addr = if path.is_static() {
+            self.table + 8 * u64::from(path.0[0])
+        } else {
+            let depth = path.depth();
+            if depth > ctx.len() {
+                return Err(StitchError::Table(format!(
+                    "slot {path} deeper than active loops ({})",
+                    ctx.len()
+                )));
+            }
+            ctx[depth - 1] + 8 * u64::from(path.leaf())
+        };
+        self.mem
+            .read_u64(addr)
+            .map_err(|e| StitchError::Table(e.to_string()))
+    }
+
+    /// Append to the linearized table (deduplicated); returns byte offset.
+    /// Offsets beyond the 14-bit displacement range are handled by the
+    /// callers with a far-entry sequence.
+    fn lin_offset(&mut self, v: u64) -> Result<i32, StitchError> {
+        if let Some(&off) = self.lin_dedup.get(&v) {
+            return Ok(off as i32);
+        }
+        let off = 8 * self.lin.len() as u32;
+        if self.lin.len() >= 1 << 20 {
+            return Err(StitchError::LinTableOverflow);
+        }
+        self.charge(self.opts.cost.lin_append);
+        self.lin.push(v);
+        self.lin_dedup.insert(v, off);
+        Ok(off as i32)
+    }
+
+    /// Whether a table offset fits the memory-format displacement.
+    fn lin_near(off: i32) -> bool {
+        off <= dyncomp_machine::isa::limits::DISP_MAX
+    }
+
+    /// Emit `Ldiw r25, <lin_addr + off>` (patched once the table address
+    /// is known) so a far table entry can be loaded via `0(r25)`.
+    fn emit_far_base(&mut self, off: i32) {
+        self.lin_far_patches
+            .push((self.out.len() as u32, off as u32));
+        self.emit(Inst::ldiw(SCRATCH0, 0));
+    }
+
+    /// Stitch a fall-through chain starting at `key`, queueing branch
+    /// targets for later (iterative — unrolling can produce very long
+    /// chains).
+    fn stitch_chain(&mut self, key: Key) -> Result<(), StitchError> {
+        let mut next = Some(key);
+        while let Some(key) = next.take() {
+            if self.done.contains_key(&key) {
+                // Re-joining already stitched code: branch to it.
+                let target = self.done[&key];
+                self.charge(self.opts.cost.branch_fixup);
+                let disp = target as i64 - (self.abs_pos() as i64 + 1);
+                self.emit(Inst::branch(Op::Br, ZERO, disp as i32));
+                return Ok(());
+            }
+            if self.done.len() >= self.opts.max_blocks {
+                return Err(StitchError::UnrollBudget);
+            }
+            next = self.stitch_block(key)?;
+        }
+        Ok(())
+    }
+
+    /// Stitch one block; returns the next (fall-through) key, if any.
+    fn stitch_block(&mut self, key: Key) -> Result<Option<Key>, StitchError> {
+        let (label, mut ctx) = key.clone();
+        self.done.insert(key, self.abs_pos());
+        self.charge(self.opts.cost.directive);
+        self.reg_known.clear();
+        self.known_load_at.clear();
+
+        let blk = self
+            .rc
+            .template
+            .blocks
+            .get(label as usize)
+            .ok_or_else(|| StitchError::BadTemplate(format!("label {label}")))?
+            .clone();
+
+        // ---- copy code, patching holes ----
+        let mut w = blk.start as usize;
+        let code = &self.rc.template.code;
+        let mut hole_idx = 0usize;
+        let mut branch_at_out: Option<u32> = None; // output pos of the CondBranch word
+        while w < blk.end as usize {
+            let word = code[w];
+            let is_wide = Op::from_u8((word >> 24) as u8) == Some(Op::Ldiw);
+            // Holes at this template offset?
+            let hole = blk
+                .holes
+                .get(hole_idx)
+                .filter(|h| h.at == w as u32)
+                .cloned();
+            if let Some(h) = hole {
+                hole_idx += 1;
+                self.charge(self.opts.cost.directive);
+                self.patch_hole(word, &h, &ctx)?;
+                w += 1;
+                continue;
+            }
+            // The CondBranch exit's branch word needs a fixup later.
+            if let TmplExit::CondBranch { at, .. } = blk.exit {
+                if at == w as u32 {
+                    branch_at_out = Some(self.out.len() as u32);
+                }
+            }
+            self.charge(self.opts.cost.copy_word);
+            if self.opts.register_actions.is_some() {
+                self.track_access(word);
+            }
+            self.out.push(word);
+            self.stats.words_emitted += 1;
+            self.stats.instructions_stitched += 1;
+            if is_wide {
+                self.out.push(code[w + 1]);
+                self.stats.words_emitted += 1;
+                self.charge(self.opts.cost.copy_word);
+                w += 1;
+            }
+            w += 1;
+        }
+
+        // ---- marker (after the block's code) ----
+        if let Some(m) = &blk.marker {
+            self.charge(self.opts.cost.loop_op);
+            match m {
+                LoopMarker::Enter { root } => {
+                    let head = self.read_slot(root, &ctx)?;
+                    ctx.push(head);
+                }
+                LoopMarker::Restart { next_slot } => {
+                    let cur = *ctx
+                        .last()
+                        .ok_or_else(|| StitchError::BadTemplate("restart outside loop".into()))?;
+                    let next = self
+                        .mem
+                        .read_u64(cur + 8 * u64::from(*next_slot))
+                        .map_err(|e| StitchError::Table(e.to_string()))?;
+                    *ctx.last_mut().unwrap() = next;
+                    self.stats.loop_iterations += 1;
+                }
+                LoopMarker::Exit => {
+                    ctx.pop()
+                        .ok_or_else(|| StitchError::BadTemplate("exit outside loop".into()))?;
+                }
+            }
+        }
+
+        // ---- exit ----
+        match blk.exit.clone() {
+            TmplExit::Jump(l) => Ok(Some((l, ctx))),
+            TmplExit::CondBranch { taken, fall, .. } => {
+                let at = branch_at_out
+                    .ok_or_else(|| StitchError::BadTemplate("missing branch word".into()))?;
+                self.fixups.push((at, (taken, ctx.clone())));
+                // The taken side is stitched later from the queue; fall
+                // through into the other side now.
+                self.queue.push((taken, ctx.clone()));
+                Ok(Some((fall, ctx)))
+            }
+            TmplExit::ConstBranch {
+                slot,
+                then_l,
+                else_l,
+            } => {
+                self.charge(self.opts.cost.const_branch);
+                self.stats.const_branches_resolved += 1;
+                self.stats.blocks_skipped += 1;
+                let v = self.read_slot(&slot, &ctx)?;
+                Ok(Some((if v != 0 { then_l } else { else_l }, ctx)))
+            }
+            TmplExit::ConstSwitch {
+                slot,
+                cases,
+                default,
+            } => {
+                self.charge(self.opts.cost.const_branch);
+                self.stats.const_branches_resolved += 1;
+                self.stats.blocks_skipped += cases.len() as u32;
+                let v = self.read_slot(&slot, &ctx)? as i64;
+                let target = cases
+                    .iter()
+                    .find(|(c, _)| *c == v)
+                    .map(|(_, l)| *l)
+                    .unwrap_or(default);
+                Ok(Some((target, ctx)))
+            }
+            TmplExit::Return => Ok(None),
+            TmplExit::ExitRegion { exit } => {
+                self.charge(self.opts.cost.branch_fixup);
+                let target = *self
+                    .rc
+                    .exit_pcs
+                    .get(exit as usize)
+                    .ok_or_else(|| StitchError::BadTemplate(format!("exit {exit}")))?;
+                let disp = target as i64 - (self.abs_pos() as i64 + 1);
+                self.emit(Inst::branch(Op::Br, ZERO, disp as i32));
+                Ok(None)
+            }
+        }
+    }
+
+    /// Register-actions bookkeeping while copying a plain word: record
+    /// loads/stores whose base register holds a known constant, and kill
+    /// known-constant entries for overwritten registers.
+    fn track_access(&mut self, word: u32) {
+        let Ok(inst) = decode(word, None) else { return };
+        let mut matched_base: Option<u8> = None;
+        match inst.op {
+            Op::Ldq | Op::Stq => {
+                if let Operand::Reg(base) = inst.rb {
+                    if let Some(&v) = self.reg_known.get(&base) {
+                        matched_base = Some(base);
+                        self.accesses.push(crate::regactions::ConstAccess {
+                            at: self.out.len() as u32,
+                            addr: v.wrapping_add(inst.imm as i64 as u64),
+                            is_store: inst.op == Op::Stq,
+                            via_load: self.known_load_at.get(&base).copied(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Any *other* read of a known register means its address load has
+        // consumers beyond promoted accesses: it must stay.
+        let mut reads: Vec<u8> = Vec::new();
+        match inst.op.format() {
+            Format::Operate => {
+                reads.push(inst.ra);
+                if let Operand::Reg(r) = inst.rb {
+                    reads.push(r);
+                }
+            }
+            Format::Memory => {
+                if let Operand::Reg(r) = inst.rb {
+                    reads.push(r);
+                }
+                if matches!(inst.op, Op::Stb | Op::Stw | Op::Stl | Op::Stq | Op::Stt) {
+                    reads.push(inst.ra);
+                }
+            }
+            Format::Branch => reads.push(inst.ra),
+            Format::Jump => {
+                if let Operand::Reg(r) = inst.rb {
+                    reads.push(r);
+                }
+            }
+            Format::Special => {}
+        }
+        for r in reads {
+            if Some(r) != matched_base && self.reg_known.contains_key(&r) {
+                // Pin the load: clearing its record keeps it alive.
+                self.known_load_at.remove(&r);
+            }
+        }
+        // Kill overwritten registers.
+        match inst.op.format() {
+            Format::Operate => {
+                self.reg_known.remove(&inst.rc);
+                self.known_load_at.remove(&inst.rc);
+            }
+            Format::Memory => {
+                if !matches!(inst.op, Op::Stb | Op::Stw | Op::Stl | Op::Stq | Op::Stt) {
+                    self.reg_known.remove(&inst.ra);
+                    self.known_load_at.remove(&inst.ra);
+                }
+            }
+            Format::Branch | Format::Jump => {
+                self.reg_known.remove(&inst.ra);
+                self.known_load_at.remove(&inst.ra);
+            }
+            Format::Special => {
+                self.reg_known.remove(&inst.rc);
+                self.known_load_at.remove(&inst.rc);
+            }
+        }
+    }
+
+    /// Patch one hole into the instruction `word`.
+    fn patch_hole(
+        &mut self,
+        word: u32,
+        h: &dyncomp_machine::template::Hole,
+        ctx: &[u64],
+    ) -> Result<(), StitchError> {
+        let v = self.read_slot(&h.slot, ctx)?;
+        match h.field {
+            HoleField::MemDisp { float } => {
+                // The template already holds the load from r27; patch disp.
+                let off = self.lin_offset(v)?;
+                self.charge(self.opts.cost.hole_big);
+                self.stats.holes_big += 1;
+                let load_at = self.out.len() as u32;
+                let near = Self::lin_near(off);
+                if near {
+                    let patched = (word & !0x3FFF) | (off as u32 & 0x3FFF);
+                    self.out.push(patched);
+                    self.stats.words_emitted += 1;
+                    self.stats.instructions_stitched += 1;
+                } else {
+                    // Far entry: materialize the slot address, rebase the
+                    // load onto it.
+                    self.emit_far_base(off);
+                    let inst =
+                        decode(word, None).map_err(|e| StitchError::BadTemplate(e.to_string()))?;
+                    self.emit(Inst {
+                        rb: Operand::Reg(SCRATCH0),
+                        imm: 0,
+                        ..inst
+                    });
+                }
+                if !float && self.opts.register_actions.is_some() {
+                    // The destination register now holds a known constant
+                    // (often an address) — register-actions fodder.
+                    let dest = ((word >> 19) & 31) as u8;
+                    self.reg_known.insert(dest, v);
+                    if near {
+                        // (Far pairs are never neutralized: the Ldiw spans
+                        // two words.)
+                        self.known_load_at.insert(dest, load_at);
+                    }
+                }
+            }
+            HoleField::Lit => {
+                let inst =
+                    decode(word, None).map_err(|e| StitchError::BadTemplate(e.to_string()))?;
+                debug_assert_eq!(inst.op.format(), Format::Operate);
+                // Peephole strength reduction first (§4): constant
+                // multiplies and unsigned divides/mods rewrite entirely.
+                if self.opts.peephole && self.try_strength_reduce(&inst, v) {
+                    return Ok(());
+                }
+                if v <= 255 {
+                    self.charge(self.opts.cost.hole_inline);
+                    self.stats.holes_inline += 1;
+                    self.emit(Inst {
+                        rb: Operand::Lit(v as u8),
+                        ..inst
+                    });
+                } else {
+                    self.charge(self.opts.cost.hole_big);
+                    self.stats.holes_big += 1;
+                    self.materialize_scratch(v)?;
+                    self.emit(Inst {
+                        rb: Operand::Reg(SCRATCH0),
+                        ..inst
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bring `v` into the stitcher scratch register `r25`.
+    fn materialize_scratch(&mut self, v: u64) -> Result<(), StitchError> {
+        let sv = v as i64;
+        if (-8192..=8191).contains(&sv) {
+            self.emit(Inst::mem(Op::Lda, SCRATCH0, ZERO, sv as i16));
+        } else if sv >= i32::MIN as i64 && sv <= i32::MAX as i64 {
+            self.emit(Inst::ldiw(SCRATCH0, sv as i32));
+        } else if self.opts.linearized_table {
+            let off = self.lin_offset(v)?;
+            if Self::lin_near(off) {
+                self.emit(Inst::mem(Op::Ldq, SCRATCH0, LIN, off as i16));
+            } else {
+                self.emit_far_base(off);
+                self.emit(Inst::mem(Op::Ldq, SCRATCH0, SCRATCH0, 0));
+            }
+        } else {
+            // Construct from 13-bit chunks (ablation path). The leading
+            // chunk keeps its sign (arithmetic shift, no mask).
+            let chunks = [
+                sv >> 52,
+                (sv >> 39) & 0x1FFF,
+                (sv >> 26) & 0x1FFF,
+                (sv >> 13) & 0x1FFF,
+                sv & 0x1FFF,
+            ];
+            self.emit(Inst::mem(Op::Lda, SCRATCH0, ZERO, chunks[0] as i16));
+            for &c in &chunks[1..] {
+                self.emit(Inst::op3(Op::Sll, SCRATCH0, Operand::Lit(13), SCRATCH0));
+                if c != 0 {
+                    self.emit(Inst::mem(Op::Lda, SCRATCH0, SCRATCH0, c as i16));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// §4 peephole: rewrite `mulq/divqu/remqu rX, #const` using the actual
+    /// value. Returns true when a rewrite was emitted.
+    fn try_strength_reduce(&mut self, inst: &Inst, v: u64) -> bool {
+        self.charge(self.opts.cost.peephole_try);
+        let ra = inst.ra;
+        let rc = inst.rc;
+        match inst.op {
+            Op::Mulq => {
+                if v == 0 {
+                    self.emit_sr(Inst::op3(Op::Bis, ZERO, Operand::Reg(ZERO), rc));
+                    return true;
+                }
+                if v == 1 {
+                    self.emit_sr(Inst::op3(Op::Bis, ra, Operand::Reg(ra), rc));
+                    return true;
+                }
+                if v.is_power_of_two() {
+                    let k = v.trailing_zeros() as u8;
+                    self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit(k), rc));
+                    return true;
+                }
+                // 2^k - 1: shift and subtract.
+                if (v + 1).is_power_of_two() {
+                    let k = (v + 1).trailing_zeros() as u8;
+                    self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit(k), SCRATCH0));
+                    self.emit_sr(Inst::op3(Op::Subq, SCRATCH0, Operand::Reg(ra), rc));
+                    return true;
+                }
+                // Few set bits: shift/add decomposition. Guard against the
+                // destination aliasing the source.
+                if v.count_ones() <= 3 && rc != ra {
+                    let mut bits: Vec<u32> = (0..64).filter(|b| v & (1 << b) != 0).collect();
+                    let first = bits.remove(0);
+                    self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit(first as u8), rc));
+                    for b in bits {
+                        self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit(b as u8), SCRATCH0));
+                        self.emit_sr(Inst::op3(Op::Addq, rc, Operand::Reg(SCRATCH0), rc));
+                    }
+                    return true;
+                }
+                false
+            }
+            Op::Divqu => {
+                if v.is_power_of_two() {
+                    let k = v.trailing_zeros() as u8;
+                    self.emit_sr(Inst::op3(Op::Srl, ra, Operand::Lit(k), rc));
+                    return true;
+                }
+                false
+            }
+            Op::Remqu => {
+                if v.is_power_of_two() {
+                    let k = v.trailing_zeros();
+                    if v - 1 <= 255 {
+                        self.emit_sr(Inst::op3(Op::And, ra, Operand::Lit((v - 1) as u8), rc));
+                    } else {
+                        // x << (64-k) >> (64-k)
+                        self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit((64 - k) as u8), rc));
+                        self.emit_sr(Inst::op3(Op::Srl, rc, Operand::Lit((64 - k) as u8), rc));
+                    }
+                    return true;
+                }
+                false
+            }
+            _ => false,
+        }
+    }
+
+    fn emit_sr(&mut self, i: Inst) {
+        self.stats.strength_reductions += 1;
+        self.charge(self.opts.cost.peephole_emit);
+        self.emit(i);
+    }
+
+    fn resolve_fixups(&mut self) -> Result<(), StitchError> {
+        for (at, key) in self.fixups.clone() {
+            let target = *self
+                .done
+                .get(&key)
+                .ok_or_else(|| StitchError::BadTemplate("unresolved branch target".into()))?;
+            let pos = self.base + at;
+            let disp = target as i64 - (pos as i64 + 1);
+            let word = self.out[at as usize];
+            let inst = decode(word, None).map_err(|e| StitchError::BadTemplate(e.to_string()))?;
+            let (w, _) = encode(&Inst {
+                imm: disp as i32,
+                ..inst
+            })
+            .map_err(|e| StitchError::BadTemplate(e.to_string()))?;
+            self.out[at as usize] = w;
+            self.charge(self.opts.cost.branch_fixup);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,243 @@
+//! Register actions (§5 extension): stitcher-time register allocation of
+//! constant-address array elements, after Wall's link-time allocator.
+//!
+//! The paper reports that most template code in some kernels is array
+//! loads/stores through run-time-constant addresses; promoting a few such
+//! elements to registers at stitch time raised the calculator's speedup
+//! from 1.7× to 4.1×. Here the static compiler's role is played by a
+//! post-stitch rewrite: loads and stores whose base register is the
+//! stitcher scratch (`r25`, holding a just-materialized constant address)
+//! or whose address was patched from the constants table are candidates;
+//! the hottest few addresses are assigned to a bank of reserved registers,
+//! their loads/stores rewritten to register moves.
+//!
+//! The implementation works on stitched code as a peephole pass: it scans
+//! for `Ldq/Stq rX, disp(rB)` pairs whose effective address is a known
+//! constant (recorded by the stitcher in an *action log*), ranks addresses
+//! by access count, assigns the top `k` to registers, and rewrites.
+
+use dyncomp_machine::isa::{decode, encode, Inst, Op, Operand, Reg};
+
+/// A memory access the stitcher identified as having a run-time-constant
+/// effective address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConstAccess {
+    /// Word offset of the load/store in the stitched code.
+    pub at: u32,
+    /// The constant effective address.
+    pub addr: u64,
+    /// Whether this is a store.
+    pub is_store: bool,
+    /// Output position of the hole load that materialized the base
+    /// address, when known and not otherwise used — if every access
+    /// through it is rewritten, the load itself is dead ("eliminate
+    /// loads, stores, and address arithmetic", §5).
+    pub via_load: Option<u32>,
+}
+
+/// Result of applying register actions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RegActionStats {
+    /// Loads rewritten to register moves.
+    pub loads_removed: u32,
+    /// Stores rewritten to register moves.
+    pub stores_rewritten: u32,
+    /// Address-materializing loads that became dead and were neutralized.
+    pub addr_loads_removed: u32,
+    /// Addresses promoted to registers.
+    pub promoted: u32,
+}
+
+/// Registers available for promotion (a dedicated bank the allocator never
+/// uses for ordinary values would be reserved by a production compiler; we
+/// borrow high float-caller registers' integer twins, which our code
+/// generator leaves untouched between calls: `r16`–`r21` are argument
+/// registers, dead after the prologue in leaf templates).
+pub const ACTION_REGS: &[Reg] = &[16, 17, 18, 19, 20, 21];
+
+/// Rewrite `code` so the `k` most-accessed constant addresses live in a
+/// register bank: a preload sequence (returned for the caller to splice at
+/// the stitched entry) brings each promoted element into its bank
+/// register; loads become register moves and stores become register moves
+/// *into* the bank.
+///
+/// There is **no write-back**: this matches the §5 experiment, where the
+/// promoted array (the calculator's operand stack) is pure scratch — dead
+/// once the region exits. Applying register actions to a region whose
+/// promoted memory is read by other code after the region would be
+/// unsound; the option is therefore opt-in per program.
+///
+/// Returns the preamble instructions, a per-access rewrite mask, and the
+/// statistics.
+pub fn apply_register_actions(
+    code: &mut [u32],
+    accesses: &[ConstAccess],
+    k: usize,
+) -> (Vec<Inst>, Vec<bool>, RegActionStats) {
+    let mut stats = RegActionStats::default();
+    let mut rewritten = vec![false; accesses.len()];
+    use std::collections::HashMap;
+    let mut count: HashMap<u64, u32> = HashMap::new();
+    for a in accesses {
+        *count.entry(a.addr).or_insert(0) += 1;
+    }
+    let mut ranked: Vec<(u64, u32)> = count.into_iter().collect();
+    ranked.sort_by_key(|&(addr, n)| (std::cmp::Reverse(n), addr));
+    ranked.truncate(k.min(ACTION_REGS.len()));
+
+    let assignment: HashMap<u64, Reg> = ranked
+        .iter()
+        .enumerate()
+        .map(|(i, &(addr, _))| (addr, ACTION_REGS[i]))
+        .collect();
+    stats.promoted = assignment.len() as u32;
+
+    for (i, a) in accesses.iter().enumerate() {
+        let Some(&bank) = assignment.get(&a.addr) else {
+            continue;
+        };
+        let word = code[a.at as usize];
+        let Ok(inst) = decode(word, None) else {
+            continue;
+        };
+        match inst.op {
+            Op::Ldq if !a.is_store => {
+                let mv = Inst::op3(Op::Bis, bank, Operand::Reg(bank), inst.ra);
+                let (w, _) = encode(&mv).expect("move encodes");
+                code[a.at as usize] = w;
+                stats.loads_removed += 1;
+                rewritten[i] = true;
+            }
+            Op::Stq if a.is_store => {
+                let mv = Inst::op3(Op::Bis, inst.ra, Operand::Reg(inst.ra), bank);
+                let (w, _) = encode(&mv).expect("move encodes");
+                code[a.at as usize] = w;
+                stats.stores_rewritten += 1;
+                rewritten[i] = true;
+            }
+            _ => {}
+        }
+    }
+
+    // Neutralize address loads whose every consumer was rewritten.
+    {
+        use std::collections::HashMap as Map;
+        let mut by_load: Map<u32, Vec<usize>> = Map::new();
+        for (i, a) in accesses.iter().enumerate() {
+            if let Some(l) = a.via_load {
+                by_load.entry(l).or_default().push(i);
+            }
+        }
+        let nop = encode(&Inst::op3(Op::Bis, 31, Operand::Reg(31), 31))
+            .expect("nop")
+            .0;
+        for (l, idxs) in by_load {
+            if idxs.iter().all(|&i| rewritten[i]) {
+                code[l as usize] = nop;
+                stats.addr_loads_removed += 1;
+            }
+        }
+    }
+
+    // Preamble: materialize each promoted address into the stitcher
+    // scratch and load the element into its bank register.
+    let mut preamble = Vec::new();
+    for (&addr, &bank) in {
+        let mut v: Vec<_> = assignment.iter().collect();
+        v.sort();
+        v
+    } {
+        preamble.push(Inst::ldiw(dyncomp_machine::isa::SCRATCH0, addr as i32));
+        preamble.push(Inst::mem(Op::Ldq, bank, dyncomp_machine::isa::SCRATCH0, 0));
+    }
+    (preamble, rewritten, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotes_hot_read_only_addresses() {
+        // Two loads of the same address, one of another.
+        let l1 = encode(&Inst::mem(Op::Ldq, 1, 25, 0)).unwrap().0;
+        let l2 = encode(&Inst::mem(Op::Ldq, 2, 25, 0)).unwrap().0;
+        let l3 = encode(&Inst::mem(Op::Ldq, 3, 25, 0)).unwrap().0;
+        let mut code = vec![l1, l2, l3];
+        let accesses = vec![
+            ConstAccess {
+                at: 0,
+                addr: 0x2000,
+                is_store: false,
+                via_load: None,
+            },
+            ConstAccess {
+                at: 1,
+                addr: 0x2000,
+                is_store: false,
+                via_load: None,
+            },
+            ConstAccess {
+                at: 2,
+                addr: 0x3000,
+                is_store: false,
+                via_load: None,
+            },
+        ];
+        let (pre, _rw, stats) = apply_register_actions(&mut code, &accesses, 1);
+        assert_eq!(stats.promoted, 1);
+        assert_eq!(stats.loads_removed, 2, "both 0x2000 loads rewritten");
+        assert_eq!(pre.len(), 2, "one ldiw + one ldq preload");
+        // Rewritten words are moves now.
+        let d = decode(code[0], None).unwrap();
+        assert_eq!(d.op, Op::Bis);
+        assert_eq!(d.rc, 1);
+        let d3 = decode(code[2], None).unwrap();
+        assert_eq!(d3.op, Op::Ldq, "cold address untouched");
+    }
+
+    #[test]
+    fn written_addresses_promote_with_store_rewrites() {
+        let l1 = encode(&Inst::mem(Op::Ldq, 1, 25, 0)).unwrap().0;
+        let s1 = encode(&Inst::mem(Op::Stq, 2, 25, 0)).unwrap().0;
+        let mut code = vec![l1, s1];
+        let accesses = vec![
+            ConstAccess {
+                at: 0,
+                addr: 0x2000,
+                is_store: false,
+                via_load: None,
+            },
+            ConstAccess {
+                at: 1,
+                addr: 0x2000,
+                is_store: true,
+                via_load: None,
+            },
+        ];
+        let (_, _rw, stats) = apply_register_actions(&mut code, &accesses, 4);
+        assert_eq!(stats.promoted, 1);
+        assert_eq!(stats.loads_removed, 1);
+        assert_eq!(stats.stores_rewritten, 1);
+        let d = decode(code[1], None).unwrap();
+        assert_eq!(d.op, Op::Bis, "store became a move into the bank");
+    }
+
+    #[test]
+    fn promotion_limited_by_bank_size() {
+        let mut code = Vec::new();
+        let mut accesses = Vec::new();
+        for i in 0..10 {
+            let w = encode(&Inst::mem(Op::Ldq, 1, 25, 0)).unwrap().0;
+            code.push(w);
+            accesses.push(ConstAccess {
+                at: i,
+                addr: 0x1000 + u64::from(i) * 8,
+                is_store: false,
+                via_load: None,
+            });
+        }
+        let (_, _rw, stats) = apply_register_actions(&mut code, &accesses, 100);
+        assert_eq!(stats.promoted as usize, ACTION_REGS.len());
+    }
+}

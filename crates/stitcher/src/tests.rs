@@ -1,0 +1,558 @@
+//! Stitcher unit tests on hand-built templates (end-to-end pipeline tests
+//! live in the `dyncomp` core crate).
+
+use crate::{stitch, StitchError, StitchOptions};
+use dyncomp_ir::eval::Memory;
+use dyncomp_ir::SlotPath;
+use dyncomp_machine::isa::{encode, Inst, Op, Operand, Reg, ZERO};
+use dyncomp_machine::template::{
+    Hole, HoleField, LoopMarker, RegionCode, Template, TmplBlock, TmplExit,
+};
+use dyncomp_machine::vm::{Stop, Vm};
+
+fn word(i: Inst) -> u32 {
+    encode(&i).unwrap().0
+}
+
+fn block(start: u32, end: u32, exit: TmplExit) -> TmplBlock {
+    TmplBlock {
+        start,
+        end,
+        holes: vec![],
+        branches: vec![],
+        marker: None,
+        exit,
+    }
+}
+
+fn region(template: Template, static_len: u32) -> RegionCode {
+    RegionCode {
+        region_index: 0,
+        enter_pc: 0,
+        setup_pc: 0,
+        template,
+        exit_pcs: vec![],
+        key_locs: vec![],
+        table_static_len: static_len,
+    }
+}
+
+/// Build a table in memory with the given static slot values.
+fn make_table(mem: &mut Memory, slots: &[u64]) -> u64 {
+    let t = mem.alloc(8 * slots.len() as u64).unwrap();
+    for (i, &v) in slots.iter().enumerate() {
+        mem.write_u64(t + 8 * i as u64, v).unwrap();
+    }
+    t
+}
+
+/// Run stitched code in a VM: set up args, jump in, expect Halted; the
+/// code must end with a return through `ra`.
+fn run_stitched(code: &[u32], mem: Memory, args: &[u64]) -> (u64, Vm) {
+    let mut vm = Vm::new(1 << 20);
+    vm.mem = mem;
+    let entry = vm.append_code(code);
+    vm.setup_call(entry, args);
+    match vm.run() {
+        Ok(Stop::Halted) => (vm.reg(0), vm),
+        other => panic!("unexpected stop: {other:?}"),
+    }
+}
+
+/// Template: r0 = r16 + <hole t[0]>; ret.
+fn add_hole_template() -> Template {
+    let code = vec![
+        word(Inst::op3(Op::Addq, 16, Operand::Lit(0), 0)),
+        word(Inst::jump(Op::Jmp, ZERO, dyncomp_machine::isa::RA)),
+    ];
+    Template {
+        code,
+        blocks: vec![TmplBlock {
+            start: 0,
+            end: 2,
+            holes: vec![Hole {
+                at: 0,
+                field: HoleField::Lit,
+                slot: SlotPath::stat(0),
+            }],
+            branches: vec![],
+            marker: None,
+            exit: TmplExit::Return,
+        }],
+        entry: 0,
+    }
+}
+
+#[test]
+fn small_constant_patched_inline() {
+    let mut mem = Memory::with_capacity(1 << 20);
+    let t = make_table(&mut mem, &[42]);
+    let rc = region(add_hole_template(), 1);
+    let out = stitch(&rc, t, &mut mem, 0, &StitchOptions::default()).unwrap();
+    assert_eq!(out.stats.holes_inline, 1);
+    assert_eq!(out.stats.holes_big, 0);
+    let (r, _) = run_stitched(&out.code, mem, &[100]);
+    assert_eq!(r, 142);
+}
+
+#[test]
+fn large_constant_goes_through_scratch() {
+    let mut mem = Memory::with_capacity(1 << 20);
+    let t = make_table(&mut mem, &[1_000_000]);
+    let rc = region(add_hole_template(), 1);
+    let out = stitch(&rc, t, &mut mem, 0, &StitchOptions::default()).unwrap();
+    assert_eq!(out.stats.holes_big, 1);
+    let (r, _) = run_stitched(&out.code, mem, &[7]);
+    assert_eq!(r, 1_000_007);
+}
+
+#[test]
+fn huge_constant_uses_linearized_table() {
+    let mut mem = Memory::with_capacity(1 << 20);
+    let big = 0x1234_5678_9ABC_DEF0u64;
+    let t = make_table(&mut mem, &[big]);
+    let rc = region(add_hole_template(), 1);
+    let out = stitch(&rc, t, &mut mem, 0, &StitchOptions::default()).unwrap();
+    assert_ne!(out.lin_table_addr, 0, "linearized table allocated");
+    let (r, _) = run_stitched(&out.code, mem, &[1]);
+    assert_eq!(r, big.wrapping_add(1));
+}
+
+#[test]
+fn huge_constant_without_linearized_table_is_constructed() {
+    let mut mem = Memory::with_capacity(1 << 20);
+    let big = 0x1234_5678_9ABC_DEF0u64;
+    let t = make_table(&mut mem, &[big]);
+    let rc = region(add_hole_template(), 1);
+    let opts = StitchOptions {
+        linearized_table: false,
+        ..Default::default()
+    };
+    let out = stitch(&rc, t, &mut mem, 0, &opts).unwrap();
+    assert_eq!(out.lin_table_addr, 0, "no table in ablation mode");
+    let (r, _) = run_stitched(&out.code, mem, &[1]);
+    assert_eq!(r, big.wrapping_add(1));
+}
+
+/// Template with a constant branch: r0 = 1 on the then-side, 2 on else.
+fn const_branch_template() -> Template {
+    let code = vec![
+        word(Inst::op3(Op::Addq, ZERO, Operand::Lit(1), 0)),
+        word(Inst::jump(Op::Jmp, ZERO, dyncomp_machine::isa::RA)),
+        word(Inst::op3(Op::Addq, ZERO, Operand::Lit(2), 0)),
+        word(Inst::jump(Op::Jmp, ZERO, dyncomp_machine::isa::RA)),
+    ];
+    Template {
+        code,
+        blocks: vec![
+            block(
+                0,
+                0,
+                TmplExit::ConstBranch {
+                    slot: SlotPath::stat(0),
+                    then_l: 1,
+                    else_l: 2,
+                },
+            ),
+            block(0, 2, TmplExit::Return),
+            block(2, 4, TmplExit::Return),
+        ],
+        entry: 0,
+    }
+}
+
+#[test]
+fn constant_branch_stitches_exactly_one_side() {
+    for (pred, want) in [(1u64, 1u64), (0, 2)] {
+        let mut mem = Memory::with_capacity(1 << 20);
+        let t = make_table(&mut mem, &[pred]);
+        let rc = region(const_branch_template(), 1);
+        let out = stitch(&rc, t, &mut mem, 0, &StitchOptions::default()).unwrap();
+        assert_eq!(out.stats.const_branches_resolved, 1);
+        // Prologue (2 words) + exactly one side (2 words).
+        assert_eq!(out.code.len(), 4, "dead side not stitched");
+        let (r, _) = run_stitched(&out.code, mem, &[]);
+        assert_eq!(r, want);
+    }
+}
+
+/// Unrolled loop: per-iteration records each hold [predicate, value, next].
+/// Body: r0 += <hole rec[1]>.
+fn unrolled_template() -> Template {
+    let code = vec![
+        // entry block: r0 = 0
+        word(Inst::op3(Op::Addq, ZERO, Operand::Lit(0), 0)),
+        // body: r0 = r0 + hole(rec slot 1)
+        word(Inst::op3(Op::Addq, 0, Operand::Lit(0), 0)),
+        // exit: ret
+        word(Inst::jump(Op::Jmp, ZERO, dyncomp_machine::isa::RA)),
+    ];
+    Template {
+        code,
+        blocks: vec![
+            // 0: entry code then EnterLoop marker, to header.
+            TmplBlock {
+                start: 0,
+                end: 1,
+                holes: vec![],
+                branches: vec![],
+                marker: Some(LoopMarker::Enter {
+                    root: SlotPath::stat(0),
+                }),
+                exit: TmplExit::Jump(1),
+            },
+            // 1: header: constant branch on rec[0].
+            block(
+                1,
+                1,
+                TmplExit::ConstBranch {
+                    slot: SlotPath::stat(0).child(0),
+                    then_l: 2,
+                    else_l: 4,
+                },
+            ),
+            // 2: body with per-iteration hole.
+            TmplBlock {
+                start: 1,
+                end: 2,
+                holes: vec![Hole {
+                    at: 1,
+                    field: HoleField::Lit,
+                    slot: SlotPath::stat(0).child(1),
+                }],
+                branches: vec![],
+                marker: None,
+                exit: TmplExit::Jump(3),
+            },
+            // 3: restart marker back to header.
+            TmplBlock {
+                start: 2,
+                end: 2,
+                holes: vec![],
+                branches: vec![],
+                marker: Some(LoopMarker::Restart { next_slot: 2 }),
+                exit: TmplExit::Jump(1),
+            },
+            // 4: exit marker then return.
+            TmplBlock {
+                start: 2,
+                end: 3,
+                holes: vec![],
+                branches: vec![],
+                marker: Some(LoopMarker::Exit),
+                exit: TmplExit::Return,
+            },
+        ],
+        entry: 0,
+    }
+}
+
+/// Build the record chain for values; the last record has predicate 0.
+fn build_chain(mem: &mut Memory, values: &[u64]) -> u64 {
+    let table = mem.alloc(8).unwrap();
+    let mut link = table; // static slot 0 is the chain root
+    for &v in values {
+        let rec = mem.alloc(24).unwrap();
+        mem.write_u64(link, rec).unwrap();
+        mem.write_u64(rec, 1).unwrap();
+        mem.write_u64(rec + 8, v).unwrap();
+        link = rec + 16;
+    }
+    let last = mem.alloc(24).unwrap();
+    mem.write_u64(link, last).unwrap();
+    mem.write_u64(last, 0).unwrap();
+    table
+}
+
+#[test]
+fn loop_unrolls_once_per_record() {
+    let mut mem = Memory::with_capacity(1 << 20);
+    let t = build_chain(&mut mem, &[5, 7, 11]);
+    let rc = region(unrolled_template(), 1);
+    let out = stitch(&rc, t, &mut mem, 0, &StitchOptions::default()).unwrap();
+    assert_eq!(out.stats.loop_iterations, 3);
+    assert_eq!(out.stats.const_branches_resolved, 4, "3 continues + 1 exit");
+    assert_eq!(out.stats.holes_inline, 3, "one body hole per iteration");
+    let (r, _) = run_stitched(&out.code, mem, &[]);
+    assert_eq!(r, 23);
+}
+
+#[test]
+fn zero_iteration_loop() {
+    let mut mem = Memory::with_capacity(1 << 20);
+    let t = build_chain(&mut mem, &[]);
+    let rc = region(unrolled_template(), 1);
+    let out = stitch(&rc, t, &mut mem, 0, &StitchOptions::default()).unwrap();
+    assert_eq!(out.stats.loop_iterations, 0);
+    let (r, _) = run_stitched(&out.code, mem, &[]);
+    assert_eq!(r, 0);
+}
+
+#[test]
+fn strength_reduction_multiply_by_power_of_two() {
+    // Template: r0 = r16 * hole; ret.
+    let code = vec![
+        word(Inst::op3(Op::Mulq, 16, Operand::Lit(0), 0)),
+        word(Inst::jump(Op::Jmp, ZERO, dyncomp_machine::isa::RA)),
+    ];
+    let tmpl = Template {
+        code,
+        blocks: vec![TmplBlock {
+            start: 0,
+            end: 2,
+            holes: vec![Hole {
+                at: 0,
+                field: HoleField::Lit,
+                slot: SlotPath::stat(0),
+            }],
+            branches: vec![],
+            marker: None,
+            exit: TmplExit::Return,
+        }],
+        entry: 0,
+    };
+    for (mult, expect_sr) in [
+        (8u64, true),
+        (6, true),
+        (1, true),
+        (0, true),
+        (255, true),
+        (86, false),
+    ] {
+        let mut mem = Memory::with_capacity(1 << 20);
+        let t = make_table(&mut mem, &[mult]);
+        let rc = region(tmpl.clone(), 1);
+        let out = stitch(&rc, t, &mut mem, 0, &StitchOptions::default()).unwrap();
+        assert_eq!(
+            out.stats.strength_reductions > 0,
+            expect_sr,
+            "mult={mult} sr={}",
+            out.stats.strength_reductions
+        );
+        let (r, _) = run_stitched(&out.code, mem, &[13]);
+        assert_eq!(r, 13 * mult, "mult={mult}");
+    }
+}
+
+#[test]
+fn strength_reduction_div_rem_by_power_of_two() {
+    for (op, val, arg, want) in [
+        (Op::Divqu, 8u64, 100u64, 12u64),
+        (Op::Remqu, 8, 100, 4),
+        (Op::Remqu, 1024, 1_000_000, 1_000_000 % 1024),
+    ] {
+        let code = vec![
+            word(Inst::op3(op, 16, Operand::Lit(0), 0)),
+            word(Inst::jump(Op::Jmp, ZERO, dyncomp_machine::isa::RA)),
+        ];
+        let tmpl = Template {
+            code,
+            blocks: vec![TmplBlock {
+                start: 0,
+                end: 2,
+                holes: vec![Hole {
+                    at: 0,
+                    field: HoleField::Lit,
+                    slot: SlotPath::stat(0),
+                }],
+                branches: vec![],
+                marker: None,
+                exit: TmplExit::Return,
+            }],
+            entry: 0,
+        };
+        let mut mem = Memory::with_capacity(1 << 20);
+        let t = make_table(&mut mem, &[val]);
+        let rc = region(tmpl, 1);
+        let out = stitch(&rc, t, &mut mem, 0, &StitchOptions::default()).unwrap();
+        assert!(out.stats.strength_reductions > 0, "{op:?} by {val}");
+        let (r, _) = run_stitched(&out.code, mem, &[arg]);
+        assert_eq!(r, want, "{op:?} by {val}");
+    }
+}
+
+#[test]
+fn peephole_off_keeps_multiply() {
+    let code = vec![
+        word(Inst::op3(Op::Mulq, 16, Operand::Lit(0), 0)),
+        word(Inst::jump(Op::Jmp, ZERO, dyncomp_machine::isa::RA)),
+    ];
+    let tmpl = Template {
+        code,
+        blocks: vec![TmplBlock {
+            start: 0,
+            end: 2,
+            holes: vec![Hole {
+                at: 0,
+                field: HoleField::Lit,
+                slot: SlotPath::stat(0),
+            }],
+            branches: vec![],
+            marker: None,
+            exit: TmplExit::Return,
+        }],
+        entry: 0,
+    };
+    let mut mem = Memory::with_capacity(1 << 20);
+    let t = make_table(&mut mem, &[8]);
+    let rc = region(tmpl, 1);
+    let opts = StitchOptions {
+        peephole: false,
+        ..Default::default()
+    };
+    let out = stitch(&rc, t, &mut mem, 0, &opts).unwrap();
+    assert_eq!(out.stats.strength_reductions, 0);
+    let (r, _) = run_stitched(&out.code, mem, &[13]);
+    assert_eq!(r, 104);
+}
+
+#[test]
+fn dynamic_branch_stitches_both_sides() {
+    // if (r16 != 0) r0 = 1 else r0 = 2, via a real BNE in the template.
+    let code = vec![
+        word(Inst::branch(Op::Bne, 16, 0)), // block 0, fixed up
+        word(Inst::op3(Op::Addq, ZERO, Operand::Lit(2), 0)), // else
+        word(Inst::jump(Op::Jmp, ZERO, dyncomp_machine::isa::RA)),
+        word(Inst::op3(Op::Addq, ZERO, Operand::Lit(1), 0)), // then
+        word(Inst::jump(Op::Jmp, ZERO, dyncomp_machine::isa::RA)),
+    ];
+    let tmpl = Template {
+        code,
+        blocks: vec![
+            block(
+                0,
+                1,
+                TmplExit::CondBranch {
+                    at: 0,
+                    taken: 2,
+                    fall: 1,
+                },
+            ),
+            block(1, 3, TmplExit::Return),
+            block(3, 5, TmplExit::Return),
+        ],
+        entry: 0,
+    };
+    let mut mem = Memory::with_capacity(1 << 20);
+    let t = make_table(&mut mem, &[0]);
+    let rc = region(tmpl, 1);
+    let out = stitch(&rc, t, &mut mem, 0, &StitchOptions::default()).unwrap();
+    // Both sides present: prologue 2 + branch 1 + else 2 + then 2.
+    assert_eq!(out.code.len(), 7);
+    let (r1, _) = run_stitched(&out.code, mem.clone(), &[5]);
+    assert_eq!(r1, 1);
+    let (r2, _) = run_stitched(&out.code, mem, &[0]);
+    assert_eq!(r2, 2);
+}
+
+#[test]
+fn merge_points_are_shared_not_duplicated() {
+    // Diamond: both sides jump to a shared tail.
+    let code = vec![
+        word(Inst::branch(Op::Bne, 16, 0)),
+        word(Inst::op3(Op::Addq, ZERO, Operand::Lit(2), 0)),
+        word(Inst::op3(Op::Addq, ZERO, Operand::Lit(1), 0)),
+        word(Inst::op3(Op::Addq, 0, Operand::Lit(100), 0)), // shared tail
+        word(Inst::jump(Op::Jmp, ZERO, dyncomp_machine::isa::RA)),
+    ];
+    let tmpl = Template {
+        code,
+        blocks: vec![
+            block(
+                0,
+                1,
+                TmplExit::CondBranch {
+                    at: 0,
+                    taken: 2,
+                    fall: 1,
+                },
+            ),
+            block(1, 2, TmplExit::Jump(3)),
+            block(2, 3, TmplExit::Jump(3)),
+            block(3, 5, TmplExit::Return),
+        ],
+        entry: 0,
+    };
+    let mut mem = Memory::with_capacity(1 << 20);
+    let t = make_table(&mut mem, &[0]);
+    let rc = region(tmpl, 1);
+    let out = stitch(&rc, t, &mut mem, 0, &StitchOptions::default()).unwrap();
+    let (r1, _) = run_stitched(&out.code, mem.clone(), &[1]);
+    assert_eq!(r1, 101);
+    let (r2, _) = run_stitched(&out.code, mem, &[0]);
+    assert_eq!(r2, 102);
+    // The tail (2 words) appears once: total = prologue 2 + branch 1 +
+    // else 1 + tail 2 + then 1 + br-to-tail 1 = 8.
+    assert_eq!(out.code.len(), 8, "shared tail stitched once");
+}
+
+#[test]
+fn unroll_budget_guards_against_runaway() {
+    // A very long chain with a tiny block budget.
+    let mut mem = Memory::with_capacity(1 << 22);
+    let values: Vec<u64> = (0..600).collect();
+    let table = build_chain(&mut mem, &values);
+    let rc = region(unrolled_template(), 1);
+    let opts = StitchOptions {
+        max_blocks: 100,
+        ..Default::default()
+    };
+    let err = stitch(&rc, table, &mut mem, 0, &opts).unwrap_err();
+    assert_eq!(err, StitchError::UnrollBudget);
+}
+
+#[test]
+fn self_looping_chain_converges_by_dedup() {
+    // A record whose `next` points at itself produces a stitched loop
+    // (the (block, record) key repeats), not runaway growth.
+    let mut mem = Memory::with_capacity(1 << 20);
+    let table = mem.alloc(8).unwrap();
+    let rec = mem.alloc(24).unwrap();
+    mem.write_u64(table, rec).unwrap();
+    mem.write_u64(rec, 1).unwrap(); // predicate: always continue
+    mem.write_u64(rec + 8, 1).unwrap();
+    mem.write_u64(rec + 16, rec).unwrap(); // next = self
+    let rc = region(unrolled_template(), 1);
+    let out = stitch(&rc, table, &mut mem, 0, &StitchOptions::default()).unwrap();
+    assert!(
+        out.code.len() < 20,
+        "dedup closes the loop: {}",
+        out.code.len()
+    );
+}
+
+#[test]
+fn far_linearized_table_entries() {
+    // An unrolled loop with > 1023 distinct large per-iteration constants:
+    // entries past the 14-bit displacement use the far path.
+    let mut mem = Memory::with_capacity(1 << 24);
+    let values: Vec<u64> = (0..1500u64).map(|i| 0x1_0000_0000u64 + i).collect();
+    let t = build_chain(&mut mem, &values);
+    let rc = region(unrolled_template(), 1);
+    let out = stitch(&rc, t, &mut mem, 0, &StitchOptions::default()).unwrap();
+    assert_eq!(out.stats.loop_iterations, 1500);
+    assert!(out.lin_table_addr != 0);
+    let want: u64 = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+    let mut vm = Vm::new(1 << 24);
+    vm.mem = mem;
+    vm.fuel = 50_000_000;
+    let entry = vm.append_code(&out.code);
+    vm.setup_call(entry, &[]);
+    assert_eq!(vm.run().unwrap(), Stop::Halted);
+    assert_eq!(vm.reg(0), want);
+}
+
+#[test]
+fn stitcher_cycles_accumulate() {
+    let mut mem = Memory::with_capacity(1 << 20);
+    let t = build_chain(&mut mem, &[1, 2, 3, 4, 5]);
+    let rc = region(unrolled_template(), 1);
+    let out = stitch(&rc, t, &mut mem, 0, &StitchOptions::default()).unwrap();
+    assert!(out.stats.cycles > 0);
+    // More iterations cost more stitcher cycles.
+    let mut mem2 = Memory::with_capacity(1 << 20);
+    let t2 = build_chain(&mut mem2, &[1]);
+    let out2 = stitch(&rc, t2, &mut mem2, 0, &StitchOptions::default()).unwrap();
+    assert!(out.stats.cycles > out2.stats.cycles);
+    let _: Reg = 0;
+}

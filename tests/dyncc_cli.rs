@@ -1,0 +1,168 @@
+//! End-to-end tests of the `dyncc` command-line tool.
+
+use std::process::Command;
+
+fn dyncc(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dyncc"))
+        .args(args)
+        .output()
+        .expect("dyncc runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn write_temp(name: &str, src: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dyncc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    std::fs::write(&p, src).unwrap();
+    p
+}
+
+const POWER: &str = r#"
+    int power(int k, int x) {
+        dynamicRegion (k) {
+            int r = 1;
+            int i;
+            unrolled for (i = 0; i < k; i++) { r = r * x; }
+            return r;
+        }
+    }
+"#;
+
+#[test]
+fn compiles_and_runs() {
+    let p = write_temp("power.mc", POWER);
+    let (out, _, ok) = dyncc(&[p.to_str().unwrap(), "--run", "power", "5", "3"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("1 dynamic region(s)"), "{out}");
+    assert!(out.contains("power(5, 3) = 243"), "{out}");
+}
+
+#[test]
+fn template_dump_shows_directives() {
+    let p = write_temp("power2.mc", POWER);
+    let (out, _, ok) = dyncc(&[p.to_str().unwrap(), "--templates", "--regions"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("ENTER_LOOP"), "{out}");
+    assert!(out.contains("RESTART_LOOP"), "{out}");
+    assert!(out.contains("CONST_BRANCH"), "{out}");
+    assert!(out.contains("static table slot"), "{out}");
+}
+
+#[test]
+fn report_shows_stitcher_work() {
+    let p = write_temp("power3.mc", POWER);
+    let (out, _, ok) = dyncc(&[p.to_str().unwrap(), "--run", "power", "4", "2", "--report"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("power(4, 2) = 16"), "{out}");
+    assert!(out.contains("1 stitch(es)"), "{out}");
+    assert!(out.contains("4 loop iteration(s) unrolled"), "{out}");
+}
+
+#[test]
+fn static_flag_compiles_baseline() {
+    let p = write_temp("power4.mc", POWER);
+    let (out, _, ok) = dyncc(&[p.to_str().unwrap(), "--static", "--run", "power", "3", "5"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("0 dynamic region(s)"), "{out}");
+    assert!(out.contains("power(3, 5) = 125"), "{out}");
+}
+
+#[test]
+fn ir_dump_prints_functions() {
+    let p = write_temp("power5.mc", POWER);
+    let (out, _, ok) = dyncc(&[p.to_str().unwrap(), "--ir"]);
+    assert!(ok);
+    assert!(out.contains("func power"), "{out}");
+    assert!(out.contains("enter_region"), "{out}");
+}
+
+#[test]
+fn disasm_prints_code() {
+    let p = write_temp("power6.mc", POWER);
+    let (out, _, ok) = dyncc(&[p.to_str().unwrap(), "--disasm"]);
+    assert!(ok);
+    assert!(out.contains("EnterRegion"), "{out}");
+    assert!(out.contains("EndSetup"), "{out}");
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let p = write_temp("bad.mc", "int f( {");
+    let (_, err, ok) = dyncc(&[p.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(err.contains("parse error"), "{err}");
+
+    let p2 = write_temp("good.mc", "int f(int x) { return x; }");
+    let (_, err2, ok2) = dyncc(&[p2.to_str().unwrap(), "--run", "missing"]);
+    assert!(!ok2);
+    assert!(err2.contains("no function named"), "{err2}");
+}
+
+#[test]
+fn stitched_dump_disassembles_final_code() {
+    let p = write_temp("power7.mc", POWER);
+    let (out, _, ok) = dyncc(&[
+        p.to_str().unwrap(),
+        "--run",
+        "power",
+        "3",
+        "4",
+        "--stitched",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("power(3, 4) = 64"), "{out}");
+    assert!(out.contains("stitched code for region 0"), "{out}");
+    // Fully unrolled: the stitched code has no backward loop branch and no
+    // directives, just straight-line multiplies (or their strength-reduced
+    // forms) and a return.
+    assert!(
+        !out.contains("ENTER_LOOP"),
+        "directives never reach stitched code:\n{out}"
+    );
+}
+
+#[test]
+fn stitched_dump_shows_keyed_instances() {
+    let src = r#"
+        int scale(int k, int x) {
+            dynamicRegion key(k) (k) { return k * x; }
+        }
+    "#;
+    let p = write_temp("keyed.mc", src);
+    // Two calls with distinct keys through one process would need a driver;
+    // a single call shows the key annotation in the dump.
+    let (out, _, ok) = dyncc(&[
+        p.to_str().unwrap(),
+        "--run",
+        "scale",
+        "5",
+        "8",
+        "--stitched",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("scale(5, 8) = 40"), "{out}");
+    assert!(out.contains("key (5)"), "{out}");
+}
+
+#[test]
+fn advise_ranks_annotation_candidates() {
+    let src = r#"
+        int power(int k, int x) {
+            int r = 1;
+            int i;
+            for (i = 0; i < k; i++) { r = r * x; }
+            return r;
+        }
+    "#;
+    let p = write_temp("advise.mc", src);
+    let (out, _, ok) = dyncc(&[p.to_str().unwrap(), "--advise"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("function power:"), "{out}");
+    assert!(out.contains("1/1 loop(s) unroll"), "{out}");
+    assert!(out.contains("recommendation: annotate arg 0"), "{out}");
+}

@@ -1,0 +1,257 @@
+//! Property-based differential testing across the whole system: random
+//! MiniC programs are executed three ways —
+//!
+//! 1. the reference IR interpreter (plain lowering),
+//! 2. the static compiler + SimAlpha VM,
+//! 3. the dynamic compiler (body wrapped in a `dynamicRegion`) + stitcher,
+//!
+//! and all three must agree on every input. This exercises the front end,
+//! SSA construction/destruction, the optimizer, the analyses, the
+//! specializer, register allocation, codegen, the VM and the stitcher in
+//! one property.
+
+use dyncomp::{Compiler, Engine};
+use dyncomp_frontend::{compile, LowerOptions};
+use dyncomp_ir::eval::{EvalOutcome, Evaluator};
+use proptest::prelude::*;
+
+/// A tiny expression AST we can render as MiniC.
+#[derive(Clone, Debug)]
+enum Expr {
+    /// Parameter `k` (the region's run-time constant).
+    K,
+    /// Parameter `x` (always dynamic).
+    X,
+    /// A local variable by index.
+    Var(u8),
+    /// Integer literal.
+    Lit(i8),
+    /// Binary operation.
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+}
+
+fn render(e: &Expr) -> String {
+    match e {
+        Expr::K => "k".into(),
+        Expr::X => "x".into(),
+        Expr::Var(v) => format!("v{}", v % 3),
+        Expr::Lit(l) => {
+            if *l < 0 {
+                format!("(0 - {})", -i32::from(*l))
+            } else {
+                format!("{l}")
+            }
+        }
+        Expr::Bin(op, a, b) => format!("({} {} {})", render(a), op, render(b)),
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::K),
+        Just(Expr::X),
+        any::<u8>().prop_map(Expr::Var),
+        any::<i8>().prop_map(Expr::Lit),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (
+            prop_oneof![
+                Just("+"),
+                Just("-"),
+                Just("*"),
+                Just("&"),
+                Just("|"),
+                Just("^"),
+                Just("<"),
+                Just(">"),
+                Just("=="),
+                Just("!="),
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b)))
+    })
+}
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    Assign(u8, Expr),
+    If(Expr, (u8, Expr), Option<(u8, Expr)>),
+    /// `if` with full statement blocks in both arms (nesting!).
+    IfBlock(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// Bounded loop: `for (i = 0; i < n; i++) v += expr;` with n in 0..6.
+    Loop(u8, u8, Expr),
+    /// `unrolled for` with a constant trip count (renders as a plain loop
+    /// in the static variant, where the annotation would be illegal).
+    Unrolled(u8, u8, Expr),
+    /// `switch (sel) { case 0 / case 1 / default }`, each arm an assignment.
+    Switch(Expr, (u8, Expr), (u8, Expr), (u8, Expr)),
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (any::<u8>(), expr_strategy()).prop_map(|(v, e)| Stmt::Assign(v, e)),
+        (
+            expr_strategy(),
+            any::<u8>(),
+            expr_strategy(),
+            proptest::option::of((any::<u8>(), expr_strategy()))
+        )
+            .prop_map(|(c, v, t, e)| Stmt::If(c, (v, t), e)),
+        (any::<u8>(), 0u8..6, expr_strategy()).prop_map(|(v, n, e)| Stmt::Loop(v, n, e)),
+        (any::<u8>(), 0u8..5, expr_strategy()).prop_map(|(v, n, e)| Stmt::Unrolled(v, n, e)),
+        (
+            expr_strategy(),
+            (any::<u8>(), expr_strategy()),
+            (any::<u8>(), expr_strategy()),
+            (any::<u8>(), expr_strategy())
+        )
+            .prop_map(|(sel, a, b, d)| Stmt::Switch(sel, a, b, d)),
+    ];
+    // Allow `if` blocks whose arms are themselves statement lists, so
+    // loops/switches/unrolled loops appear under dynamic and constant
+    // branches alike.
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        (
+            expr_strategy(),
+            proptest::collection::vec(inner.clone(), 0..3),
+            proptest::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(c, t, e)| Stmt::IfBlock(c, t, e))
+    })
+}
+
+fn render_stmt(s: &Stmt, dynamic: bool, out: &mut String) {
+    match s {
+        Stmt::Assign(v, e) => out.push_str(&format!("v{} = {};\n", v % 3, render(e))),
+        Stmt::IfBlock(c, t, e) => {
+            out.push_str(&format!("if ({}) {{\n", render(c)));
+            for st in t {
+                render_stmt(st, dynamic, out);
+            }
+            out.push_str("} else {\n");
+            for st in e {
+                render_stmt(st, dynamic, out);
+            }
+            out.push_str("}\n");
+        }
+        Stmt::If(c, (v, t), e) => {
+            out.push_str(&format!(
+                "if ({}) {{ v{} = {}; }}",
+                render(c),
+                v % 3,
+                render(t)
+            ));
+            if let Some((v2, e2)) = e {
+                out.push_str(&format!(" else {{ v{} = {}; }}", v2 % 3, render(e2)));
+            }
+            out.push('\n');
+        }
+        Stmt::Loop(v, n, e) => {
+            out.push_str(&format!(
+                "for (li = 0; li < {n}; li++) {{ v{} = v{} + ({}); }}\n",
+                v % 3,
+                v % 3,
+                render(e)
+            ));
+        }
+        Stmt::Unrolled(v, n, e) => {
+            // `unrolled` is only legal inside a dynamic region; the static
+            // rendering of the same program uses an ordinary loop.
+            let kw = if dynamic { "unrolled " } else { "" };
+            out.push_str(&format!(
+                "{kw}for (li = 0; li < {n}; li++) {{ v{} = v{} + ({}); }}\n",
+                v % 3,
+                v % 3,
+                render(e)
+            ));
+        }
+        Stmt::Switch(sel, (va, ea), (vb, eb), (vd, ed)) => {
+            out.push_str(&format!(
+                "switch ({}) {{ case 0: v{} = {}; break; case 1: v{} = {}; break; \
+                 default: v{} = {}; break; }}\n",
+                render(sel),
+                va % 3,
+                render(ea),
+                vb % 3,
+                render(eb),
+                vd % 3,
+                render(ed)
+            ));
+        }
+    }
+}
+
+/// Render a full program; `dynamic` wraps the body in a region keyed on k.
+fn render_program(stmts: &[Stmt], dynamic: bool) -> String {
+    let mut body = String::new();
+    for s in stmts {
+        render_stmt(s, dynamic, &mut body);
+    }
+    let core = format!(
+        "int v0 = k; int v1 = x; int v2 = 7; int li;\n{body}\nreturn v0 * 3 + v1 * 5 + v2;"
+    );
+    if dynamic {
+        format!("int f(int k, int x) {{ dynamicRegion (k) {{ {core} }} }}")
+    } else {
+        format!("int f(int k, int x) {{ {core} }}")
+    }
+}
+
+fn run_reference(src: &str, k: u64, x: u64) -> i64 {
+    let m = compile(src, &LowerOptions::default())
+        .expect("compiles")
+        .module;
+    let fid = m.func_by_name("f").unwrap();
+    let mut ev = Evaluator::new(&m);
+    match ev.call(fid, &[k, x]).expect("reference runs") {
+        EvalOutcome::Return(Some(v)) => v as i64,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn three_way_agreement(stmts in proptest::collection::vec(stmt_strategy(), 1..6),
+                           k in 0u64..40, xs in proptest::collection::vec(0u64..64, 1..4)) {
+        let plain_src = render_program(&stmts, false);
+        let dyn_src = render_program(&stmts, true);
+
+        // Static compile once; dynamic compile once.
+        let static_prog = Compiler::static_baseline().compile(&plain_src).expect("static compiles");
+        let dyn_prog = Compiler::new().compile(&dyn_src).expect("dynamic compiles");
+        let mut se = Engine::new(&static_prog);
+        let mut de = Engine::new(&dyn_prog);
+
+        for &x in &xs {
+            let want = run_reference(&plain_src, k, x);
+            let got_static = se.call("f", &[k, x]).expect("static vm runs") as i64;
+            prop_assert_eq!(got_static, want, "static VM vs reference (k={}, x={})", k, x);
+            let got_dyn = de.call("f", &[k, x]).expect("dynamic vm runs") as i64;
+            prop_assert_eq!(got_dyn, want, "dynamic VM vs reference (k={}, x={})", k, x);
+        }
+    }
+
+    #[test]
+    fn optimizer_preserves_random_programs(stmts in proptest::collection::vec(stmt_strategy(), 1..6),
+                                           k in 0u64..40, x in 0u64..64) {
+        let src = render_program(&stmts, false);
+        // Unoptimized vs optimized static compilation must agree.
+        let unopt = Compiler::with_options(dyncomp::CompileOptions {
+            dynamic: false,
+            optimize: false,
+            ..Default::default()
+        })
+        .compile(&src)
+        .expect("compiles");
+        let opt = Compiler::static_baseline().compile(&src).expect("compiles");
+        let mut eu = Engine::new(&unopt);
+        let a = eu.call("f", &[k, x]).expect("runs") as i64;
+        let mut eo = Engine::new(&opt);
+        let b = eo.call("f", &[k, x]).expect("runs") as i64;
+        prop_assert_eq!(a, b);
+    }
+}
