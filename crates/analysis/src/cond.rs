@@ -414,27 +414,33 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use dyncomp_ir::prng::SplitMix64;
     use std::collections::HashMap;
 
-    /// Arbitrary small conditions over 4 two-way branches.
-    fn cond_strategy() -> impl Strategy<Value = Cond> {
-        proptest::collection::vec(proptest::collection::vec((0u32..4, 0u32..2), 0..3), 0..4)
-            .prop_map(|disjuncts| {
-                let arity: HashMap<BlockId, u32> = (0..4).map(|b| (BlockId(b), 2)).collect();
-                let mut c = Cond::f();
-                for conj in disjuncts {
-                    let mut term = Cond::t();
-                    for (b, s) in conj {
-                        term = term.and_literal(Literal {
-                            branch: BlockId(b),
-                            succ: s,
-                        });
-                    }
-                    c = c.or(&term, &arity);
-                }
-                c
-            })
+    /// A random small condition over 4 two-way branches.
+    fn random_cond(rng: &mut SplitMix64) -> Cond {
+        let arity: HashMap<BlockId, u32> = (0..4).map(|b| (BlockId(b), 2)).collect();
+        let mut c = Cond::f();
+        for _ in 0..rng.below(4) {
+            let mut term = Cond::t();
+            for _ in 0..rng.below(3) {
+                term = term.and_literal(Literal {
+                    branch: BlockId(rng.below(4) as u32),
+                    succ: rng.below(2) as u32,
+                });
+            }
+            c = c.or(&term, &arity);
+        }
+        c
+    }
+
+    fn random_outcomes(rng: &mut SplitMix64) -> [u32; 4] {
+        [
+            rng.below(2) as u32,
+            rng.below(2) as u32,
+            rng.below(2) as u32,
+            rng.below(2) as u32,
+        ]
     }
 
     fn arity4() -> HashMap<BlockId, u32> {
@@ -447,66 +453,98 @@ mod proptests {
             .any(|conj| conj.iter().all(|l| outcomes[l.branch.index()] == l.succ))
     }
 
-    proptest! {
-        #[test]
-        fn or_is_union_semantically(a in cond_strategy(), b in cond_strategy(),
-                                    o0 in 0u32..2, o1 in 0u32..2, o2 in 0u32..2, o3 in 0u32..2) {
-            let outcomes = [o0, o1, o2, o3];
+    #[test]
+    fn or_is_union_semantically() {
+        let mut rng = SplitMix64::new(0xc0_0001);
+        for _ in 0..500 {
+            let a = random_cond(&mut rng);
+            let b = random_cond(&mut rng);
+            let outcomes = random_outcomes(&mut rng);
             let joined = a.or(&b, &arity4());
-            prop_assert_eq!(eval(&joined, &outcomes), eval(&a, &outcomes) || eval(&b, &outcomes));
+            assert_eq!(
+                eval(&joined, &outcomes),
+                eval(&a, &outcomes) || eval(&b, &outcomes)
+            );
         }
+    }
 
-        #[test]
-        fn and_literal_is_conjunction_semantically(a in cond_strategy(), br in 0u32..4, s in 0u32..2,
-                                                   o0 in 0u32..2, o1 in 0u32..2, o2 in 0u32..2, o3 in 0u32..2) {
-            let outcomes = [o0, o1, o2, o3];
-            let lit = Literal { branch: BlockId(br), succ: s };
+    #[test]
+    fn and_literal_is_conjunction_semantically() {
+        let mut rng = SplitMix64::new(0xc0_0002);
+        for _ in 0..500 {
+            let a = random_cond(&mut rng);
+            let br = rng.below(4) as u32;
+            let s = rng.below(2) as u32;
+            let outcomes = random_outcomes(&mut rng);
+            let lit = Literal {
+                branch: BlockId(br),
+                succ: s,
+            };
             let c = a.and_literal(lit);
-            prop_assert_eq!(
+            assert_eq!(
                 eval(&c, &outcomes),
                 eval(&a, &outcomes) && outcomes[br as usize] == s
             );
         }
+    }
 
-        #[test]
-        fn exclusive_is_sound(a in cond_strategy(), b in cond_strategy(),
-                              o0 in 0u32..2, o1 in 0u32..2, o2 in 0u32..2, o3 in 0u32..2) {
+    #[test]
+    fn exclusive_is_sound() {
+        let mut rng = SplitMix64::new(0xc0_0003);
+        for _ in 0..500 {
+            let a = random_cond(&mut rng);
+            let b = random_cond(&mut rng);
             // If the syntactic test claims exclusivity, no assignment may
             // satisfy both (soundness; completeness is not promised).
             if a.exclusive(&b) {
-                let outcomes = [o0, o1, o2, o3];
-                prop_assert!(!(eval(&a, &outcomes) && eval(&b, &outcomes)),
-                             "exclusive conditions both true under {:?}", outcomes);
+                let outcomes = random_outcomes(&mut rng);
+                assert!(
+                    !(eval(&a, &outcomes) && eval(&b, &outcomes)),
+                    "exclusive conditions both true under {outcomes:?}"
+                );
             }
         }
+    }
 
-        #[test]
-        fn exclusive_is_symmetric(a in cond_strategy(), b in cond_strategy()) {
-            prop_assert_eq!(a.exclusive(&b), b.exclusive(&a));
+    #[test]
+    fn exclusive_is_symmetric() {
+        let mut rng = SplitMix64::new(0xc0_0004);
+        for _ in 0..500 {
+            let a = random_cond(&mut rng);
+            let b = random_cond(&mut rng);
+            assert_eq!(a.exclusive(&b), b.exclusive(&a));
         }
+    }
 
-        #[test]
-        fn forget_weakens(a in cond_strategy(), br in 0u32..4,
-                          o0 in 0u32..2, o1 in 0u32..2, o2 in 0u32..2, o3 in 0u32..2) {
-            let outcomes = [o0, o1, o2, o3];
+    #[test]
+    fn forget_weakens() {
+        let mut rng = SplitMix64::new(0xc0_0005);
+        for _ in 0..500 {
+            let a = random_cond(&mut rng);
+            let br = rng.below(4) as u32;
+            let outcomes = random_outcomes(&mut rng);
             let f = a.forget(|b| b == BlockId(br));
             // Weakening: wherever a holds, forget(a) holds.
             if eval(&a, &outcomes) {
-                prop_assert!(eval(&f, &outcomes));
+                assert!(eval(&f, &outcomes));
             }
             // And the forgotten branch no longer appears.
             for conj in f.iter_terms() {
-                prop_assert!(conj.iter().all(|l| l.branch != BlockId(br)));
+                assert!(conj.iter().all(|l| l.branch != BlockId(br)));
             }
         }
+    }
 
-        #[test]
-        fn or_identity_and_idempotence(a in cond_strategy()) {
-            prop_assert_eq!(a.or(&Cond::f(), &arity4()), a.clone());
+    #[test]
+    fn or_identity_and_idempotence() {
+        let mut rng = SplitMix64::new(0xc0_0006);
+        for _ in 0..500 {
+            let a = random_cond(&mut rng);
+            assert_eq!(a.or(&Cond::f(), &arity4()), a.clone());
             let doubled = a.or(&a, &arity4());
             // Idempotent up to semantics.
-            for outcomes in [[0,0,0,0],[1,0,1,0],[0,1,0,1],[1,1,1,1]] {
-                prop_assert_eq!(eval(&doubled, &outcomes), eval(&a, &outcomes));
+            for outcomes in [[0, 0, 0, 0], [1, 0, 1, 0], [0, 1, 0, 1], [1, 1, 1, 1]] {
+                assert_eq!(eval(&doubled, &outcomes), eval(&a, &outcomes));
             }
         }
     }

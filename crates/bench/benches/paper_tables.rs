@@ -1,25 +1,44 @@
-//! Criterion benches over the reproduction's hot paths.
+//! Host-side benches over the reproduction's hot paths.
 //!
 //! The *scientific* numbers (Table 2/3) come from simulated cycles via the
 //! `table2`/`table3` binaries; these benches measure the host-side cost of
 //! the reproduction itself: static compilation, the analyses, stitching
-//! throughput, and simulated execution (static vs dynamic), one Criterion
-//! group per regenerated artifact.
+//! throughput, and simulated execution (static vs dynamic). The workspace
+//! builds offline (no Criterion), so this is a plain `harness = false`
+//! binary with a warmup + median-of-samples timing loop.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dyncomp::{Compiler, Engine, EngineOptions};
 use dyncomp_analysis::{analyze_region, AnalysisConfig};
 use dyncomp_bench::kernels::{calculator, dispatch, smatmul, sorter, spmv};
 use dyncomp_frontend::{compile as fe_compile, LowerOptions};
 use dyncomp_ir::RegionId;
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Run `f` repeatedly; report the median per-iteration time in ns.
+fn bench<R>(label: &str, iters: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..3 {
+        black_box(f());
+    }
+    let mut samples = Vec::with_capacity(15);
+    for _ in 0..15 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    println!("{label:<44} {median:>12.0} ns/iter");
+}
 
 /// Table 2 per-kernel simulated execution: one warm invocation, static vs
 /// dynamic. Host wall time tracks simulated cycles, so the speedups here
 /// mirror the cycle-level speedups.
 #[allow(clippy::type_complexity)]
-fn bench_table2_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_execution");
+fn bench_table2_kernels() {
+    println!("-- table2_execution --");
     let cases: Vec<(&str, &str, Box<dyn Fn(&mut Engine) -> Vec<u64>>)> = vec![
         (
             "calculator",
@@ -59,22 +78,17 @@ fn bench_table2_kernels(c: &mut Criterion) {
             let mut engine = Engine::new(&program);
             let args = prep(&mut engine);
             engine.call(func, &args).expect("warm-up"); // stitch happens here
-            let label = if dynamic {
-                format!("{name}/dynamic")
-            } else {
-                format!("{name}/static")
-            };
-            g.bench_function(label, |b| {
-                b.iter(|| black_box(engine.call(func, black_box(&args)).unwrap()));
+            let kind = if dynamic { "dynamic" } else { "static" };
+            bench(&format!("{name}/{kind}"), 20, || {
+                engine.call(func, black_box(&args)).unwrap()
             });
         }
     }
-    g.finish();
 }
 
 /// Static-compiler throughput: the full pipeline on the paper kernels.
-fn bench_static_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("static_compile");
+fn bench_static_compile() {
+    println!("-- static_compile --");
     for (name, src) in [
         ("calculator", calculator::SRC),
         ("smatmul", smatmul::SRC),
@@ -82,16 +96,13 @@ fn bench_static_compile(c: &mut Criterion) {
         ("dispatcher", dispatch::SRC),
         ("sorter", sorter::SRC),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(Compiler::new().compile(black_box(src)).unwrap()));
-        });
+        bench(name, 5, || Compiler::new().compile(black_box(src)).unwrap());
     }
-    g.finish();
 }
 
 /// The §3.1 analyses alone (run-time constants + reachability fixpoint).
-fn bench_analysis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("analysis");
+fn bench_analysis() {
+    println!("-- analysis --");
     for (name, src) in [
         ("calculator", calculator::SRC),
         ("spmv", spmv::SRC),
@@ -109,43 +120,27 @@ fn bench_analysis(c: &mut Criterion) {
         dyncomp_ir::cfg::split_critical_edges(f);
         f.canonicalize_region_roots();
         let f = m.funcs[fid].clone();
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(analyze_region(
-                    black_box(&f),
-                    RegionId(0),
-                    &AnalysisConfig::default(),
-                ))
-            });
+        bench(name, 10, || {
+            analyze_region(black_box(&f), RegionId(0), &AnalysisConfig::default())
         });
     }
-    g.finish();
 }
 
 /// Stitcher throughput: dynamic compiles per second (first-entry path:
 /// set-up execution + stitching + installation).
-fn bench_stitching(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stitch_first_entry");
+fn bench_stitching() {
+    println!("-- stitch_first_entry --");
     let program = Compiler::new().compile(calculator::SRC).unwrap();
-    g.bench_function("calculator_region", |b| {
-        b.iter_batched(
-            || {
-                let mut engine = Engine::with_options(&program, EngineOptions::default());
-                let p = calculator::build_program(&mut engine);
-                (engine, p)
-            },
-            |(mut engine, p)| black_box(engine.call("calc", &[p, 7, 3]).unwrap()),
-            BatchSize::SmallInput,
-        );
+    bench("calculator_region", 5, || {
+        let mut engine = Engine::with_options(&program, EngineOptions::default());
+        let p = calculator::build_program(&mut engine);
+        engine.call("calc", &[p, 7, 3]).unwrap()
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_table2_kernels,
-    bench_static_compile,
-    bench_analysis,
-    bench_stitching
-);
-criterion_main!(benches);
+fn main() {
+    bench_table2_kernels();
+    bench_static_compile();
+    bench_analysis();
+    bench_stitching();
+}

@@ -1,0 +1,169 @@
+//! Stitcher throughput: copy-and-patch plans vs the interpretive
+//! directive walk, on the paper's five kernels.
+//!
+//! Each kernel runs its workload once to populate the per-region
+//! constants tables, then the stitcher is re-run over every recorded
+//! `(region, table)` pair — pure stitching work, no set-up execution, no
+//! installation — with plans on and off. Two numbers per configuration:
+//!
+//! * **simulated cycles / stitched instruction** — the deterministic
+//!   [`StitchCost`] model (what Tables 2/3 charge);
+//! * **host ns / stitched instruction** — wall-clock of the reproduction
+//!   itself (median over samples).
+//!
+//! Usage: `stitch_throughput [--samples N]` (default 9).
+
+use dyncomp::{Compiler, Engine};
+use dyncomp_bench::kernels::{calculator, dispatch, smatmul, sorter, spmv};
+use dyncomp_stitcher::StitchOptions;
+use std::hint::black_box;
+use std::time::Instant;
+
+type Prepare = Box<dyn Fn(&mut Engine) -> Vec<u64>>;
+type Calls = Box<dyn Fn(u64, &[u64]) -> Vec<u64>>;
+
+struct Kernel {
+    name: &'static str,
+    src: &'static str,
+    func: &'static str,
+    prepare: Prepare,
+    calls: Calls,
+    n_calls: u64,
+}
+
+fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "calculator",
+            src: calculator::SRC,
+            func: "calc",
+            prepare: Box::new(|e| vec![calculator::build_program(e)]),
+            calls: Box::new(|i, p| vec![p[0], 3 + i, 7 + 2 * i]),
+            n_calls: 1,
+        },
+        Kernel {
+            name: "smatmul",
+            src: smatmul::SRC,
+            func: "smatmul",
+            prepare: Box::new(|e| {
+                let (src, dst, len) = smatmul::build_matrices(e, 16, 32);
+                vec![src, dst, len]
+            }),
+            calls: Box::new(|i, p| vec![i + 1, p[2], p[0], p[1]]),
+            n_calls: 4,
+        },
+        Kernel {
+            name: "spmv",
+            src: spmv::SRC,
+            func: "spmv",
+            prepare: Box::new(|e| {
+                let m = spmv::gen_matrix(32, 4, 42);
+                let (mp, xp, yp) = spmv::build(e, &m);
+                vec![mp, xp, yp]
+            }),
+            calls: Box::new(|_, p| vec![p[0], p[1], p[2]]),
+            n_calls: 1,
+        },
+        Kernel {
+            name: "dispatcher",
+            src: dispatch::SRC,
+            func: "dispatch",
+            prepare: Box::new(|e| {
+                let t = dispatch::gen_guards(10, 11);
+                vec![dispatch::build(e, &t)]
+            }),
+            calls: Box::new(|i, p| vec![p[0], 13 + i, 2]),
+            n_calls: 1,
+        },
+        Kernel {
+            name: "sorter",
+            src: sorter::SRC,
+            func: "sortrecs",
+            prepare: Box::new(|e| {
+                let recs = sorter::gen_records(60, 4, 5);
+                let (spec, master, work, n) = sorter::build(e, &recs);
+                vec![spec, master, work, n]
+            }),
+            calls: Box::new(|_, p| vec![p[0], p[1], p[2], p[3]]),
+            n_calls: 1,
+        },
+    ]
+}
+
+/// Median host ns for one `restitch_all` pass under `opts`.
+fn host_ns(engine: &mut Engine, opts: &StitchOptions, samples: usize) -> f64 {
+    for _ in 0..2 {
+        black_box(engine.restitch_all(opts).expect("restitch"));
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(engine.restitch_all(opts).expect("restitch"));
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut samples = 9usize;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--samples") {
+        samples = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(samples);
+    }
+
+    println!(
+        "{:<12} | {:>6} | {:>22} | {:>22} | {:>9} | {:>11}",
+        "kernel", "insts", "sim cycles/inst (plan)", "sim cycles/inst (int.)", "sim ratio", "host ns/inst"
+    );
+    println!("{}", "-".repeat(100));
+
+    for k in kernels() {
+        let program = Compiler::new().compile(k.src).expect("compiles");
+        let mut engine = Engine::new(&program);
+        let prepared = (k.prepare)(&mut engine);
+        for i in 0..k.n_calls {
+            let args = (k.calls)(i, &prepared);
+            engine.call(k.func, &args).expect("runs");
+        }
+
+        let plan_opts = StitchOptions::default();
+        let interp_opts = StitchOptions {
+            plans: false,
+            ..StitchOptions::default()
+        };
+
+        let sp = engine.restitch_all(&plan_opts).expect("plan restitch");
+        let si = engine.restitch_all(&interp_opts).expect("interp restitch");
+        assert_eq!(
+            sp.instructions_stitched, si.instructions_stitched,
+            "plan and interpretive paths must stitch the same instructions"
+        );
+        let insts = sp.instructions_stitched.max(1) as f64;
+        let sim_plan = sp.cycles as f64 / insts;
+        let sim_interp = si.cycles as f64 / insts;
+
+        let h_plan = host_ns(&mut engine, &plan_opts, samples) / insts;
+        let h_interp = host_ns(&mut engine, &interp_opts, samples) / insts;
+
+        println!(
+            "{:<12} | {:>6} | {:>22.1} | {:>22.1} | {:>8.2}x | {:>5.1} / {:>5.1}",
+            k.name,
+            sp.instructions_stitched,
+            sim_plan,
+            sim_interp,
+            sim_interp / sim_plan,
+            h_plan,
+            h_interp,
+        );
+        println!(
+            "{:<12} |        | plan hits {:>4}, misses {:>3} | (interpretive: plans off)",
+            "", sp.plan_hits, sp.plan_misses
+        );
+    }
+    println!("\nhost ns/inst column: plan / interpretive (median of {samples} samples)");
+}

@@ -11,8 +11,7 @@
 
 use crate::KernelResult;
 use dyncomp::{measure_kernel, Engine, Error, KernelSetup};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dyncomp_ir::prng::SplitMix64;
 
 /// Predicate kinds: 0 eq, 1 ne, 2 lt, 3 gt, 4 mask, 5 range-low.
 pub const SRC: &str = r#"
@@ -50,7 +49,7 @@ pub struct GuardTable {
 
 /// Generate `n` guards covering all six predicate kinds.
 pub fn gen_guards(n: u64, seed: u64) -> GuardTable {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut t = GuardTable {
         kind: vec![],
         param: vec![],
@@ -58,8 +57,8 @@ pub fn gen_guards(n: u64, seed: u64) -> GuardTable {
     };
     for i in 0..n {
         t.kind.push((i % 6) as i64);
-        t.param.push(rng.gen_range(0..32));
-        t.hval.push(rng.gen_range(1..100));
+        t.param.push(rng.range_i64(0, 32));
+        t.hval.push(rng.range_i64(1, 100));
     }
     t
 }

@@ -10,8 +10,7 @@
 
 use crate::KernelResult;
 use dyncomp::{measure_kernel, Engine, Error, KernelSetup};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dyncomp_ir::prng::SplitMix64;
 
 /// Key types: 0 int ascending, 1 int descending, 2 unsigned ascending,
 /// 3 magnitude ascending.
@@ -68,9 +67,9 @@ pub const SRC: &str = r#"
 /// Reproducible record set: `n` records of `nkeys` small integers (small
 /// ranges force deep multi-key comparisons).
 pub fn gen_records(n: u64, nkeys: u64, seed: u64) -> Vec<Vec<i64>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     (0..n)
-        .map(|_| (0..nkeys).map(|_| rng.gen_range(-3..3)).collect())
+        .map(|_| (0..nkeys).map(|_| rng.range_i64(-3, 3)).collect())
         .collect()
 }
 

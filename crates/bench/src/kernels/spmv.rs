@@ -10,8 +10,7 @@
 
 use crate::KernelResult;
 use dyncomp::{measure_kernel, Engine, Error, KernelSetup};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dyncomp_ir::prng::SplitMix64;
 
 /// CSR sparse matrix–vector multiply; returns a scaled-integer checksum of
 /// the result so both compilations can be cross-checked.
@@ -49,17 +48,17 @@ pub struct Csr {
 
 /// Generate the matrix.
 pub fn gen_matrix(n: u64, per_row: u64, seed: u64) -> Csr {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut rowptr = vec![0i64];
     let mut col = Vec::new();
     let mut val = Vec::new();
     for _ in 0..n {
-        let mut cols: Vec<i64> = (0..per_row).map(|_| rng.gen_range(0..n) as i64).collect();
+        let mut cols: Vec<i64> = (0..per_row).map(|_| rng.below(n) as i64).collect();
         cols.sort_unstable();
         cols.dedup();
         for c in cols {
             col.push(c);
-            val.push(rng.gen_range(-2.0..2.0));
+            val.push(rng.range_f64(-2.0, 2.0));
         }
         rowptr.push(col.len() as i64);
     }

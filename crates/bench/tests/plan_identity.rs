@@ -1,0 +1,156 @@
+//! The copy-and-patch stitch-plan path must be **bit-identical** to the
+//! interpretive directive-walking path: for each of the paper's five
+//! kernels, running the full workload with plans on and off must produce
+//! the same call results and the exact same stitched code words for every
+//! region instance. Plans only change *how fast* the stitcher produces
+//! code, never the code.
+
+use dyncomp::{Compiler, Engine, EngineOptions};
+use dyncomp_bench::kernels::{calculator, dispatch, smatmul, sorter, spmv};
+use dyncomp_stitcher::StitchOptions;
+
+/// Per-kernel workload: source, entry function, heap preparation, and the
+/// argument vector for each call.
+type Prepare = Box<dyn Fn(&mut Engine) -> Vec<u64>>;
+type Calls = Box<dyn Fn(u64, &[u64]) -> Vec<u64>>;
+
+struct Workload {
+    name: &'static str,
+    src: &'static str,
+    func: &'static str,
+    prepare: Prepare,
+    calls: Calls,
+    n_calls: u64,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "calculator",
+            src: calculator::SRC,
+            func: "calc",
+            prepare: Box::new(|e| vec![calculator::build_program(e)]),
+            calls: Box::new(|i, p| vec![p[0], 3 + i, 7 + 2 * i]),
+            n_calls: 6,
+        },
+        Workload {
+            name: "smatmul",
+            src: smatmul::SRC,
+            func: "smatmul",
+            prepare: Box::new(|e| {
+                let (src, dst, len) = smatmul::build_matrices(e, 8, 16);
+                vec![src, dst, len]
+            }),
+            calls: Box::new(|i, p| vec![i + 1, p[2], p[0], p[1]]),
+            n_calls: 5,
+        },
+        Workload {
+            name: "spmv",
+            src: spmv::SRC,
+            func: "spmv",
+            prepare: Box::new(|e| {
+                let m = spmv::gen_matrix(16, 3, 42);
+                let (mp, xp, yp) = spmv::build(e, &m);
+                vec![mp, xp, yp]
+            }),
+            calls: Box::new(|_, p| vec![p[0], p[1], p[2]]),
+            n_calls: 3,
+        },
+        Workload {
+            name: "dispatcher",
+            src: dispatch::SRC,
+            func: "dispatch",
+            prepare: Box::new(|e| {
+                let t = dispatch::gen_guards(10, 11);
+                vec![dispatch::build(e, &t)]
+            }),
+            calls: Box::new(|i, p| vec![p[0], 13 + i, 2]),
+            n_calls: 6,
+        },
+        Workload {
+            name: "sorter",
+            src: sorter::SRC,
+            func: "sortrecs",
+            prepare: Box::new(|e| {
+                let recs = sorter::gen_records(40, 4, 5);
+                let (spec, master, work, n) = sorter::build(e, &recs);
+                vec![spec, master, work, n]
+            }),
+            calls: Box::new(|_, p| vec![p[0], p[1], p[2], p[3]]),
+            n_calls: 2,
+        },
+    ]
+}
+
+/// Stitched history for every region: `(key, code words)` per instance,
+/// plus the call results and the plan hit/miss totals.
+#[allow(clippy::type_complexity)]
+fn run(w: &Workload, plans: bool) -> (Vec<u64>, Vec<Vec<(Vec<u64>, Vec<u32>)>>, u32, u32) {
+    let program = Compiler::new().compile(w.src).expect("compiles");
+    let options = EngineOptions {
+        stitch: StitchOptions {
+            plans,
+            ..StitchOptions::default()
+        },
+        ..EngineOptions::default()
+    };
+    let mut engine = Engine::with_options(&program, options);
+    let prepared = (w.prepare)(&mut engine);
+    let mut results = Vec::new();
+    for i in 0..w.n_calls {
+        let args = (w.calls)(i, &prepared);
+        results.push(engine.call(w.func, &args).expect("runs"));
+    }
+    let mut instances = Vec::new();
+    let (mut hits, mut misses) = (0, 0);
+    for r in 0..program.region_count() {
+        instances.push(
+            engine
+                .stitched_instances(r)
+                .into_iter()
+                .map(|(k, c)| (k.to_vec(), c.to_vec()))
+                .collect::<Vec<_>>(),
+        );
+        let stats = engine.region_report(r).stitch_stats;
+        hits += stats.plan_hits;
+        misses += stats.plan_misses;
+    }
+    (results, instances, hits, misses)
+}
+
+#[test]
+fn plan_path_bit_identical_across_paper_kernels() {
+    for w in workloads() {
+        let (res_plan, inst_plan, hits, _misses) = run(&w, true);
+        let (res_interp, inst_interp, ihits, imisses) = run(&w, false);
+        assert_eq!(
+            res_plan, res_interp,
+            "{}: call results differ with plans on",
+            w.name
+        );
+        assert_eq!(
+            inst_plan.len(),
+            inst_interp.len(),
+            "{}: region count differs",
+            w.name
+        );
+        for (r, (a, b)) in inst_plan.iter().zip(&inst_interp).enumerate() {
+            assert_eq!(
+                a, b,
+                "{}: region {} stitched instances differ (keys or code words)",
+                w.name, r
+            );
+        }
+        assert!(
+            hits > 0,
+            "{}: expected at least one plan hit (got 0)",
+            w.name
+        );
+        assert_eq!(
+            (ihits, imisses),
+            (0, 0),
+            "{}: plans-off run must never touch the plan path",
+            w.name
+        );
+    }
+}

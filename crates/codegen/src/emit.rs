@@ -197,14 +197,14 @@ pub fn emit_function(
         }
         let buf = em.tmpl.take().expect("template buffer present");
         let entry = buf.label_of[&s.template_entry];
-        templates.insert(
-            s.region,
-            Template {
-                code: buf.code,
-                blocks: buf.blocks,
-                entry,
-            },
-        );
+        let mut template = Template {
+            code: buf.code,
+            blocks: buf.blocks,
+            entry,
+        };
+        // Lower value-independent blocks to copy-and-patch stitch plans.
+        dyncomp_machine::template::precompile_plans(&mut template);
+        templates.insert(s.region, template);
     }
 
     // ---- assemble ----
@@ -1175,6 +1175,7 @@ impl Emitter<'_> {
             branches,
             marker,
             exit,
+            plan: None,
         });
         Ok(())
     }

@@ -17,8 +17,8 @@ use dyncomp_machine::heap::HeapBuilder;
 use dyncomp_machine::isa::{encode, Inst, Op, CTP, SP};
 use dyncomp_machine::template::ValueLoc;
 use dyncomp_machine::vm::{Stop, Vm};
+use dyncomp_ir::fxhash::FxHashMap;
 use dyncomp_stitcher::{StitchOptions, StitchStats};
-use std::collections::HashMap;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -29,9 +29,13 @@ pub struct EngineOptions {
     pub stitch: StitchOptions,
     /// Cycles charged for an `EnterRegion` trap serviced by the runtime.
     pub trap_cycles: u64,
-    /// Cycles charged for a keyed code-cache lookup (plus per-key compare).
+    /// Cycles charged for a keyed code-cache lookup (plus per-key
+    /// hash/compare). The default models the O(1) hashed lookup the
+    /// engine implements (one hash-bucket probe plus an O(1) LRU splice);
+    /// see EXPERIMENTS.md for the recalibration from the earlier
+    /// linear-probe model.
     pub keyed_lookup_cycles: u64,
-    /// Per-key compare cycles in the keyed lookup.
+    /// Per-key-word hash-and-compare cycles in the keyed lookup.
     pub per_key_cycles: u64,
     /// Maximum stitched instances kept per keyed region (`None` =
     /// unbounded, the paper's model). When the cache is full the
@@ -48,20 +52,120 @@ impl Default for EngineOptions {
             memory_bytes: 1 << 24,
             stitch: StitchOptions::default(),
             trap_cycles: 18,
-            keyed_lookup_cycles: 34,
-            per_key_cycles: 9,
+            keyed_lookup_cycles: 16,
+            per_key_cycles: 4,
             keyed_cache_capacity: None,
         }
+    }
+}
+
+/// A keyed-cache entry: where the instance was installed and which LRU
+/// slot tracks its recency.
+#[derive(Clone, Copy, Debug)]
+struct CacheEntry {
+    /// Code address of the stitched instance.
+    base: u32,
+    /// Index into [`LruOrder::slots`] (`usize::MAX` for unkeyed regions,
+    /// which never take the lookup path after their trap is patched away).
+    lru: usize,
+}
+
+/// Doubly-linked recency order over the keyed cache's entries: O(1)
+/// touch-on-hit, push, and least-recently-used eviction, independent of
+/// cache size. Slot indices are stable (freed slots recycle through a
+/// free list), so [`CacheEntry::lru`] stays valid until eviction.
+#[derive(Debug, Default)]
+struct LruOrder {
+    slots: Vec<LruSlot>,
+    /// Least recently used end (eviction victim).
+    head: Option<usize>,
+    /// Most recently used end.
+    tail: Option<usize>,
+    free: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct LruSlot {
+    key: Vec<u64>,
+    prev: Option<usize>,
+    next: Option<usize>,
+}
+
+impl LruOrder {
+    fn unlink(&mut self, i: usize) {
+        let (p, n) = (self.slots[i].prev, self.slots[i].next);
+        match p {
+            Some(p) => self.slots[p].next = n,
+            None => self.head = n,
+        }
+        match n {
+            Some(n) => self.slots[n].prev = p,
+            None => self.tail = p,
+        }
+        self.slots[i].prev = None;
+        self.slots[i].next = None;
+    }
+
+    fn push_back(&mut self, i: usize) {
+        self.slots[i].prev = self.tail;
+        self.slots[i].next = None;
+        match self.tail {
+            Some(t) => self.slots[t].next = Some(i),
+            None => self.head = Some(i),
+        }
+        self.tail = Some(i);
+    }
+
+    /// Append `key` at the most-recently-used end; returns its slot.
+    fn insert(&mut self, key: Vec<u64>) -> usize {
+        let slot = LruSlot {
+            key,
+            prev: None,
+            next: None,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.push_back(i);
+        i
+    }
+
+    /// Move slot `i` to the most-recently-used end.
+    fn touch(&mut self, i: usize) {
+        if self.tail != Some(i) {
+            self.unlink(i);
+            self.push_back(i);
+        }
+    }
+
+    /// Remove and return the least-recently-used key.
+    fn pop_lru(&mut self) -> Option<Vec<u64>> {
+        let i = self.head?;
+        self.unlink(i);
+        self.free.push(i);
+        Some(std::mem::take(&mut self.slots[i].key))
     }
 }
 
 /// Per-region run-time bookkeeping.
 #[derive(Debug, Default)]
 struct RegionState {
-    /// Stitched instances by key tuple (unkeyed regions use the empty key).
-    cache: HashMap<Vec<u64>, u32>,
-    /// Keys in least-recently-entered-first order (for bounded caches).
-    lru: Vec<Vec<u64>>,
+    /// Stitched instances by key tuple (unkeyed regions use the empty
+    /// key). The key hash is computed once per entry; [`FxHashMap`] keeps
+    /// the per-lookup constant small.
+    cache: FxHashMap<Vec<u64>, CacheEntry>,
+    /// Recency order over `cache` (for bounded caches).
+    lru: LruOrder,
+    /// Constants-table address of every stitch performed, in stitch order
+    /// (for [`Engine::restitch_all`]).
+    tables: Vec<u64>,
     /// Every stitched instance ever produced: (key, code base, length in
     /// words). Survives eviction — code space is append-only.
     instances: Vec<(Vec<u64>, u32, u32)>,
@@ -198,15 +302,12 @@ impl<'p> Engine<'p> {
             self.vm.cycles += self.options.keyed_lookup_cycles
                 + self.options.per_key_cycles * rc.key_locs.len() as u64;
         }
-        match st.cache.get(&key) {
-            Some(&stitched_entry) => {
-                if self.options.keyed_cache_capacity.is_some() {
-                    if let Some(pos) = st.lru.iter().position(|k| *k == key) {
-                        let k = st.lru.remove(pos);
-                        st.lru.push(k);
-                    }
+        match st.cache.get(&key).copied() {
+            Some(entry) => {
+                if !rc.key_locs.is_empty() {
+                    st.lru.touch(entry.lru);
                 }
-                self.vm.pc = stitched_entry;
+                self.vm.pc = entry.base;
             }
             None => {
                 st.pending_key = Some(key);
@@ -229,20 +330,27 @@ impl<'p> Engine<'p> {
         st.setup_cycles += self.vm.cycles - st.setup_start;
         st.stitches += 1;
         accumulate(&mut st.stitch, &stitched.stats);
+        st.tables.push(table);
         let key = st.pending_key.take().unwrap_or_default();
         st.instances
             .push((key.clone(), base, stitched.code.len() as u32));
-        if !rc.key_locs.is_empty() {
+        let lru = if rc.key_locs.is_empty() {
+            usize::MAX // unkeyed: the trap is patched away below
+        } else {
             if let Some(cap) = self.options.keyed_cache_capacity {
-                while st.cache.len() >= cap.max(1) && !st.lru.is_empty() {
-                    let victim = st.lru.remove(0);
-                    st.cache.remove(&victim);
-                    st.evictions += 1;
+                while st.cache.len() >= cap.max(1) {
+                    match st.lru.pop_lru() {
+                        Some(victim) => {
+                            st.cache.remove(&victim);
+                            st.evictions += 1;
+                        }
+                        None => break,
+                    }
                 }
             }
-            st.lru.push(key.clone());
-        }
-        st.cache.insert(key, base);
+            st.lru.insert(key.clone())
+        };
+        st.cache.insert(key, CacheEntry { base, lru });
 
         // Unkeyed regions: retire the trap — patch EnterRegion into a
         // direct branch to the stitched code (§1: the templates "become
@@ -255,7 +363,7 @@ impl<'p> Engine<'p> {
                 disp as i32,
             ))
             .expect("patch branch encodes");
-            self.vm.code[rc.enter_pc as usize] = w;
+            self.vm.patch_code(rc.enter_pc, w);
         }
 
         self.vm.pc = base;
@@ -279,6 +387,27 @@ impl<'p> Engine<'p> {
     /// Total VM cycles so far.
     pub fn cycles(&self) -> u64 {
         self.vm.cycles
+    }
+
+    /// Re-run the stitcher over every `(region, constants table)` pair
+    /// stitched so far, under `opts`, without installing the result —
+    /// the set-up code's tables are still live in data memory, so this
+    /// re-measures pure stitching work (for throughput benches and
+    /// ablations). Returns the accumulated stats of the extra runs; the
+    /// engine's own per-region reports are unaffected.
+    ///
+    /// # Errors
+    /// Stitching failures (same as the original stitches).
+    pub fn restitch_all(&mut self, opts: &StitchOptions) -> Result<StitchStats, Error> {
+        let mut total = StitchStats::default();
+        let base = self.vm.code.len() as u32;
+        for (idx, rc) in self.program.compiled.regions.iter().enumerate() {
+            for &table in &self.regions[idx].tables {
+                let s = dyncomp_stitcher::stitch(rc, table, &mut self.vm.mem, base, opts)?;
+                accumulate(&mut total, &s.stats);
+            }
+        }
+        Ok(total)
     }
 
     /// Every stitched instance region `index` has produced so far, as
@@ -311,5 +440,7 @@ fn accumulate(into: &mut StitchStats, s: &StitchStats) {
     into.regaction_loads_removed += s.regaction_loads_removed;
     into.regaction_stores_rewritten += s.regaction_stores_rewritten;
     into.regaction_promoted += s.regaction_promoted;
+    into.plan_hits += s.plan_hits;
+    into.plan_misses += s.plan_misses;
     into.cycles += s.cycles;
 }

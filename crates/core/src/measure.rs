@@ -193,6 +193,8 @@ pub fn measure_kernel_full(
         stitch.regaction_loads_removed += s.regaction_loads_removed;
         stitch.regaction_stores_rewritten += s.regaction_stores_rewritten;
         stitch.regaction_promoted += s.regaction_promoted;
+        stitch.plan_hits += s.plan_hits;
+        stitch.plan_misses += s.plan_misses;
         stitch.cycles += s.cycles;
     }
     let mut spec = SpecStats::default();

@@ -1,0 +1,125 @@
+//! A fast, non-cryptographic hasher for small integer-like keys.
+//!
+//! This is the FxHash algorithm used throughout rustc (one multiply and a
+//! rotate per word), reimplemented here because the workspace builds
+//! offline and cannot pull in the `rustc-hash` crate. The hot maps in the
+//! stitcher and the engine's keyed-region tables are keyed by small
+//! integers and short integer tuples — exactly the workload SipHash (the
+//! `std` default) is slowest and FxHash fastest at.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` wired to [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// `HashSet` wired to [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+/// The [`FxHasher`] builder.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// One-multiply-per-word hasher (rustc's FxHash).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hash a slice of words directly (the engine's precomputed key hash).
+#[must_use]
+pub fn hash_words(words: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    for &w in words {
+        h.write_u64(w);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u64), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, u64::from(i) * 3), i * 7);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m[&(i, u64::from(i) * 3)], i * 7);
+        }
+    }
+
+    #[test]
+    fn hash_words_matches_hasher() {
+        let words = [1u64, 2, 3];
+        let mut h = FxHasher::default();
+        for &w in &words {
+            h.write_u64(w);
+        }
+        assert_eq!(hash_words(&words), h.finish());
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes_mostly() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(hash_words(&[i]));
+        }
+        assert_eq!(seen.len(), 10_000, "no collisions on sequential keys");
+    }
+}

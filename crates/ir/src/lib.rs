@@ -57,12 +57,14 @@ pub mod cfg;
 pub mod dom;
 pub mod eval;
 pub mod func;
+pub mod fxhash;
 pub mod ids;
 pub mod inst;
 pub mod loops;
 pub mod ops;
 pub mod out_of_ssa;
 pub mod print;
+pub mod prng;
 pub mod ssa;
 pub mod verify;
 

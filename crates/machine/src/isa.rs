@@ -690,64 +690,68 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use dyncomp_ir::prng::SplitMix64;
 
-    fn inst_strategy() -> impl Strategy<Value = Inst> {
-        prop_oneof![
-            // Operate, register form.
-            (0u8..Op::COUNT, 0u8..32, 0u8..32, 0u8..32).prop_filter_map(
-                "operate ops only",
-                |(op, ra, rb, rc)| {
-                    let op = Op::from_u8(op)?;
-                    (op.format() == Format::Operate)
-                        .then(|| Inst::op3(op, ra, Operand::Reg(rb), rc))
+    /// A random well-formed instruction (the shapes `encode` accepts).
+    fn random_inst(rng: &mut SplitMix64) -> Inst {
+        loop {
+            let op = match Op::from_u8(rng.below(u64::from(Op::COUNT)) as u8) {
+                Some(op) => op,
+                None => continue,
+            };
+            let ra = rng.below(32) as u8;
+            let rb = rng.below(32) as u8;
+            let rc = rng.below(32) as u8;
+            match op.format() {
+                Format::Operate => {
+                    let operand = if rng.chance(1, 2) {
+                        Operand::Reg(rb)
+                    } else {
+                        Operand::Lit(rng.below(256) as u8)
+                    };
+                    return Inst::op3(op, ra, operand, rc);
                 }
-            ),
-            // Operate, literal form.
-            (0u8..Op::COUNT, 0u8..32, any::<u8>(), 0u8..32).prop_filter_map(
-                "operate ops only",
-                |(op, ra, lit, rc)| {
-                    let op = Op::from_u8(op)?;
-                    (op.format() == Format::Operate)
-                        .then(|| Inst::op3(op, ra, Operand::Lit(lit), rc))
+                Format::Memory => {
+                    let disp = rng.range_i64(
+                        i64::from(limits::DISP_MIN),
+                        i64::from(limits::DISP_MAX) + 1,
+                    ) as i16;
+                    return Inst::mem(op, ra, rb, disp);
                 }
-            ),
-            // Memory.
-            (
-                0u8..Op::COUNT,
-                0u8..32,
-                0u8..32,
-                limits::DISP_MIN..=limits::DISP_MAX
-            )
-                .prop_filter_map("memory ops only", |(op, ra, rb, disp)| {
-                    let op = Op::from_u8(op)?;
-                    (op.format() == Format::Memory).then(|| Inst::mem(op, ra, rb, disp as i16))
-                }),
-            // Branch.
-            (
-                0u8..Op::COUNT,
-                0u8..32,
-                limits::BDISP_MIN..=limits::BDISP_MAX
-            )
-                .prop_filter_map("branch ops only", |(op, ra, disp)| {
-                    let op = Op::from_u8(op)?;
-                    (op.format() == Format::Branch).then(|| Inst::branch(op, ra, disp))
-                }),
-            // Ldiw.
-            (0u8..32, any::<i32>()).prop_map(|(rc, imm)| Inst::ldiw(rc, imm)),
-        ]
+                Format::Branch => {
+                    let disp = rng.range_i64(
+                        i64::from(limits::BDISP_MIN),
+                        i64::from(limits::BDISP_MAX) + 1,
+                    ) as i32;
+                    return Inst::branch(op, ra, disp);
+                }
+                _ => {
+                    if op == Op::Ldiw {
+                        return Inst::ldiw(rc, rng.next_u64() as i32);
+                    }
+                    continue;
+                }
+            }
+        }
     }
 
-    proptest! {
-        #[test]
-        fn encode_decode_roundtrip(inst in inst_strategy()) {
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut rng = SplitMix64::new(0x15a5_0001);
+        for _ in 0..4000 {
+            let inst = random_inst(&mut rng);
             let (w, extra) = encode(&inst).expect("in-range fields encode");
             let back = decode(w, extra).expect("encoded words decode");
-            prop_assert_eq!(back, inst);
+            assert_eq!(back, inst);
         }
+    }
 
-        #[test]
-        fn decode_never_panics(word in any::<u32>(), extra in any::<u32>()) {
+    #[test]
+    fn decode_never_panics() {
+        let mut rng = SplitMix64::new(0x15a5_0002);
+        for _ in 0..40_000 {
+            let word = rng.next_u64() as u32;
+            let extra = rng.next_u64() as u32;
             let _ = decode(word, Some(extra));
             let _ = decode(word, None);
         }

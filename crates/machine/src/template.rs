@@ -20,7 +20,7 @@
 //! the per-iteration record chains of unrolled loops (the paper's `4:1`
 //! notation).
 
-use crate::isa::Reg;
+use crate::isa::{Format, Op, Reg};
 use dyncomp_ir::SlotPath;
 
 /// Label of a template block (index into [`Template::blocks`]).
@@ -148,6 +148,114 @@ pub struct TmplBlock {
     pub marker: Option<LoopMarker>,
     /// How control leaves.
     pub exit: TmplExit,
+    /// Precompiled copy-and-patch plan (see [`StitchPlan`]), built at
+    /// static-compile time by [`precompile_plans`]. `None` keeps the block
+    /// on the interpretive directive-walking path.
+    pub plan: Option<StitchPlan>,
+}
+
+/// A hole patch within a [`StitchPlan`], with its word offset relative to
+/// the plan's code block (not to [`Template::code`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanPatch {
+    /// Word offset within [`StitchPlan::code`].
+    pub at: u32,
+    /// The instruction field to patch.
+    pub field: HoleField,
+    /// Where the set-up code stored the value.
+    pub slot: SlotPath,
+}
+
+/// A precompiled stitch plan for one template block: the copy-and-patch
+/// fast path.
+///
+/// At static-compile time, a block whose directives are value-independent
+/// — a plain `EMIT` run plus in-place `HOLE` patches, with no unrolling
+/// marker pending — is lowered into a contiguous code block plus an
+/// ordered patch list. At run time the stitcher then *copies the block and
+/// applies the patches* instead of interpreting directives word by word
+/// (the copy-and-patch idiom). Patches are still value-dependent at the
+/// edges: a `Lit` hole whose value exceeds the 8-bit literal, or a
+/// `MemDisp` hole whose linearized-table offset leaves displacement range,
+/// needs extra instructions and therefore falls back to the interpretive
+/// path (a *plan miss*). Peephole-candidate holes (constant multiplies,
+/// unsigned divides/mods) are flagged so the miss decision is one branch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StitchPlan {
+    /// The block's code words, ready to copy (holes still unpatched).
+    pub code: Vec<u32>,
+    /// In-place patches in ascending `at` order.
+    pub patches: Vec<PlanPatch>,
+    /// Instructions in `code` (`Ldiw` counts one instruction, two words).
+    pub insts: u32,
+    /// Whether any `Lit` patch targets a strength-reduction candidate
+    /// (`mulq`/`divqu`/`remqu`): with peephole optimization enabled such
+    /// blocks must take the interpretive path, which may rewrite the
+    /// instruction entirely.
+    pub sr_candidate: bool,
+}
+
+/// Lower every eligible block of `t` into a [`StitchPlan`]
+/// (copy-and-patch fast path). Called once at static-compile time.
+///
+/// A block is eligible when its directives are value-independent:
+/// no unrolled-loop marker (record-chain walking decides block identity at
+/// stitch time), no intra-block branch fixups, and every hole patches an
+/// instruction in place. Value-dependent decisions that *remain* —
+/// oversized literals, far table entries, peephole rewrites — are checked
+/// per stitch and fall back to the interpretive path.
+pub fn precompile_plans(t: &mut Template) {
+    let code = t.code.clone();
+    'blocks: for blk in &mut t.blocks {
+        if blk.marker.is_some() || !blk.branches.is_empty() {
+            continue;
+        }
+        let (start, end) = (blk.start as usize, blk.end as usize);
+        if code.len() < end || start > end {
+            continue; // malformed; leave for the interpretive path to report
+        }
+        let mut sr_candidate = false;
+        let mut patches = Vec::with_capacity(blk.holes.len());
+        for h in &blk.holes {
+            let at = h.at as usize;
+            if at < start || at >= end {
+                continue 'blocks;
+            }
+            if let HoleField::Lit = h.field {
+                let op = Op::from_u8((code[at] >> 24) as u8);
+                match op {
+                    Some(op) if op.format() == Format::Operate => {
+                        sr_candidate |= matches!(op, Op::Mulq | Op::Divqu | Op::Remqu);
+                    }
+                    _ => continue 'blocks, // undecodable hole word
+                }
+            }
+            patches.push(PlanPatch {
+                at: h.at - blk.start,
+                field: h.field,
+                slot: h.slot.clone(),
+            });
+        }
+        // Count instructions (every word except an Ldiw's second).
+        let mut insts = 0u32;
+        let mut w = start;
+        while w < end {
+            insts += 1;
+            if Op::from_u8((code[w] >> 24) as u8) == Some(Op::Ldiw) {
+                w += 1;
+            }
+            w += 1;
+        }
+        if w != end {
+            continue; // trailing half of a wide instruction: malformed
+        }
+        blk.plan = Some(StitchPlan {
+            code: code[start..end].to_vec(),
+            patches,
+            insts,
+            sr_candidate,
+        });
+    }
 }
 
 /// A complete machine-code template for one dynamic region.
@@ -219,6 +327,7 @@ mod tests {
                     branches: vec![],
                     marker: None,
                     exit: TmplExit::Jump(1),
+                    plan: None,
                 },
                 TmplBlock {
                     start: 6,
@@ -227,6 +336,7 @@ mod tests {
                     branches: vec![],
                     marker: None,
                     exit: TmplExit::Return,
+                    plan: None,
                 },
             ],
             entry: 0,

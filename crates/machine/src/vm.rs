@@ -158,7 +158,18 @@ impl From<EvalError> for VmError {
 /// The simulated machine.
 pub struct Vm {
     /// Code space (word-addressed; stitched code is appended here).
+    ///
+    /// Reads are free-for-all; **writes must go through
+    /// [`Vm::patch_code`]** (or [`Vm::append_code`]) so the predecode
+    /// cache stays coherent. Writing `code` directly leaves stale decoded
+    /// entries behind and the VM will keep executing the old instruction.
     pub code: Vec<u32>,
+    /// Predecode cache: each code word decoded at most once. `None` means
+    /// not yet decoded (or invalidated by a patch). Purely a host-side
+    /// speedup — it changes no simulated cycle counts, because decoding
+    /// was never a modeled cost (the simulated 21064 fetches from I-cache
+    /// either way).
+    decoded: Vec<Option<(Inst, u32)>>,
     /// Integer registers (`r31` reads as zero).
     pub regs: [u64; 32],
     /// Float registers (`f31` reads as 0.0).
@@ -185,6 +196,7 @@ impl Vm {
         regs[SP as usize] = mem_bytes as u64 & !15;
         Vm {
             code: Vec::new(),
+            decoded: Vec::new(),
             regs,
             fregs: [0.0; 32],
             mem,
@@ -200,7 +212,29 @@ impl Vm {
     pub fn append_code(&mut self, words: &[u32]) -> u32 {
         let at = self.code.len() as u32;
         self.code.extend_from_slice(words);
+        self.decoded.resize(self.code.len(), None);
+        // A wide instruction whose second word was missing may have been
+        // fetched (and faulted) before this append completed it; drop any
+        // cached decode of the previous last word.
+        if at > 0 {
+            self.decoded[at as usize - 1] = None;
+        }
         at
+    }
+
+    /// Overwrite the code word at `at`, invalidating the predecode cache
+    /// for every instruction that could span it (the word itself, and a
+    /// two-word `Ldiw` starting one word earlier). This is how the engine
+    /// patches `EnterRegion` traps into direct branches.
+    ///
+    /// # Panics
+    /// Panics when `at` is outside the code area.
+    pub fn patch_code(&mut self, at: u32, word: u32) {
+        self.code[at as usize] = word;
+        self.decoded[at as usize] = None;
+        if at > 0 {
+            self.decoded[at as usize - 1] = None;
+        }
     }
 
     /// Address of a one-instruction `Halt` stub (created on first use),
@@ -272,7 +306,10 @@ impl Vm {
         self.pc = entry;
     }
 
-    fn fetch(&self, pc: u32) -> Result<(Inst, u32), VmError> {
+    fn fetch(&mut self, pc: u32) -> Result<(Inst, u32), VmError> {
+        if let Some(Some(hit)) = self.decoded.get(pc as usize) {
+            return Ok(*hit);
+        }
         let w = *self
             .code
             .get(pc as usize)
@@ -290,6 +327,7 @@ impl Vm {
         };
         let inst = decode(w, extra).map_err(|_| VmError::BadInstruction { pc })?;
         let len = if inst.is_wide() { 2 } else { 1 };
+        self.decoded[pc as usize] = Some((inst, len));
         Ok((inst, len))
     }
 
@@ -963,6 +1001,112 @@ mod tests {
         assert_eq!(vm.reg(4), 77);
         assert_eq!(vm.freg(5), 1.5);
         assert_eq!(vm.freg(6), 0.0);
+    }
+
+    #[test]
+    fn patch_code_invalidates_predecode() {
+        // Execute an EnterRegion trap (caching its decode), patch it into
+        // a direct branch — the engine's unkeyed-region retirement — and
+        // re-execute: the branch must be taken, not the stale trap.
+        let mut vm = Vm::new(1 << 12);
+        let start = emit(
+            &mut vm,
+            Inst {
+                op: Op::EnterRegion,
+                ra: 0,
+                rb: Operand::Reg(ZERO),
+                rc: 0,
+                imm: 4,
+            },
+        );
+        emit(&mut vm, Inst::ldiw(1, 111)); // fall-through (2 words)
+        emit(
+            &mut vm,
+            Inst {
+                op: Op::Halt,
+                ra: 0,
+                rb: Operand::Reg(ZERO),
+                rc: 0,
+                imm: 0,
+            },
+        );
+        let target = emit(&mut vm, Inst::ldiw(2, 222));
+        emit(
+            &mut vm,
+            Inst {
+                op: Op::Halt,
+                ra: 0,
+                rb: Operand::Reg(ZERO),
+                rc: 0,
+                imm: 0,
+            },
+        );
+        vm.pc = start;
+        assert_eq!(
+            vm.run().unwrap(),
+            Stop::EnterRegion {
+                region: 4,
+                at: start
+            }
+        );
+        let disp = target as i64 - (i64::from(start) + 1);
+        let (w, _) = encode(&Inst::branch(Op::Br, ZERO, disp as i32)).unwrap();
+        vm.patch_code(start, w);
+        vm.pc = start;
+        assert_eq!(vm.run().unwrap(), Stop::Halted);
+        assert_eq!(vm.reg(2), 222, "patched branch was executed");
+        assert_eq!(vm.reg(1), 0, "stale fall-through was not executed");
+    }
+
+    #[test]
+    fn patch_code_invalidates_wide_instruction_prefix() {
+        // Patch the *second* word of a cached Ldiw: the cached decode at
+        // the first word must be dropped too.
+        let mut vm = Vm::new(1 << 12);
+        let start = emit(&mut vm, Inst::ldiw(1, 1000));
+        emit(
+            &mut vm,
+            Inst {
+                op: Op::Halt,
+                ra: 0,
+                rb: Operand::Reg(ZERO),
+                rc: 0,
+                imm: 0,
+            },
+        );
+        vm.pc = start;
+        vm.run().unwrap();
+        assert_eq!(vm.reg(1), 1000);
+        vm.patch_code(start + 1, 2000u32);
+        vm.pc = start;
+        vm.run().unwrap();
+        assert_eq!(vm.reg(1), 2000, "patched immediate word took effect");
+    }
+
+    #[test]
+    fn predecode_changes_no_cycles() {
+        // Running the same loop twice on one VM (second run fully served
+        // by the predecode cache) costs exactly the same simulated cycles.
+        let mut vm = Vm::new(1 << 12);
+        let start = emit(&mut vm, Inst::op3(Op::Addq, ZERO, Operand::Lit(50), 1));
+        emit(&mut vm, Inst::op3(Op::Subq, 1, Operand::Lit(1), 1));
+        emit(&mut vm, Inst::branch(Op::Bne, 1, -2));
+        emit(
+            &mut vm,
+            Inst {
+                op: Op::Halt,
+                ra: 0,
+                rb: Operand::Reg(ZERO),
+                rc: 0,
+                imm: 0,
+            },
+        );
+        vm.pc = start;
+        vm.run().unwrap();
+        let cold = vm.cycles;
+        vm.pc = start;
+        vm.run().unwrap();
+        assert_eq!(vm.cycles - cold, cold, "warm run costs the same cycles");
     }
 
     #[test]

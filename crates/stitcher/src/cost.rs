@@ -33,6 +33,16 @@ pub struct StitchCost {
     pub peephole_try: u64,
     /// Each instruction emitted by a peephole expansion.
     pub peephole_emit: u64,
+    /// Dispatching to a precompiled stitch plan (one indirect load plus
+    /// the applicability checks, replacing per-directive decode).
+    pub plan_dispatch: u64,
+    /// Copying one code word via a plan's bulk copy. Cheaper than
+    /// [`StitchCost::copy_word`]: a straight `memcpy` with no directive
+    /// interleaving.
+    pub plan_copy_word: u64,
+    /// Applying one plan patch (the table read is charged separately via
+    /// [`StitchCost::table_read`]).
+    pub plan_patch: u64,
 }
 
 impl Default for StitchCost {
@@ -49,6 +59,9 @@ impl Default for StitchCost {
             branch_fixup: 35,
             peephole_try: 25,
             peephole_emit: 10,
+            plan_dispatch: 12,
+            plan_copy_word: 2,
+            plan_patch: 10,
         }
     }
 }
@@ -70,6 +83,9 @@ impl StitchCost {
             branch_fixup: 6,
             peephole_try: 4,
             peephole_emit: 3,
+            plan_dispatch: 2,
+            plan_copy_word: 1,
+            plan_patch: 3,
         }
     }
 }

@@ -37,8 +37,8 @@ pub use cost::StitchCost;
 use dyncomp_ir::eval::Memory;
 use dyncomp_ir::SlotPath;
 use dyncomp_machine::isa::{decode, encode, Format, Inst, Op, Operand, LIN, SCRATCH0, ZERO};
-use dyncomp_machine::template::{HoleField, LoopMarker, RegionCode, TmplExit};
-use std::collections::HashMap;
+use dyncomp_machine::template::{HoleField, LoopMarker, RegionCode, StitchPlan, TmplExit};
+use dyncomp_ir::fxhash::FxHashMap;
 use std::fmt;
 
 /// Stitching options (ablations).
@@ -59,6 +59,13 @@ pub struct StitchOptions {
     /// **Only sound when the promoted memory is scratch** (dead outside
     /// the region): stores are rewritten without write-back.
     pub register_actions: Option<usize>,
+    /// Use precompiled copy-and-patch stitch plans where the static
+    /// compiler produced them (see
+    /// [`dyncomp_machine::template::StitchPlan`]). Plans are bit-identical
+    /// to the interpretive path; turning them off is an ablation/debugging
+    /// aid. Ignored (treated as off) when `register_actions` is active,
+    /// whose bookkeeping needs the word-by-word walk.
+    pub plans: bool,
 }
 
 impl Default for StitchOptions {
@@ -69,6 +76,7 @@ impl Default for StitchOptions {
             cost: StitchCost::default(),
             max_blocks: 200_000,
             register_actions: None,
+            plans: true,
         }
     }
 }
@@ -98,6 +106,11 @@ pub struct StitchStats {
     pub regaction_stores_rewritten: u32,
     /// Register-actions: addresses promoted to the register bank.
     pub regaction_promoted: u32,
+    /// Blocks stitched through a precompiled copy-and-patch plan.
+    pub plan_hits: u32,
+    /// Plan attempts that fell back to the interpretive path (oversized
+    /// literal, far table entry, or a peephole-candidate hole).
+    pub plan_misses: u32,
     /// Simulated stitcher cycles.
     pub cycles: u64,
 }
@@ -164,16 +177,16 @@ pub fn stitch(
         opts,
         out: Vec::new(),
         lin: Vec::new(),
-        lin_dedup: HashMap::new(),
+        lin_dedup: FxHashMap::default(),
         stats: StitchStats::default(),
-        done: HashMap::new(),
+        done: FxHashMap::default(),
         fixups: Vec::new(),
         lin_ldiw_patches: Vec::new(),
         lin_far_patches: Vec::new(),
         queue: Vec::new(),
         accesses: Vec::new(),
-        reg_known: HashMap::new(),
-        known_load_at: HashMap::new(),
+        reg_known: FxHashMap::default(),
+        known_load_at: FxHashMap::default(),
     };
 
     // Prologue: establish the linearized-table base register. The address
@@ -279,10 +292,10 @@ struct Stitcher<'a> {
     opts: &'a StitchOptions,
     out: Vec<u32>,
     lin: Vec<u64>,
-    lin_dedup: HashMap<u64, u32>,
+    lin_dedup: FxHashMap<u64, u32>,
     stats: StitchStats,
     /// Output offset of each stitched (block, context).
-    done: HashMap<Key, u32>,
+    done: FxHashMap<Key, u32>,
     /// Pending pc-relative fixups: `(branch word offset, target key)`.
     fixups: Vec<(u32, Key)>,
     lin_ldiw_patches: Vec<u32>,
@@ -293,9 +306,9 @@ struct Stitcher<'a> {
     /// Register-actions log: memory accesses with constant addresses.
     accesses: Vec<crate::regactions::ConstAccess>,
     /// Registers currently holding known constants (within one block).
-    reg_known: HashMap<u8, u64>,
+    reg_known: FxHashMap<u8, u64>,
     /// Output position of the hole load that established each known reg.
-    known_load_at: HashMap<u8, u32>,
+    known_load_at: FxHashMap<u8, u32>,
 }
 
 impl Stitcher<'_> {
@@ -321,6 +334,14 @@ impl Stitcher<'_> {
     /// Resolve a slot path against the current record stack and read it.
     fn read_slot(&mut self, path: &SlotPath, ctx: &[u64]) -> Result<u64, StitchError> {
         self.charge(self.opts.cost.table_read);
+        self.peek_slot(path, ctx)
+    }
+
+    /// [`Stitcher::read_slot`] without the cycle charge — for the plan
+    /// applicability check, which must stay side-effect-free on a miss
+    /// (the interpretive fallback re-reads and charges normally; the plan
+    /// hit path charges [`StitchCost::table_read`] per patch itself).
+    fn peek_slot(&self, path: &SlotPath, ctx: &[u64]) -> Result<u64, StitchError> {
         let addr = if path.is_static() {
             self.table + 8 * u64::from(path.0[0])
         } else {
@@ -394,7 +415,6 @@ impl Stitcher<'_> {
     fn stitch_block(&mut self, key: Key) -> Result<Option<Key>, StitchError> {
         let (label, mut ctx) = key.clone();
         self.done.insert(key, self.abs_pos());
-        self.charge(self.opts.cost.directive);
         self.reg_known.clear();
         self.known_load_at.clear();
 
@@ -406,47 +426,68 @@ impl Stitcher<'_> {
             .ok_or_else(|| StitchError::BadTemplate(format!("label {label}")))?
             .clone();
 
-        // ---- copy code, patching holes ----
-        let mut w = blk.start as usize;
-        let code = &self.rc.template.code;
-        let mut hole_idx = 0usize;
+        // ---- copy-and-patch fast path ----
+        // Register actions need the word-by-word walk for their
+        // known-constant bookkeeping, so plans are bypassed entirely there.
         let mut branch_at_out: Option<u32> = None; // output pos of the CondBranch word
-        while w < blk.end as usize {
-            let word = code[w];
-            let is_wide = Op::from_u8((word >> 24) as u8) == Some(Op::Ldiw);
-            // Holes at this template offset?
-            let hole = blk
-                .holes
-                .get(hole_idx)
-                .filter(|h| h.at == w as u32)
-                .cloned();
-            if let Some(h) = hole {
-                hole_idx += 1;
-                self.charge(self.opts.cost.directive);
-                self.patch_hole(word, &h, &ctx)?;
-                w += 1;
-                continue;
-            }
-            // The CondBranch exit's branch word needs a fixup later.
-            if let TmplExit::CondBranch { at, .. } = blk.exit {
-                if at == w as u32 {
-                    branch_at_out = Some(self.out.len() as u32);
+        let mut plan_hit = false;
+        if self.opts.plans && self.opts.register_actions.is_none() {
+            if let Some(plan) = &blk.plan {
+                let out_start = self.out.len() as u32;
+                plan_hit = self.try_plan(plan, &ctx)?;
+                if plan_hit {
+                    // Plan output is in place (one word per template word),
+                    // so the exit branch's position is statically known.
+                    if let TmplExit::CondBranch { at, .. } = blk.exit {
+                        branch_at_out = Some(out_start + (at - blk.start));
+                    }
                 }
             }
-            self.charge(self.opts.cost.copy_word);
-            if self.opts.register_actions.is_some() {
-                self.track_access(word);
-            }
-            self.out.push(word);
-            self.stats.words_emitted += 1;
-            self.stats.instructions_stitched += 1;
-            if is_wide {
-                self.out.push(code[w + 1]);
-                self.stats.words_emitted += 1;
+        }
+
+        // ---- interpretive path: copy code, patching holes ----
+        if !plan_hit {
+            self.charge(self.opts.cost.directive);
+            let mut w = blk.start as usize;
+            let code = &self.rc.template.code;
+            let mut hole_idx = 0usize;
+            while w < blk.end as usize {
+                let word = code[w];
+                let is_wide = Op::from_u8((word >> 24) as u8) == Some(Op::Ldiw);
+                // Holes at this template offset?
+                let hole = blk
+                    .holes
+                    .get(hole_idx)
+                    .filter(|h| h.at == w as u32)
+                    .cloned();
+                if let Some(h) = hole {
+                    hole_idx += 1;
+                    self.charge(self.opts.cost.directive);
+                    self.patch_hole(word, &h, &ctx)?;
+                    w += 1;
+                    continue;
+                }
+                // The CondBranch exit's branch word needs a fixup later.
+                if let TmplExit::CondBranch { at, .. } = blk.exit {
+                    if at == w as u32 {
+                        branch_at_out = Some(self.out.len() as u32);
+                    }
+                }
                 self.charge(self.opts.cost.copy_word);
+                if self.opts.register_actions.is_some() {
+                    self.track_access(word);
+                }
+                self.out.push(word);
+                self.stats.words_emitted += 1;
+                self.stats.instructions_stitched += 1;
+                if is_wide {
+                    self.out.push(code[w + 1]);
+                    self.stats.words_emitted += 1;
+                    self.charge(self.opts.cost.copy_word);
+                    w += 1;
+                }
                 w += 1;
             }
-            w += 1;
         }
 
         // ---- marker (after the block's code) ----
@@ -604,6 +645,94 @@ impl Stitcher<'_> {
                 self.known_load_at.remove(&inst.rc);
             }
         }
+    }
+
+    /// Attempt a block's precompiled copy-and-patch plan. Returns `Ok(true)`
+    /// on a hit (code emitted, stats charged); `Ok(false)` means the block
+    /// must take the interpretive path, with no side effects beyond the
+    /// dispatch charge and the miss counter.
+    ///
+    /// A plan applies when every patch stays in place: `Lit` values fit the
+    /// 8-bit literal, `MemDisp` table offsets stay within displacement
+    /// range, and (with peephole optimization on) no patch targets a
+    /// strength-reduction candidate. The check predicts linearized-table
+    /// offsets without inserting, so a miss leaves the table untouched for
+    /// the interpretive fallback.
+    fn try_plan(&mut self, plan: &StitchPlan, ctx: &[u64]) -> Result<bool, StitchError> {
+        self.charge(self.opts.cost.plan_dispatch);
+        if self.opts.peephole && plan.sr_candidate {
+            self.stats.plan_misses += 1;
+            return Ok(false);
+        }
+
+        // ---- applicability (side-effect-free) ----
+        let mut values = Vec::with_capacity(plan.patches.len());
+        let mut pending_lin: Vec<u64> = Vec::new(); // new table values, in order
+        for p in &plan.patches {
+            let v = self.peek_slot(&p.slot, ctx)?;
+            match p.field {
+                HoleField::Lit => {
+                    if v > 255 {
+                        self.stats.plan_misses += 1;
+                        return Ok(false);
+                    }
+                }
+                HoleField::MemDisp { .. } => {
+                    // Predict the offset lin_offset() would assign.
+                    let off = match self.lin_dedup.get(&v) {
+                        Some(&o) => o as i32,
+                        None => match pending_lin.iter().position(|&x| x == v) {
+                            Some(i) => 8 * (self.lin.len() + i) as i32,
+                            None => {
+                                let o = 8 * (self.lin.len() + pending_lin.len()) as i32;
+                                pending_lin.push(v);
+                                o
+                            }
+                        },
+                    };
+                    if !Self::lin_near(off) {
+                        self.stats.plan_misses += 1;
+                        return Ok(false);
+                    }
+                }
+            }
+            values.push(v);
+        }
+
+        // ---- hit: bulk copy, then patch in place ----
+        self.stats.plan_hits += 1;
+        let out_start = self.out.len();
+        self.out.extend_from_slice(&plan.code);
+        self.charge(self.opts.cost.plan_copy_word * plan.code.len() as u64);
+        self.stats.words_emitted += plan.code.len() as u32;
+        self.stats.instructions_stitched += plan.insts;
+        for (p, &v) in plan.patches.iter().zip(&values) {
+            self.charge(self.opts.cost.table_read + self.opts.cost.plan_patch);
+            let at = out_start + p.at as usize;
+            let word = self.out[at];
+            match p.field {
+                HoleField::Lit => {
+                    // Decode + re-encode, exactly like the interpretive
+                    // path, so the output stays bit-identical.
+                    let inst =
+                        decode(word, None).map_err(|e| StitchError::BadTemplate(e.to_string()))?;
+                    let (w, _) = encode(&Inst {
+                        rb: Operand::Lit(v as u8),
+                        ..inst
+                    })
+                    .map_err(|e| StitchError::BadTemplate(e.to_string()))?;
+                    self.out[at] = w;
+                    self.stats.holes_inline += 1;
+                }
+                HoleField::MemDisp { .. } => {
+                    let off = self.lin_offset(v)?;
+                    debug_assert!(Self::lin_near(off), "applicability check predicted near");
+                    self.out[at] = (word & !0x3FFF) | (off as u32 & 0x3FFF);
+                    self.stats.holes_big += 1;
+                }
+            }
+        }
+        Ok(true)
     }
 
     /// Patch one hole into the instruction `word`.

@@ -22,6 +22,7 @@ fn block(start: u32, end: u32, exit: TmplExit) -> TmplBlock {
         branches: vec![],
         marker: None,
         exit,
+        plan: None,
     }
 }
 
@@ -78,6 +79,7 @@ fn add_hole_template() -> Template {
             branches: vec![],
             marker: None,
             exit: TmplExit::Return,
+            plan: None,
         }],
         entry: 0,
     }
@@ -200,6 +202,7 @@ fn unrolled_template() -> Template {
                     root: SlotPath::stat(0),
                 }),
                 exit: TmplExit::Jump(1),
+                plan: None,
             },
             // 1: header: constant branch on rec[0].
             block(
@@ -223,6 +226,7 @@ fn unrolled_template() -> Template {
                 branches: vec![],
                 marker: None,
                 exit: TmplExit::Jump(3),
+                plan: None,
             },
             // 3: restart marker back to header.
             TmplBlock {
@@ -232,6 +236,7 @@ fn unrolled_template() -> Template {
                 branches: vec![],
                 marker: Some(LoopMarker::Restart { next_slot: 2 }),
                 exit: TmplExit::Jump(1),
+                plan: None,
             },
             // 4: exit marker then return.
             TmplBlock {
@@ -241,6 +246,7 @@ fn unrolled_template() -> Template {
                 branches: vec![],
                 marker: Some(LoopMarker::Exit),
                 exit: TmplExit::Return,
+                plan: None,
             },
         ],
         entry: 0,
@@ -308,6 +314,7 @@ fn strength_reduction_multiply_by_power_of_two() {
             branches: vec![],
             marker: None,
             exit: TmplExit::Return,
+            plan: None,
         }],
         entry: 0,
     };
@@ -358,6 +365,7 @@ fn strength_reduction_div_rem_by_power_of_two() {
                 branches: vec![],
                 marker: None,
                 exit: TmplExit::Return,
+                plan: None,
             }],
             entry: 0,
         };
@@ -390,6 +398,7 @@ fn peephole_off_keeps_multiply() {
             branches: vec![],
             marker: None,
             exit: TmplExit::Return,
+            plan: None,
         }],
         entry: 0,
     };

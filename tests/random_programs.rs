@@ -1,4 +1,4 @@
-//! Property-based differential testing across the whole system: random
+//! Randomized differential testing across the whole system: random
 //! MiniC programs are executed three ways —
 //!
 //! 1. the reference IR interpreter (plain lowering),
@@ -8,12 +8,13 @@
 //! and all three must agree on every input. This exercises the front end,
 //! SSA construction/destruction, the optimizer, the analyses, the
 //! specializer, register allocation, codegen, the VM and the stitcher in
-//! one property.
+//! one property. Programs are generated from a seeded [`SplitMix64`], so
+//! every run tests the identical corpus.
 
 use dyncomp::{Compiler, Engine};
 use dyncomp_frontend::{compile, LowerOptions};
 use dyncomp_ir::eval::{EvalOutcome, Evaluator};
-use proptest::prelude::*;
+use dyncomp_ir::prng::SplitMix64;
 
 /// A tiny expression AST we can render as MiniC.
 #[derive(Clone, Debug)]
@@ -28,6 +29,25 @@ enum Expr {
     Lit(i8),
     /// Binary operation.
     Bin(&'static str, Box<Expr>, Box<Expr>),
+}
+
+const BIN_OPS: [&str; 10] = ["+", "-", "*", "&", "|", "^", "<", ">", "==", "!="];
+
+fn random_expr(rng: &mut SplitMix64, depth: u32) -> Expr {
+    let leaf = depth == 0 || rng.chance(2, 5);
+    if leaf {
+        match rng.below(4) {
+            0 => Expr::K,
+            1 => Expr::X,
+            2 => Expr::Var(rng.next_u64() as u8),
+            _ => Expr::Lit(rng.next_u64() as i8),
+        }
+    } else {
+        let op = BIN_OPS[rng.below(BIN_OPS.len() as u64) as usize];
+        let a = random_expr(rng, depth - 1);
+        let b = random_expr(rng, depth - 1);
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
 }
 
 fn render(e: &Expr) -> String {
@@ -46,34 +66,6 @@ fn render(e: &Expr) -> String {
     }
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        Just(Expr::K),
-        Just(Expr::X),
-        any::<u8>().prop_map(Expr::Var),
-        any::<i8>().prop_map(Expr::Lit),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        (
-            prop_oneof![
-                Just("+"),
-                Just("-"),
-                Just("*"),
-                Just("&"),
-                Just("|"),
-                Just("^"),
-                Just("<"),
-                Just(">"),
-                Just("=="),
-                Just("!="),
-            ],
-            inner.clone(),
-            inner,
-        )
-            .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b)))
-    })
-}
-
 #[derive(Clone, Debug)]
 enum Stmt {
     Assign(u8, Expr),
@@ -89,37 +81,41 @@ enum Stmt {
     Switch(Expr, (u8, Expr), (u8, Expr), (u8, Expr)),
 }
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        (any::<u8>(), expr_strategy()).prop_map(|(v, e)| Stmt::Assign(v, e)),
-        (
-            expr_strategy(),
-            any::<u8>(),
-            expr_strategy(),
-            proptest::option::of((any::<u8>(), expr_strategy()))
-        )
-            .prop_map(|(c, v, t, e)| Stmt::If(c, (v, t), e)),
-        (any::<u8>(), 0u8..6, expr_strategy()).prop_map(|(v, n, e)| Stmt::Loop(v, n, e)),
-        (any::<u8>(), 0u8..5, expr_strategy()).prop_map(|(v, n, e)| Stmt::Unrolled(v, n, e)),
-        (
-            expr_strategy(),
-            (any::<u8>(), expr_strategy()),
-            (any::<u8>(), expr_strategy()),
-            (any::<u8>(), expr_strategy())
-        )
-            .prop_map(|(sel, a, b, d)| Stmt::Switch(sel, a, b, d)),
-    ];
-    // Allow `if` blocks whose arms are themselves statement lists, so
-    // loops/switches/unrolled loops appear under dynamic and constant
-    // branches alike.
-    leaf.prop_recursive(2, 12, 3, |inner| {
-        (
-            expr_strategy(),
-            proptest::collection::vec(inner.clone(), 0..3),
-            proptest::collection::vec(inner, 0..3),
-        )
-            .prop_map(|(c, t, e)| Stmt::IfBlock(c, t, e))
-    })
+fn random_stmt(rng: &mut SplitMix64, nest: u32) -> Stmt {
+    // `IfBlock` arms nest full statement lists, so loops/switches/unrolled
+    // loops appear under dynamic and constant branches alike.
+    if nest > 0 && rng.chance(1, 4) {
+        let c = random_expr(rng, 2);
+        let t = (0..rng.below(3)).map(|_| random_stmt(rng, nest - 1)).collect();
+        let e = (0..rng.below(3)).map(|_| random_stmt(rng, nest - 1)).collect();
+        return Stmt::IfBlock(c, t, e);
+    }
+    match rng.below(5) {
+        0 => Stmt::Assign(rng.next_u64() as u8, random_expr(rng, 3)),
+        1 => {
+            let c = random_expr(rng, 2);
+            let v = rng.next_u64() as u8;
+            let t = random_expr(rng, 2);
+            let e = if rng.chance(1, 2) {
+                Some((rng.next_u64() as u8, random_expr(rng, 2)))
+            } else {
+                None
+            };
+            Stmt::If(c, (v, t), e)
+        }
+        2 => Stmt::Loop(rng.next_u64() as u8, rng.below(6) as u8, random_expr(rng, 2)),
+        3 => Stmt::Unrolled(rng.next_u64() as u8, rng.below(5) as u8, random_expr(rng, 2)),
+        _ => Stmt::Switch(
+            random_expr(rng, 2),
+            (rng.next_u64() as u8, random_expr(rng, 2)),
+            (rng.next_u64() as u8, random_expr(rng, 2)),
+            (rng.next_u64() as u8, random_expr(rng, 2)),
+        ),
+    }
+}
+
+fn random_stmts(rng: &mut SplitMix64) -> Vec<Stmt> {
+    (0..rng.range_u64(1, 6)).map(|_| random_stmt(rng, 2)).collect()
 }
 
 fn render_stmt(s: &Stmt, dynamic: bool, out: &mut String) {
@@ -211,17 +207,21 @@ fn run_reference(src: &str, k: u64, x: u64) -> i64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+#[test]
+fn three_way_agreement() {
+    let mut rng = SplitMix64::new(0x3a3a_0001);
+    for case in 0..48 {
+        let stmts = random_stmts(&mut rng);
+        let k = rng.below(40);
+        let xs: Vec<u64> = (0..rng.range_u64(1, 4)).map(|_| rng.below(64)).collect();
 
-    #[test]
-    fn three_way_agreement(stmts in proptest::collection::vec(stmt_strategy(), 1..6),
-                           k in 0u64..40, xs in proptest::collection::vec(0u64..64, 1..4)) {
         let plain_src = render_program(&stmts, false);
         let dyn_src = render_program(&stmts, true);
 
         // Static compile once; dynamic compile once.
-        let static_prog = Compiler::static_baseline().compile(&plain_src).expect("static compiles");
+        let static_prog = Compiler::static_baseline()
+            .compile(&plain_src)
+            .expect("static compiles");
         let dyn_prog = Compiler::new().compile(&dyn_src).expect("dynamic compiles");
         let mut se = Engine::new(&static_prog);
         let mut de = Engine::new(&dyn_prog);
@@ -229,15 +229,26 @@ proptest! {
         for &x in &xs {
             let want = run_reference(&plain_src, k, x);
             let got_static = se.call("f", &[k, x]).expect("static vm runs") as i64;
-            prop_assert_eq!(got_static, want, "static VM vs reference (k={}, x={})", k, x);
+            assert_eq!(
+                got_static, want,
+                "case {case}: static VM vs reference (k={k}, x={x})\n{plain_src}"
+            );
             let got_dyn = de.call("f", &[k, x]).expect("dynamic vm runs") as i64;
-            prop_assert_eq!(got_dyn, want, "dynamic VM vs reference (k={}, x={})", k, x);
+            assert_eq!(
+                got_dyn, want,
+                "case {case}: dynamic VM vs reference (k={k}, x={x})\n{dyn_src}"
+            );
         }
     }
+}
 
-    #[test]
-    fn optimizer_preserves_random_programs(stmts in proptest::collection::vec(stmt_strategy(), 1..6),
-                                           k in 0u64..40, x in 0u64..64) {
+#[test]
+fn optimizer_preserves_random_programs() {
+    let mut rng = SplitMix64::new(0x3a3a_0002);
+    for case in 0..48 {
+        let stmts = random_stmts(&mut rng);
+        let k = rng.below(40);
+        let x = rng.below(64);
         let src = render_program(&stmts, false);
         // Unoptimized vs optimized static compilation must agree.
         let unopt = Compiler::with_options(dyncomp::CompileOptions {
@@ -252,6 +263,6 @@ proptest! {
         let a = eu.call("f", &[k, x]).expect("runs") as i64;
         let mut eo = Engine::new(&opt);
         let b = eo.call("f", &[k, x]).expect("runs") as i64;
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}: optimizer changed behavior\n{src}");
     }
 }
