@@ -18,7 +18,7 @@
 
 use dyncomp::{
     measure_kernel_full, measure_kernel_with, CompileOptions, Compiler, Engine, EngineOptions,
-    KernelSetup,
+    KernelSetup, Session,
 };
 use dyncomp_analysis::AnalysisConfig;
 use dyncomp_bench::kernels::{calculator, smatmul, spmv};
@@ -168,7 +168,7 @@ fn calc_setup(iterations: u64) -> KernelSetup<'static> {
         src: calculator::SRC,
         func: "calc",
         iterations,
-        prepare: Box::new(|e: &mut Engine| vec![calculator::build_program(e)]),
+        prepare: Box::new(|e: &mut Session| vec![calculator::build_program(e)]),
         args: Box::new(|i, p| {
             let x = (i % 23) as i64 - 11;
             let y = (i % 17) as i64 - 8;
@@ -202,7 +202,7 @@ fn spmv_setup(n: u64, per_row: u64, iterations: u64) -> KernelSetup<'static> {
         src: spmv::SRC,
         func: "spmv",
         iterations,
-        prepare: Box::new(move |e: &mut Engine| {
+        prepare: Box::new(move |e: &mut Session| {
             let m = spmv::gen_matrix(n, per_row, 42);
             let (mp, xp, yp) = spmv::build(e, &m);
             vec![mp, xp, yp]
@@ -216,7 +216,7 @@ fn smatmul_setup(rows: u64, cols: u64, iterations: u64) -> KernelSetup<'static> 
         src: smatmul::SRC,
         func: "smatmul",
         iterations,
-        prepare: Box::new(move |e: &mut Engine| {
+        prepare: Box::new(move |e: &mut Session| {
             let (src, dst, len) = smatmul::build_matrices(e, rows, cols);
             vec![src, dst, len]
         }),

@@ -1,0 +1,132 @@
+//! Host-side session-throughput scaling over one shared `Arc<Program>`.
+//!
+//! The artifact/session split makes the compile artifact immutable and
+//! `Send + Sync`; this bench measures what that buys: how many complete
+//! kernel sessions per second the host sustains when 1/2/4/8 threads run
+//! independent [`Session`]s over the *same* program, with no per-thread
+//! recompilation. Every session is bit-identical (same checksum, same
+//! simulated cycles) — the scaling is pure host wall-clock.
+//!
+//! A second pass repeats the ladder with the process-wide shared
+//! stitched-code cache enabled, where sessions reuse each other's
+//! stitched code instead of re-running set-up + stitching.
+//!
+//! Usage: `cargo run --release -p dyncomp-bench --bin concurrent_throughput [--smoke]`
+
+use dyncomp::{run_session, Compiler, EngineOptions, KernelSetup, Program, SharedCodeCache};
+use dyncomp_bench::kernels::{calculator, dispatch, smatmul, sorter, spmv};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sessions each thread-count configuration runs in total.
+const SESSIONS: usize = 24;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let workloads: Vec<(&str, KernelSetup<'static>)> = if smoke {
+        vec![
+            ("calculator", calculator::setup(40)),
+            ("smatmul", smatmul::setup(8, 16, 8)),
+            ("spmv", spmv::setup(12, 3, 10)),
+            ("dispatch", dispatch::setup(10, 30)),
+            ("sorter", sorter::setup(40, 4, 3)),
+        ]
+    } else {
+        vec![
+            ("calculator", calculator::setup(400)),
+            ("smatmul", smatmul::setup(32, 64, 32)),
+            ("spmv", spmv::setup(64, 5, 60)),
+            ("dispatch", dispatch::setup(10, 400)),
+            ("sorter", sorter::setup(200, 4, 8)),
+        ]
+    };
+
+    println!(
+        "Session-throughput scaling: {SESSIONS} sessions per configuration, \
+         one shared Arc<Program> per kernel"
+    );
+    println!(
+        "Host parallelism: {} (speedups above this thread count are \
+         scheduler-bound, not cache-bound)",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    for (name, setup) in &workloads {
+        let program = Arc::new(Compiler::new().compile(setup.src).expect("kernel compiles"));
+        println!("\n== {name} ==");
+        for shared in [false, true] {
+            let mode = if shared {
+                "shared stitched-code cache"
+            } else {
+                "per-session cache"
+            };
+            let base = run_ladder(&program, setup, 1, shared);
+            println!("  {mode}:");
+            println!("    1 thread : {:>8.1} sessions/s", base.sessions_per_sec);
+            for threads in [2usize, 4, 8] {
+                let r = run_ladder(&program, setup, threads, shared);
+                assert_eq!(
+                    r.checksum, base.checksum,
+                    "{name}: results must not depend on thread count"
+                );
+                println!(
+                    "    {threads} threads: {:>8.1} sessions/s ({:.2}x)",
+                    r.sessions_per_sec,
+                    r.sessions_per_sec / base.sessions_per_sec
+                );
+            }
+        }
+    }
+}
+
+struct LadderResult {
+    sessions_per_sec: f64,
+    /// Checksum of session 0 (all sessions are asserted identical inside
+    /// the ladder in per-session mode; in shared mode results still must
+    /// be identical, only cycle accounting differs).
+    checksum: u64,
+}
+
+/// Run [`SESSIONS`] complete sessions over `threads` worker threads
+/// pulling from a shared work counter; returns wall-clock throughput.
+fn run_ladder(
+    program: &Arc<Program>,
+    setup: &KernelSetup<'_>,
+    threads: usize,
+    shared: bool,
+) -> LadderResult {
+    let cache = shared.then(|| Arc::new(SharedCodeCache::default()));
+    let next = AtomicUsize::new(0);
+    let checksums: Vec<std::sync::Mutex<Option<u64>>> =
+        (0..SESSIONS).map(|_| std::sync::Mutex::new(None)).collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= SESSIONS {
+                    break;
+                }
+                let options = EngineOptions {
+                    shared_cache: cache.clone(),
+                    ..EngineOptions::default()
+                };
+                let outcome = run_session(program, setup, options).expect("session runs");
+                *checksums[i].lock().unwrap() = Some(outcome.checksum);
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let first = checksums[0].lock().unwrap().expect("session 0 ran");
+    for (i, c) in checksums.iter().enumerate() {
+        assert_eq!(
+            c.lock().unwrap().expect("session ran"),
+            first,
+            "session {i} produced a different result"
+        );
+    }
+    LadderResult {
+        sessions_per_sec: SESSIONS as f64 / elapsed,
+        checksum: first,
+    }
+}

@@ -118,7 +118,12 @@ fn main() {
 
     println!(
         "{:<12} | {:>6} | {:>22} | {:>22} | {:>9} | {:>11}",
-        "kernel", "insts", "sim cycles/inst (plan)", "sim cycles/inst (int.)", "sim ratio", "host ns/inst"
+        "kernel",
+        "insts",
+        "sim cycles/inst (plan)",
+        "sim cycles/inst (int.)",
+        "sim ratio",
+        "host ns/inst"
     );
     println!("{}", "-".repeat(100));
 

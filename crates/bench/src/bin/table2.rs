@@ -1,15 +1,25 @@
 //! Regenerate the paper's **Table 2**: speedup and breakeven point
-//! results for the five kernels.
+//! results for the five kernels. Also writes the machine-readable
+//! `BENCH_table2.json` next to the current directory so the perf
+//! trajectory is tracked across commits.
 //!
-//! Usage: `cargo run --release -p dyncomp-bench --bin table2 [--smoke]`
+//! Usage: `cargo run --release -p dyncomp-bench --bin table2 [--smoke] [--json <path>]`
 
-use dyncomp_bench::{run_all, table2_header, Scale};
+use dyncomp_bench::{render_table2_json, run_all, table2_header, Scale};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
         Scale::Smoke
     } else {
         Scale::Paper
+    };
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(p) => args.get(p + 1).cloned().unwrap_or_else(|| {
+            eprintln!("table2: --json needs a path");
+            std::process::exit(2);
+        }),
+        None => "BENCH_table2.json".to_string(),
     };
     println!("Table 2: Speedup and Breakeven Point Results ({scale:?} scale)");
     println!("{}", table2_header());
@@ -25,4 +35,11 @@ fn main() {
     println!("Columns: speedup (static/dynamic cycles per execution), breakeven point,");
     println!("dynamic compilation overhead as set-up / stitcher cycles (thousands),");
     println!("and overhead cycles per stitched instruction (stitched instruction count).");
+    match std::fs::write(&json_path, render_table2_json(&rows)) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => {
+            eprintln!("table2: cannot write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }

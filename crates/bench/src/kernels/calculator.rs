@@ -14,7 +14,8 @@
 //! the interpreter compiles itself away.
 
 use crate::KernelResult;
-use dyncomp::{measure_kernel, Engine, Error, KernelSetup};
+use dyncomp::{measure_kernel, Error, KernelSetup, Program, Session};
+use std::borrow::Borrow;
 
 /// Opcodes: 0 push-literal, 1 push-x, 2 push-y, 3 add, 4 sub, 5 mul.
 pub const SRC: &str = r#"
@@ -120,7 +121,7 @@ pub fn expected(x: i64, y: i64) -> i64 {
 }
 
 /// Build the constant program in VM memory; returns the `Prog*`.
-pub fn build_program(engine: &mut Engine) -> u64 {
+pub fn build_program<P: Borrow<Program>>(engine: &mut Session<P>) -> u64 {
     let (ops, args) = program();
     let mut h = engine.heap();
     let ops_a = h.array_i64(&ops).unwrap();
@@ -128,21 +129,26 @@ pub fn build_program(engine: &mut Engine) -> u64 {
     h.record(&[ops.len() as u64, ops_a, args_a]).unwrap()
 }
 
-/// Measure the calculator over `iterations` interpretations with varying
-/// `x`, `y`.
-pub fn measure(iterations: u64) -> Result<KernelResult, Error> {
-    let setup = KernelSetup {
+/// The calculator workload: `iterations` interpretations with varying
+/// `x`, `y` (shared by [`measure`] and the concurrency harnesses).
+pub fn setup(iterations: u64) -> KernelSetup<'static> {
+    KernelSetup {
         src: SRC,
         func: "calc",
         iterations,
-        prepare: Box::new(|e: &mut Engine| vec![build_program(e)]),
+        prepare: Box::new(|e: &mut Session| vec![build_program(e)]),
         args: Box::new(|i, p| {
             let x = (i % 23) as i64 - 11;
             let y = (i % 17) as i64 - 8;
             vec![p[0], x as u64, y as u64]
         }),
-    };
-    let m = measure_kernel(&setup)?;
+    }
+}
+
+/// Measure the calculator over `iterations` interpretations with varying
+/// `x`, `y`.
+pub fn measure(iterations: u64) -> Result<KernelResult, Error> {
+    let m = measure_kernel(&setup(iterations))?;
     Ok(KernelResult {
         name: "Reverse-polish stack-based desk calculator",
         config: format!("{iterations} interpretations, varying x, y"),
@@ -159,7 +165,7 @@ pub fn measure_regactions(iterations: u64, k: Option<usize>) -> Result<KernelRes
         src: SRC_GLOBAL_STACK,
         func: "calc",
         iterations,
-        prepare: Box::new(|e: &mut Engine| vec![build_program(e)]),
+        prepare: Box::new(|e: &mut Session| vec![build_program(e)]),
         args: Box::new(|i, p| {
             let x = (i % 23) as i64 - 11;
             let y = (i % 17) as i64 - 8;
@@ -184,7 +190,7 @@ pub fn measure_regactions(iterations: u64, k: Option<usize>) -> Result<KernelRes
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dyncomp::Compiler;
+    use dyncomp::{Compiler, Engine};
 
     #[test]
     fn interpreter_matches_native_expression() {

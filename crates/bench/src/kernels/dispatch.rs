@@ -10,8 +10,9 @@
 //! code, one per installed guard.
 
 use crate::KernelResult;
-use dyncomp::{measure_kernel, Engine, Error, KernelSetup};
+use dyncomp::{measure_kernel, Error, KernelSetup, Program, Session};
 use dyncomp_ir::prng::SplitMix64;
+use std::borrow::Borrow;
 
 /// Predicate kinds: 0 eq, 1 ne, 2 lt, 3 gt, 4 mask, 5 range-low.
 pub const SRC: &str = r#"
@@ -84,7 +85,7 @@ pub fn reference(t: &GuardTable, ev: i64, arg: i64) -> i64 {
 }
 
 /// Install the guard table; returns the `Guards*`.
-pub fn build(engine: &mut Engine, t: &GuardTable) -> u64 {
+pub fn build<P: Borrow<Program>>(engine: &mut Session<P>, t: &GuardTable) -> u64 {
     let mut h = engine.heap();
     let kind = h.array_i64(&t.kind).unwrap();
     let param = h.array_i64(&t.param).unwrap();
@@ -92,19 +93,24 @@ pub fn build(engine: &mut Engine, t: &GuardTable) -> u64 {
     h.record(&[t.kind.len() as u64, kind, param, hval]).unwrap()
 }
 
-/// Measure `iterations` event dispatches against `n_guards` guards.
-pub fn measure(n_guards: u64, iterations: u64) -> Result<KernelResult, Error> {
-    let setup = KernelSetup {
+/// The dispatch workload: `iterations` event dispatches against a
+/// reproducible table of `n_guards` guards.
+pub fn setup(n_guards: u64, iterations: u64) -> KernelSetup<'static> {
+    KernelSetup {
         src: SRC,
         func: "dispatch",
         iterations,
-        prepare: Box::new(move |e: &mut Engine| {
+        prepare: Box::new(move |e: &mut Session| {
             let t = gen_guards(n_guards, 11);
             vec![build(e, &t)]
         }),
         args: Box::new(|i, p| vec![p[0], i % 37, (i % 5) + 1]),
-    };
-    let m = measure_kernel(&setup)?;
+    }
+}
+
+/// Measure `iterations` event dispatches against `n_guards` guards.
+pub fn measure(n_guards: u64, iterations: u64) -> Result<KernelResult, Error> {
+    let m = measure_kernel(&setup(n_guards, iterations))?;
     Ok(KernelResult {
         name: "Event dispatcher in an extensible OS",
         config: format!("6 predicate types; {n_guards} different event guards"),
@@ -117,7 +123,7 @@ pub fn measure(n_guards: u64, iterations: u64) -> Result<KernelResult, Error> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dyncomp::Compiler;
+    use dyncomp::{Compiler, Engine};
 
     #[test]
     fn dispatch_matches_host_reference() {

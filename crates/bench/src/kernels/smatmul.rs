@@ -9,7 +9,8 @@
 //! the actual scalar, plus the constant trip count as an immediate.
 
 use crate::KernelResult;
-use dyncomp::{measure_kernel, Engine, Error, KernelSetup};
+use dyncomp::{measure_kernel, Error, KernelSetup, Program, Session};
+use std::borrow::Borrow;
 
 /// The kernel: `dst[i] = src[i] * s` over a flattened matrix.
 pub const SRC: &str = r#"
@@ -26,7 +27,11 @@ pub const SRC: &str = r#"
 
 /// Build `rows × cols` source/destination matrices; returns
 /// `(src, dst, len)`.
-pub fn build_matrices(engine: &mut Engine, rows: u64, cols: u64) -> (u64, u64, u64) {
+pub fn build_matrices<P: Borrow<Program>>(
+    engine: &mut Session<P>,
+    rows: u64,
+    cols: u64,
+) -> (u64, u64, u64) {
     let len = rows * cols;
     let data: Vec<i64> = (0..len).map(|i| (i as i64 % 97) - 48).collect();
     let mut h = engine.heap();
@@ -35,19 +40,24 @@ pub fn build_matrices(engine: &mut Engine, rows: u64, cols: u64) -> (u64, u64, u
     (src, dst, len)
 }
 
-/// Measure `n_scalars` full multiplications of a `rows × cols` matrix.
-pub fn measure(rows: u64, cols: u64, n_scalars: u64) -> Result<KernelResult, Error> {
-    let setup = KernelSetup {
+/// The smatmul workload: every scalar `1..=n_scalars` against a
+/// `rows × cols` matrix (one keyed stitch per scalar).
+pub fn setup(rows: u64, cols: u64, n_scalars: u64) -> KernelSetup<'static> {
+    KernelSetup {
         src: SRC,
         func: "smatmul",
         iterations: n_scalars,
-        prepare: Box::new(move |e: &mut Engine| {
+        prepare: Box::new(move |e: &mut Session| {
             let (src, dst, len) = build_matrices(e, rows, cols);
             vec![src, dst, len]
         }),
         args: Box::new(|i, p| vec![i + 1, p[2], p[0], p[1]]),
-    };
-    let m = measure_kernel(&setup)?;
+    }
+}
+
+/// Measure `n_scalars` full multiplications of a `rows × cols` matrix.
+pub fn measure(rows: u64, cols: u64, n_scalars: u64) -> Result<KernelResult, Error> {
+    let m = measure_kernel(&setup(rows, cols, n_scalars))?;
     Ok(KernelResult {
         name: "Scalar-matrix multiply",
         config: format!("{rows}x{cols} matrix, multiplied by all scalars 1..{n_scalars}"),
@@ -60,7 +70,7 @@ pub fn measure(rows: u64, cols: u64, n_scalars: u64) -> Result<KernelResult, Err
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dyncomp::Compiler;
+    use dyncomp::{Compiler, Engine};
 
     #[test]
     fn multiplies_correctly_per_scalar() {

@@ -9,8 +9,9 @@
 //! static code calling the (once-stitched) comparator.
 
 use crate::KernelResult;
-use dyncomp::{measure_kernel, Engine, Error, KernelSetup};
+use dyncomp::{measure_kernel, Error, KernelSetup, Program, Session};
 use dyncomp_ir::prng::SplitMix64;
+use std::borrow::Borrow;
 
 /// Key types: 0 int ascending, 1 int descending, 2 unsigned ascending,
 /// 3 magnitude ascending.
@@ -74,7 +75,10 @@ pub fn gen_records(n: u64, nkeys: u64, seed: u64) -> Vec<Vec<i64>> {
 }
 
 /// Install the key spec and records; returns `(spec, master, work, n)`.
-pub fn build(engine: &mut Engine, records: &[Vec<i64>]) -> (u64, u64, u64, u64) {
+pub fn build<P: Borrow<Program>>(
+    engine: &mut Session<P>,
+    records: &[Vec<i64>],
+) -> (u64, u64, u64, u64) {
     let nkeys = records.first().map(|r| r.len()).unwrap_or(0) as u64;
     let mut h = engine.heap();
     let off: Vec<i64> = (0..nkeys as i64).collect();
@@ -91,20 +95,25 @@ pub fn build(engine: &mut Engine, records: &[Vec<i64>]) -> (u64, u64, u64, u64) 
     (spec, master, work, ptrs.len() as u64)
 }
 
-/// Measure `sorts` sorts of `n` records with `nkeys`-key comparators.
-pub fn measure(n: u64, nkeys: u64, sorts: u64) -> Result<KernelResult, Error> {
-    let setup = KernelSetup {
+/// The sorter workload: `sorts` sorts of `n` reproducible records under an
+/// `nkeys`-key comparator.
+pub fn setup(n: u64, nkeys: u64, sorts: u64) -> KernelSetup<'static> {
+    KernelSetup {
         src: SRC,
         func: "sortrecs",
         iterations: sorts,
-        prepare: Box::new(move |e: &mut Engine| {
+        prepare: Box::new(move |e: &mut Session| {
             let recs = gen_records(n, nkeys, 5);
             let (spec, master, work, n) = build(e, &recs);
             vec![spec, master, work, n]
         }),
         args: Box::new(|_, p| vec![p[0], p[1], p[2], p[3]]),
-    };
-    let m = measure_kernel(&setup)?;
+    }
+}
+
+/// Measure `sorts` sorts of `n` records with `nkeys`-key comparators.
+pub fn measure(n: u64, nkeys: u64, sorts: u64) -> Result<KernelResult, Error> {
+    let m = measure_kernel(&setup(n, nkeys, sorts))?;
     Ok(KernelResult {
         name: "QuickSort record sorter",
         config: format!("{nkeys} keys, each of a different type; {n} records"),
@@ -117,7 +126,7 @@ pub fn measure(n: u64, nkeys: u64, sorts: u64) -> Result<KernelResult, Error> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dyncomp::Compiler;
+    use dyncomp::{Compiler, Engine};
 
     /// Host reference comparator mirroring the MiniC one.
     fn host_cmp(a: &[i64], b: &[i64]) -> std::cmp::Ordering {

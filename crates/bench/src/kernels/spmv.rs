@@ -9,8 +9,9 @@
 //! (floats never fit immediates, §4).
 
 use crate::KernelResult;
-use dyncomp::{measure_kernel, Engine, Error, KernelSetup};
+use dyncomp::{measure_kernel, Error, KernelSetup, Program, Session};
 use dyncomp_ir::prng::SplitMix64;
+use std::borrow::Borrow;
 
 /// CSR sparse matrix–vector multiply; returns a scaled-integer checksum of
 /// the result so both compilations can be cross-checked.
@@ -72,7 +73,7 @@ pub fn gen_matrix(n: u64, per_row: u64, seed: u64) -> Csr {
 
 /// Install the matrix and a dense vector in VM memory; returns
 /// `(matrix_ptr, x_ptr, y_ptr)`.
-pub fn build(engine: &mut Engine, m: &Csr) -> (u64, u64, u64) {
+pub fn build<P: Borrow<Program>>(engine: &mut Session<P>, m: &Csr) -> (u64, u64, u64) {
     let x: Vec<f64> = (0..m.n).map(|i| (i as f64 * 0.37).sin()).collect();
     let mut h = engine.heap();
     let rowptr = h.array_i64(&m.rowptr).unwrap();
@@ -98,21 +99,26 @@ pub fn reference_checksum(m: &Csr) -> i64 {
     chk
 }
 
-/// Measure `iterations` multiplications of an `n × n` matrix with
-/// `per_row` entries per row.
-pub fn measure(n: u64, per_row: u64, iterations: u64) -> Result<KernelResult, Error> {
-    let setup = KernelSetup {
+/// The spmv workload: `iterations` multiplications of a reproducible
+/// `n × n` matrix with `per_row` entries per row.
+pub fn setup(n: u64, per_row: u64, iterations: u64) -> KernelSetup<'static> {
+    KernelSetup {
         src: SRC,
         func: "spmv",
         iterations,
-        prepare: Box::new(move |e: &mut Engine| {
+        prepare: Box::new(move |e: &mut Session| {
             let m = gen_matrix(n, per_row, 42);
             let (mp, xp, yp) = build(e, &m);
             vec![mp, xp, yp]
         }),
         args: Box::new(|_, p| vec![p[0], p[1], p[2]]),
-    };
-    let m = measure_kernel(&setup)?;
+    }
+}
+
+/// Measure `iterations` multiplications of an `n × n` matrix with
+/// `per_row` entries per row.
+pub fn measure(n: u64, per_row: u64, iterations: u64) -> Result<KernelResult, Error> {
+    let m = measure_kernel(&setup(n, per_row, iterations))?;
     let density = 100.0 * per_row as f64 / n as f64;
     Ok(KernelResult {
         name: "Sparse matrix-vector multiply",
@@ -126,7 +132,7 @@ pub fn measure(n: u64, per_row: u64, iterations: u64) -> Result<KernelResult, Er
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dyncomp::Compiler;
+    use dyncomp::{Compiler, Engine};
 
     #[test]
     fn result_matches_host_reference() {

@@ -65,6 +65,51 @@ impl KernelResult {
         )
     }
 
+    /// Render as one `BENCH_table2.json` object (hand-rolled JSON — the
+    /// workspace takes no external dependencies).
+    pub fn json_object(&self) -> String {
+        let m = &self.measurement;
+        let f = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.4}")
+            } else {
+                "null".to_string()
+            }
+        };
+        let breakeven = match m.breakeven {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        };
+        let breakeven_units = match m.breakeven {
+            Some(b) => (b * self.unit_scale.max(1)).to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"name\": {}, \"config\": {}, \"unit\": {}, \"iterations\": {}, ",
+                "\"static_cycles\": {}, \"dynamic_cycles\": {}, \"speedup\": {}, ",
+                "\"breakeven\": {}, \"breakeven_units\": {}, ",
+                "\"setup_cycles\": {}, \"stitch_cycles\": {}, ",
+                "\"instructions_stitched\": {}, ",
+                "\"cycles_per_stitched_instruction\": {}, \"checksum\": {}}}"
+            ),
+            json_str(self.name),
+            json_str(&self.config),
+            json_str(self.unit),
+            m.iterations,
+            f(m.static_cycles),
+            f(m.dynamic_cycles),
+            f(m.speedup),
+            breakeven,
+            breakeven_units,
+            m.setup_cycles,
+            m.stitch_cycles,
+            m.instructions_stitched,
+            f(m.cycles_per_stitched_instruction),
+            m.checksum,
+        )
+    }
+
     /// Render as one row of the Table 3 report.
     pub fn table3_row(&self) -> String {
         let marks = self.measurement.optimizations().checkmarks();
@@ -118,6 +163,39 @@ pub fn run_all(scale: Scale) -> Result<Vec<KernelResult>, Error> {
         }
     }
     Ok(rows)
+}
+
+/// Escape a string for a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render every row as the machine-readable `BENCH_table2.json` document
+/// (a top-level array, one object per Table 2 row).
+pub fn render_table2_json(rows: &[KernelResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&row.json_object());
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
 }
 
 /// The Table 2 header line.

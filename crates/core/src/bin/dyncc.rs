@@ -3,6 +3,7 @@
 //! ```text
 //! dyncc <file.mc> [--ir] [--templates] [--disasm] [--regions]
 //!                 [--static] [--run <func> [args…]] [--report] [--stitched]
+//!                 [--sessions N] [--threads T] [--shared-cache]
 //! ```
 //!
 //! * `--ir`        print the final IR of every function
@@ -16,13 +17,19 @@
 //!   statistics
 //! * `--stitched`  after `--run`, disassemble every stitched instance
 //!   (the paper's §4 "final code" view)
+//! * `--sessions N` run the call in `N` independent sessions over one
+//!   shared `Arc<Program>`, reporting per-session cycle counts
+//! * `--threads T` spread the sessions over `T` host threads (default 1)
+//! * `--shared-cache` let sessions reuse each other's stitched code via
+//!   the process-wide sharded cache
 //! * `--advise`    ignore annotations and report, per function, what each
 //!   parameter would buy as a run-time constant (the §7 annotation tool)
 
-use dyncomp::{Compiler, Engine};
+use dyncomp::{Compiler, Engine, EngineOptions, Session, SharedCodeCache};
 use dyncomp_machine::disasm::disassemble;
 use dyncomp_machine::template::{HoleField, LoopMarker, TmplExit};
 use std::process::exit;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -92,7 +99,7 @@ fn main() {
         Compiler::new()
     };
     let program = match compiler.compile(&src) {
-        Ok(p) => p,
+        Ok(p) => Arc::new(p),
         Err(e) => {
             eprintln!("dyncc: {e}");
             exit(1);
@@ -216,6 +223,33 @@ fn main() {
                 })
             })
             .collect();
+
+        let numeric = |name: &str, default: usize| -> usize {
+            match args.iter().position(|a| a == name) {
+                Some(p) => args
+                    .get(p + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("dyncc: {name} needs a positive integer");
+                        exit(2);
+                    }),
+                None => default,
+            }
+        };
+        let sessions = numeric("--sessions", 1).max(1);
+        let threads = numeric("--threads", 1).max(1);
+        if sessions > 1 || flag("--shared-cache") {
+            run_multi_session(
+                &program,
+                func,
+                &call_args,
+                sessions,
+                threads,
+                flag("--shared-cache"),
+            );
+            return;
+        }
+
         let mut engine = Engine::new(&program);
         let before = engine.cycles();
         match engine.call(func, &call_args) {
@@ -289,4 +323,101 @@ fn main() {
 fn code_offset_of(engine: &Engine, code: &[u32]) -> u32 {
     let base = engine.vm.code.as_ptr() as usize;
     ((code.as_ptr() as usize - base) / 4) as u32
+}
+
+/// One session's row in the `--sessions` report.
+struct SessionRow {
+    result: u64,
+    cycles: u64,
+    stitches: u32,
+    shared_hits: u64,
+}
+
+/// Run the same call in `n` independent sessions over one shared program,
+/// spread across `threads` host threads, and print per-session cycle
+/// counts. With `shared`, sessions publish and reuse stitched code through
+/// a process-wide [`SharedCodeCache`].
+fn run_multi_session(
+    program: &Arc<dyncomp::Program>,
+    func: &str,
+    call_args: &[u64],
+    n: usize,
+    threads: usize,
+    shared: bool,
+) {
+    let cache = shared.then(|| Arc::new(SharedCodeCache::default()));
+    let mut rows: Vec<Option<Result<SessionRow, dyncomp::Error>>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for slots in rows.chunks_mut(chunk) {
+            let cache = cache.clone();
+            s.spawn(move || {
+                for slot in slots {
+                    let options = EngineOptions {
+                        shared_cache: cache.clone(),
+                        ..EngineOptions::default()
+                    };
+                    let mut session = Session::with_options(Arc::clone(program), options);
+                    *slot = Some(session.call(func, call_args).map(|result| {
+                        let mut stitches = 0;
+                        let mut shared_hits = 0;
+                        for i in 0..session.program().region_count() {
+                            let r = session.region_report(i);
+                            stitches += r.stitches;
+                            shared_hits += r.shared_hits;
+                        }
+                        SessionRow {
+                            result,
+                            cycles: session.cycles(),
+                            stitches,
+                            shared_hits,
+                        }
+                    }));
+                }
+            });
+        }
+    });
+
+    println!(
+        "\n{n} session(s) of {func}({}) on {threads} thread(s){}:",
+        call_args
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        if shared {
+            ", shared stitched-code cache"
+        } else {
+            ""
+        }
+    );
+    let mut failed = false;
+    for (i, row) in rows.iter().enumerate() {
+        match row.as_ref().expect("every session slot filled") {
+            Ok(r) => println!(
+                "  session {i}: = {} ({} as signed) in {} cycles, {} stitch(es), \
+                 {} shared hit(s)",
+                r.result, r.result as i64, r.cycles, r.stitches, r.shared_hits
+            ),
+            Err(e) => {
+                eprintln!("  session {i}: failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(cache) = &cache {
+        let st = cache.stats();
+        println!(
+            "  cache: {} hit(s), {} miss(es), {} insertion(s), {} eviction(s) \
+             across {} shard(s)",
+            st.hits,
+            st.misses,
+            st.insertions,
+            st.evictions,
+            cache.shard_count()
+        );
+    }
+    if failed {
+        exit(1);
+    }
 }

@@ -1,0 +1,409 @@
+//! Keyed-region code caching: the per-session LRU order and the
+//! process-wide **sharded stitched-code cache**.
+//!
+//! Every session keeps its own keyed-region cache (the paper's model —
+//! one stitched instance per distinct key tuple, per region). With many
+//! sessions running the same [`crate::Program`], that means every session
+//! re-stitches code some other session already produced. The
+//! [`SharedCodeCache`] removes that duplicated work: a process-wide map
+//! from `(program, region, key)` to the stitched instance, split into N
+//! lock-striped shards (FxHash over the key picks the shard) with an O(1)
+//! per-shard LRU, so concurrent sessions contend only when they hash to
+//! the same shard. A hit hands back an [`Arc<Stitched>`]; the session
+//! installs it with a bulk copy plus base/table relocation
+//! ([`dyncomp_stitcher::Stitched::relocate`]) instead of running set-up
+//! code and the stitcher.
+//!
+//! The shared cache is **opt-in**
+//! ([`crate::EngineOptions::shared_cache`]). The default (per-session
+//! caching only) preserves the exact simulated-cycle accounting of the
+//! paper's tables; the shared mode charges its own deterministic probe
+//! and install costs instead of set-up + stitching, so its cycle counts
+//! are deliberately *not* comparable to the paper model. Cross-session
+//! reuse also assumes sessions are replicas (same program, identically
+//! laid-out session memory) — see [`dyncomp_stitcher::Stitched::relocate`].
+
+use dyncomp_ir::fxhash::{FxHashMap, FxHasher};
+use dyncomp_stitcher::Stitched;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Doubly-linked recency order over a cache's entries: O(1) touch-on-hit,
+/// push, and least-recently-used eviction, independent of cache size.
+/// Slot indices are stable (freed slots recycle through a free list), so
+/// the `lru` index a cache entry stores stays valid until eviction.
+#[derive(Debug)]
+pub(crate) struct LruOrder<K> {
+    slots: Vec<LruSlot<K>>,
+    /// Least recently used end (eviction victim).
+    head: Option<usize>,
+    /// Most recently used end.
+    tail: Option<usize>,
+    free: Vec<usize>,
+}
+
+impl<K> Default for LruOrder<K> {
+    fn default() -> Self {
+        LruOrder {
+            slots: Vec::new(),
+            head: None,
+            tail: None,
+            free: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LruSlot<K> {
+    key: Option<K>,
+    prev: Option<usize>,
+    next: Option<usize>,
+}
+
+impl<K> LruOrder<K> {
+    fn unlink(&mut self, i: usize) {
+        let (p, n) = (self.slots[i].prev, self.slots[i].next);
+        match p {
+            Some(p) => self.slots[p].next = n,
+            None => self.head = n,
+        }
+        match n {
+            Some(n) => self.slots[n].prev = p,
+            None => self.tail = p,
+        }
+        self.slots[i].prev = None;
+        self.slots[i].next = None;
+    }
+
+    fn push_back(&mut self, i: usize) {
+        self.slots[i].prev = self.tail;
+        self.slots[i].next = None;
+        match self.tail {
+            Some(t) => self.slots[t].next = Some(i),
+            None => self.head = Some(i),
+        }
+        self.tail = Some(i);
+    }
+
+    /// Append `key` at the most-recently-used end; returns its slot.
+    pub(crate) fn insert(&mut self, key: K) -> usize {
+        let slot = LruSlot {
+            key: Some(key),
+            prev: None,
+            next: None,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.push_back(i);
+        i
+    }
+
+    /// Move slot `i` to the most-recently-used end.
+    pub(crate) fn touch(&mut self, i: usize) {
+        if self.tail != Some(i) {
+            self.unlink(i);
+            self.push_back(i);
+        }
+    }
+
+    /// Remove and return the least-recently-used key.
+    pub(crate) fn pop_lru(&mut self) -> Option<K> {
+        let i = self.head?;
+        self.unlink(i);
+        self.free.push(i);
+        self.slots[i].key.take()
+    }
+}
+
+/// Identity of one stitched instance in the process-wide cache.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SharedKey {
+    /// The owning program's process-unique id ([`crate::Program::id`]).
+    pub program: u64,
+    /// Region number within the program.
+    pub region: u16,
+    /// The region's key tuple (empty for unkeyed regions).
+    pub key: Vec<u64>,
+}
+
+/// One shard: a hash map plus its recency order.
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<SharedKey, ShardEntry>,
+    lru: LruOrder<SharedKey>,
+}
+
+struct ShardEntry {
+    code: Arc<Stitched>,
+    lru: usize,
+}
+
+/// Counters for one [`SharedCodeCache`] (monotonic, process lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Lookups that found an instance.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Instances published (including re-publications after a race).
+    pub insertions: u64,
+    /// Instances evicted to respect the per-shard capacity.
+    pub evictions: u64,
+}
+
+/// The process-wide sharded stitched-code cache. See the module docs.
+///
+/// Shared between sessions as an `Arc<SharedCodeCache>` via
+/// [`crate::EngineOptions::shared_cache`]; all methods take `&self`.
+pub struct SharedCodeCache {
+    shards: Box<[Mutex<Shard>]>,
+    shard_mask: u64,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SharedCodeCache {
+    /// A cache with `shards` lock stripes (rounded up to a power of two,
+    /// minimum 1) and at most `per_shard_capacity` instances per shard
+    /// (minimum 1; evictions are LRU within the shard).
+    pub fn new(shards: usize, per_shard_capacity: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        SharedCodeCache {
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_mask: n as u64 - 1,
+            per_shard_capacity: per_shard_capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &SharedKey) -> &Mutex<Shard> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        &self.shards[(h.finish() & self.shard_mask) as usize]
+    }
+
+    /// Look up a stitched instance, refreshing its recency on a hit.
+    pub fn lookup(&self, key: &SharedKey) -> Option<Arc<Stitched>> {
+        let mut shard = self.shard(key).lock().expect("shard lock poisoned");
+        match shard.map.get(key) {
+            Some(e) => {
+                let (slot, code) = (e.lru, Arc::clone(&e.code));
+                shard.lru.touch(slot);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(code)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publish a stitched instance. When two sessions race on the same
+    /// key, the later publication wins (both are valid — same key, same
+    /// code under the replica assumption). Evicts LRU entries as needed
+    /// to respect the shard capacity.
+    pub fn insert(&self, key: SharedKey, code: Arc<Stitched>) {
+        let mut shard = self.shard(&key).lock().expect("shard lock poisoned");
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if let Some(e) = shard.map.get_mut(&key) {
+            e.code = code;
+            let slot = e.lru;
+            shard.lru.touch(slot);
+            return;
+        }
+        while shard.map.len() >= self.per_shard_capacity {
+            match shard.lru.pop_lru() {
+                Some(victim) => {
+                    shard.map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        let slot = shard.lru.insert(key.clone());
+        shard.map.insert(key, ShardEntry { code, lru: slot });
+    }
+
+    /// Instances currently cached, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SharedCacheStats {
+        SharedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for SharedCodeCache {
+    /// 16 shards × 256 instances: enough striping for the 8-thread
+    /// benchmarks with a bounded footprint.
+    fn default() -> Self {
+        SharedCodeCache::new(16, 256)
+    }
+}
+
+impl fmt::Debug for SharedCodeCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedCodeCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(words: usize) -> Arc<Stitched> {
+        Arc::new(Stitched {
+            code: vec![0; words],
+            lin_table_addr: 0,
+            lin_words: Vec::new(),
+            lin_addr_patches: Vec::new(),
+            lin_far_addr_patches: Vec::new(),
+            exit_patches: Vec::new(),
+            stats: Default::default(),
+        })
+    }
+
+    fn key(k: u64) -> SharedKey {
+        SharedKey {
+            program: 1,
+            region: 0,
+            key: vec![k],
+        }
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let c = SharedCodeCache::new(4, 8);
+        assert!(c.lookup(&key(1)).is_none());
+        c.insert(key(1), entry(3));
+        let got = c.lookup(&key(1)).expect("hit");
+        assert_eq!(got.code.len(), 3);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn single_shard_lru_evicts_least_recent() {
+        let c = SharedCodeCache::new(1, 2);
+        c.insert(key(1), entry(1));
+        c.insert(key(2), entry(2));
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert!(c.lookup(&key(1)).is_some());
+        c.insert(key(3), entry(3));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.lookup(&key(1)).is_some(), "recently used survives");
+        assert!(c.lookup(&key(2)).is_none(), "LRU evicted");
+        assert!(c.lookup(&key(3)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_per_shard() {
+        let c = SharedCodeCache::new(8, 1);
+        assert_eq!(c.shard_count(), 8);
+        for k in 0..64 {
+            c.insert(key(k), entry(1));
+        }
+        // Each shard holds exactly one instance; the rest were evicted.
+        assert_eq!(c.len(), c.shard_count().min(64));
+        assert_eq!(c.stats().evictions, 64 - c.len() as u64);
+    }
+
+    #[test]
+    fn racing_insert_replaces_without_eviction() {
+        let c = SharedCodeCache::new(1, 4);
+        c.insert(key(1), entry(1));
+        c.insert(key(1), entry(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.lookup(&key(1)).unwrap().code.len(), 9);
+    }
+
+    #[test]
+    fn distinct_programs_do_not_alias() {
+        let c = SharedCodeCache::default();
+        let a = SharedKey {
+            program: 1,
+            region: 0,
+            key: vec![7],
+        };
+        let b = SharedKey {
+            program: 2,
+            region: 0,
+            key: vec![7],
+        };
+        c.insert(a.clone(), entry(1));
+        assert!(c.lookup(&b).is_none());
+        assert!(c.lookup(&a).is_some());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(SharedCodeCache::new(0, 1).shard_count(), 1);
+        assert_eq!(SharedCodeCache::new(3, 1).shard_count(), 4);
+        assert_eq!(SharedCodeCache::new(16, 1).shard_count(), 16);
+    }
+
+    #[test]
+    fn concurrent_publish_and_lookup() {
+        let c = Arc::new(SharedCodeCache::new(8, 64));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let k = key(i % 32);
+                        if c.lookup(&k).is_none() {
+                            c.insert(k, entry((t + i) as usize % 7 + 1));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 32);
+        let s = c.stats();
+        assert!(s.hits > 0 && s.insertions >= 32);
+    }
+}

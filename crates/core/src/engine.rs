@@ -1,7 +1,15 @@
-//! The run-time engine: executes compiled programs on the simulated
-//! machine, servicing dynamic-compilation traps.
+//! The run-time: executes compiled programs on the simulated machine,
+//! servicing dynamic-compilation traps.
 //!
-//! On the first entry to a dynamic region the engine redirects execution
+//! The compile artifact ([`Program`]) is immutable and thread-shareable;
+//! all mutable run-time state lives in a [`Session`] — its own VM (code
+//! space, registers, data memory, cycle counter), per-region bookkeeping
+//! and keyed code cache. Many sessions can therefore run the same
+//! `Arc<Program>` concurrently, each with deterministic, bit-identical
+//! simulated results. [`Engine`] is a thin compatibility alias
+//! (`Session<&Program>`) for single-owner callers.
+//!
+//! On the first entry to a dynamic region the session redirects execution
 //! to the region's set-up code (measured in VM cycles, like everything the
 //! program itself runs); at the `EndSetup` trap it invokes the stitcher on
 //! the filled constants table, installs the stitched code at the end of
@@ -11,16 +19,25 @@
 //! templates become part of the application". Keyed regions keep the trap
 //! and pay a cache-lookup cost per entry, with one stitched instance per
 //! distinct key tuple.
+//!
+//! With [`EngineOptions::shared_cache`] set, sessions additionally consult
+//! a process-wide [`SharedCodeCache`] before running set-up code: an
+//! instance some other session already stitched is installed with a bulk
+//! copy + relocation instead of being re-stitched (see [`crate::cache`]
+//! for the sharding and the cycle-accounting caveat).
 
+use crate::cache::{LruOrder, SharedCodeCache, SharedKey};
 use crate::{Error, Program};
+use dyncomp_ir::fxhash::FxHashMap;
 use dyncomp_machine::heap::HeapBuilder;
 use dyncomp_machine::isa::{encode, Inst, Op, CTP, SP};
 use dyncomp_machine::template::ValueLoc;
 use dyncomp_machine::vm::{Stop, Vm};
-use dyncomp_ir::fxhash::FxHashMap;
 use dyncomp_stitcher::{StitchOptions, StitchStats};
+use std::borrow::Borrow;
+use std::sync::Arc;
 
-/// Engine configuration.
+/// Session configuration.
 #[derive(Clone, Debug)]
 pub struct EngineOptions {
     /// Data memory size in bytes.
@@ -31,7 +48,7 @@ pub struct EngineOptions {
     pub trap_cycles: u64,
     /// Cycles charged for a keyed code-cache lookup (plus per-key
     /// hash/compare). The default models the O(1) hashed lookup the
-    /// engine implements (one hash-bucket probe plus an O(1) LRU splice);
+    /// session implements (one hash-bucket probe plus an O(1) LRU splice);
     /// see EXPERIMENTS.md for the recalibration from the earlier
     /// linear-probe model.
     pub keyed_lookup_cycles: u64,
@@ -44,6 +61,21 @@ pub struct EngineOptions {
     /// itself is append-only (stitched code "becomes part of the
     /// application"), so eviction reclaims cache slots, not code words.
     pub keyed_cache_capacity: Option<usize>,
+    /// Process-wide stitched-code cache shared between sessions. `None`
+    /// (the default) keeps today's per-session caching and its exact
+    /// simulated-cycle accounting — the mode the paper tables are measured
+    /// in. With a cache, a session entering a region some other session
+    /// already stitched installs that instance (bulk copy + relocation)
+    /// instead of running set-up code and the stitcher, charging
+    /// [`EngineOptions::shared_lookup_cycles`] and
+    /// [`EngineOptions::shared_install_cycles_per_word`] instead.
+    pub shared_cache: Option<Arc<SharedCodeCache>>,
+    /// Cycles charged per shared-cache probe (hash + stripe lock + bucket
+    /// walk), hit or miss. Only charged when `shared_cache` is set.
+    pub shared_lookup_cycles: u64,
+    /// Cycles charged per code word when installing a shared-cache hit
+    /// (the bulk copy + patch relocation).
+    pub shared_install_cycles_per_word: u64,
 }
 
 impl Default for EngineOptions {
@@ -55,6 +87,9 @@ impl Default for EngineOptions {
             keyed_lookup_cycles: 16,
             per_key_cycles: 4,
             keyed_cache_capacity: None,
+            shared_cache: None,
+            shared_lookup_cycles: 30,
+            shared_install_cycles_per_word: 1,
         }
     }
 }
@@ -65,93 +100,10 @@ impl Default for EngineOptions {
 struct CacheEntry {
     /// Code address of the stitched instance.
     base: u32,
-    /// Index into [`LruOrder::slots`] (`usize::MAX` for unkeyed regions,
-    /// which never take the lookup path after their trap is patched away).
+    /// Index into the region's [`LruOrder`] (`usize::MAX` for unkeyed
+    /// regions, which never take the lookup path after their trap is
+    /// patched away).
     lru: usize,
-}
-
-/// Doubly-linked recency order over the keyed cache's entries: O(1)
-/// touch-on-hit, push, and least-recently-used eviction, independent of
-/// cache size. Slot indices are stable (freed slots recycle through a
-/// free list), so [`CacheEntry::lru`] stays valid until eviction.
-#[derive(Debug, Default)]
-struct LruOrder {
-    slots: Vec<LruSlot>,
-    /// Least recently used end (eviction victim).
-    head: Option<usize>,
-    /// Most recently used end.
-    tail: Option<usize>,
-    free: Vec<usize>,
-}
-
-#[derive(Debug)]
-struct LruSlot {
-    key: Vec<u64>,
-    prev: Option<usize>,
-    next: Option<usize>,
-}
-
-impl LruOrder {
-    fn unlink(&mut self, i: usize) {
-        let (p, n) = (self.slots[i].prev, self.slots[i].next);
-        match p {
-            Some(p) => self.slots[p].next = n,
-            None => self.head = n,
-        }
-        match n {
-            Some(n) => self.slots[n].prev = p,
-            None => self.tail = p,
-        }
-        self.slots[i].prev = None;
-        self.slots[i].next = None;
-    }
-
-    fn push_back(&mut self, i: usize) {
-        self.slots[i].prev = self.tail;
-        self.slots[i].next = None;
-        match self.tail {
-            Some(t) => self.slots[t].next = Some(i),
-            None => self.head = Some(i),
-        }
-        self.tail = Some(i);
-    }
-
-    /// Append `key` at the most-recently-used end; returns its slot.
-    fn insert(&mut self, key: Vec<u64>) -> usize {
-        let slot = LruSlot {
-            key,
-            prev: None,
-            next: None,
-        };
-        let i = match self.free.pop() {
-            Some(i) => {
-                self.slots[i] = slot;
-                i
-            }
-            None => {
-                self.slots.push(slot);
-                self.slots.len() - 1
-            }
-        };
-        self.push_back(i);
-        i
-    }
-
-    /// Move slot `i` to the most-recently-used end.
-    fn touch(&mut self, i: usize) {
-        if self.tail != Some(i) {
-            self.unlink(i);
-            self.push_back(i);
-        }
-    }
-
-    /// Remove and return the least-recently-used key.
-    fn pop_lru(&mut self) -> Option<Vec<u64>> {
-        let i = self.head?;
-        self.unlink(i);
-        self.free.push(i);
-        Some(std::mem::take(&mut self.slots[i].key))
-    }
 }
 
 /// Per-region run-time bookkeeping.
@@ -162,11 +114,13 @@ struct RegionState {
     /// the per-lookup constant small.
     cache: FxHashMap<Vec<u64>, CacheEntry>,
     /// Recency order over `cache` (for bounded caches).
-    lru: LruOrder,
+    lru: LruOrder<Vec<u64>>,
     /// Constants-table address of every stitch performed, in stitch order
-    /// (for [`Engine::restitch_all`]).
+    /// (for [`Session::restitch_all`]). Instances installed from the
+    /// shared cache have no constants table in this session and are not
+    /// recorded here.
     tables: Vec<u64>,
-    /// Every stitched instance ever produced: (key, code base, length in
+    /// Every stitched instance ever installed: (key, code base, length in
     /// words). Survives eviction — code space is append-only.
     instances: Vec<(Vec<u64>, u32, u32)>,
     /// Cache entries dropped to stay within the configured capacity.
@@ -181,19 +135,24 @@ struct RegionState {
     stitch: StitchStats,
     /// Number of stitches performed.
     stitches: u32,
+    /// Instances installed from the process-wide shared cache (set-up and
+    /// stitching skipped).
+    shared_hits: u64,
     /// Region entries observed (including fast-path re-entries only for
     /// keyed regions; patched unkeyed regions bypass the trap, so the
-    /// engine counts their entries via [`Engine::call`]'s bookkeeping).
+    /// session counts their entries via [`Session::call`]'s bookkeeping).
     invocations: u64,
 }
 
 /// Per-region measurement report (feeds Table 2 / Table 3).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RegionReport {
-    /// Region entries observed by the engine.
+    /// Region entries observed by the session.
     pub invocations: u64,
-    /// Times the region was dynamically compiled.
+    /// Times the region was dynamically compiled *by this session*.
     pub stitches: u32,
+    /// Instances installed from the shared cache instead of stitching.
+    pub shared_hits: u64,
     /// VM cycles spent in set-up code.
     pub setup_cycles: u64,
     /// Simulated stitcher cycles.
@@ -207,9 +166,16 @@ pub struct RegionReport {
     pub evictions: u64,
 }
 
-/// The execution engine.
-pub struct Engine<'p> {
-    program: &'p Program,
+/// One execution session over a shared, immutable [`Program`].
+///
+/// `P` is how the session holds the program: `Arc<Program>` (the default;
+/// sessions on several threads share one artifact) or `&Program` (the
+/// [`Engine`] compatibility alias). All mutable state — the VM, region
+/// bookkeeping, the keyed code cache — is owned by the session, so
+/// `Session<Arc<Program>>` is `Send` and sessions never contend except on
+/// an explicitly configured [`SharedCodeCache`].
+pub struct Session<P: Borrow<Program> = Arc<Program>> {
+    program: P,
     /// The simulated machine (public for harnesses that need cycle counts
     /// or direct memory access).
     pub vm: Vm,
@@ -217,25 +183,37 @@ pub struct Engine<'p> {
     regions: Vec<RegionState>,
 }
 
-impl<'p> Engine<'p> {
-    /// An engine with default options.
-    pub fn new(program: &'p Program) -> Self {
+/// Single-owner compatibility alias: a [`Session`] borrowing the program.
+///
+/// Existing `Engine::new(&program)` callers keep working unchanged;
+/// multi-session callers migrate to `Session::new(Arc<Program>)`.
+pub type Engine<'p> = Session<&'p Program>;
+
+impl<P: Borrow<Program>> Session<P> {
+    /// A session with default options.
+    pub fn new(program: P) -> Self {
         Self::with_options(program, EngineOptions::default())
     }
 
-    /// An engine with explicit options.
-    pub fn with_options(program: &'p Program, options: EngineOptions) -> Self {
+    /// A session with explicit options.
+    pub fn with_options(program: P, options: EngineOptions) -> Self {
+        let p = program.borrow();
         let mut vm = Vm::new(options.memory_bytes);
-        dyncomp_codegen::install(&program.compiled, &program.module, &mut vm);
-        let regions = (0..program.compiled.regions.len())
+        dyncomp_codegen::install(&p.compiled, &p.module, &mut vm);
+        let regions = (0..p.compiled.regions.len())
             .map(|_| RegionState::default())
             .collect();
-        Engine {
+        Session {
             program,
             vm,
             options,
             regions,
         }
+    }
+
+    /// The program this session executes.
+    pub fn program(&self) -> &Program {
+        self.program.borrow()
     }
 
     /// Build data structures in VM memory.
@@ -250,6 +228,7 @@ impl<'p> Engine<'p> {
     pub fn call(&mut self, name: &str, args: &[u64]) -> Result<u64, Error> {
         let entry = self
             .program
+            .borrow()
             .compiled
             .entry_of(name)
             .ok_or_else(|| Error::NoSuchFunction(name.to_string()))?;
@@ -261,7 +240,7 @@ impl<'p> Engine<'p> {
     /// Call a double-returning function; returns `f0`.
     ///
     /// # Errors
-    /// Same as [`Engine::call`].
+    /// Same as [`Session::call`].
     pub fn call_f(&mut self, name: &str, args: &[u64]) -> Result<f64, Error> {
         self.call(name, args)?;
         Ok(self.vm.freg(0))
@@ -278,53 +257,103 @@ impl<'p> Engine<'p> {
         }
     }
 
-    fn read_key(&self, locs: &[ValueLoc]) -> Vec<u64> {
-        locs.iter()
-            .map(|l| match *l {
+    /// Read a region's key tuple from the trap-point value locations.
+    ///
+    /// # Errors
+    /// A faulting frame-slot read propagates as [`Error::Vm`]: a bad stack
+    /// state must not silently alias distinct cache keys.
+    pub(crate) fn read_key(&self, locs: &[ValueLoc]) -> Result<Vec<u64>, Error> {
+        let mut key = Vec::with_capacity(locs.len());
+        for l in locs {
+            key.push(match *l {
                 ValueLoc::Reg(r) => self.vm.reg(r),
                 ValueLoc::FReg(r) => self.vm.freg(r).to_bits(),
                 ValueLoc::Frame(off) => self
                     .vm
                     .mem
                     .read_u64(self.vm.reg(SP).wrapping_add(off as i64 as u64))
-                    .unwrap_or(0),
-            })
-            .collect()
+                    .map_err(|e| Error::Vm(e.into()))?,
+            });
+        }
+        Ok(key)
     }
 
     fn enter_region(&mut self, region: u16, _at: u32) -> Result<(), Error> {
-        let rc = &self.program.compiled.regions[region as usize];
-        let key = self.read_key(&rc.key_locs);
+        let rc = &self.program.borrow().compiled.regions[region as usize];
+        let key = self.read_key(&rc.key_locs)?;
+        let keyed = !rc.key_locs.is_empty();
+        let (setup_pc, key_len) = (rc.setup_pc, rc.key_locs.len());
         let st = &mut self.regions[region as usize];
         st.invocations += 1;
         self.vm.cycles += self.options.trap_cycles;
-        if !rc.key_locs.is_empty() {
-            self.vm.cycles += self.options.keyed_lookup_cycles
-                + self.options.per_key_cycles * rc.key_locs.len() as u64;
+        if keyed {
+            self.vm.cycles +=
+                self.options.keyed_lookup_cycles + self.options.per_key_cycles * key_len as u64;
         }
         match st.cache.get(&key).copied() {
             Some(entry) => {
-                if !rc.key_locs.is_empty() {
+                if keyed {
                     st.lru.touch(entry.lru);
                 }
                 self.vm.pc = entry.base;
             }
             None => {
-                st.pending_key = Some(key);
-                st.setup_start = self.vm.cycles;
-                self.vm.pc = rc.setup_pc;
+                // Not stitched here yet: consult the process-wide cache
+                // before paying for set-up + stitching.
+                if let Some(stitched) = self.shared_lookup(region, &key) {
+                    self.install_shared(region, key, &stitched)?;
+                } else {
+                    let st = &mut self.regions[region as usize];
+                    st.pending_key = Some(key);
+                    st.setup_start = self.vm.cycles;
+                    self.vm.pc = setup_pc;
+                }
             }
         }
         Ok(())
     }
 
+    /// Probe the shared cache (when configured), charging the probe cost.
+    fn shared_lookup(
+        &mut self,
+        region: u16,
+        key: &[u64],
+    ) -> Option<Arc<dyncomp_stitcher::Stitched>> {
+        let cache = self.options.shared_cache.as_ref()?;
+        self.vm.cycles += self.options.shared_lookup_cycles;
+        cache.lookup(&SharedKey {
+            program: self.program.borrow().id(),
+            region,
+            key: key.to_vec(),
+        })
+    }
+
+    /// Install another session's stitched instance: bulk copy + base and
+    /// linearized-table relocation, charged per word. No set-up code runs
+    /// and no stitch is performed.
+    fn install_shared(
+        &mut self,
+        region: u16,
+        key: Vec<u64>,
+        stitched: &dyncomp_stitcher::Stitched,
+    ) -> Result<(), Error> {
+        let base = self.vm.code.len() as u32;
+        let (code, _lin_addr) = stitched.relocate(base, &mut self.vm.mem)?;
+        self.vm.cycles += self.options.shared_install_cycles_per_word * code.len() as u64;
+        self.vm.append_code(&code);
+        self.regions[region as usize].shared_hits += 1;
+        self.index_instance(region, key, base, code.len() as u32);
+        Ok(())
+    }
+
     fn end_setup(&mut self, region: u16) -> Result<(), Error> {
-        let rc = &self.program.compiled.regions[region as usize];
+        let rc = &self.program.borrow().compiled.regions[region as usize];
         let table = self.vm.reg(CTP);
         let base = self.vm.code.len() as u32;
         let stitched =
             dyncomp_stitcher::stitch(rc, table, &mut self.vm.mem, base, &self.options.stitch)?;
         self.vm.append_code(&stitched.code);
+        let code_len = stitched.code.len() as u32;
 
         let st = &mut self.regions[region as usize];
         st.setup_cycles += self.vm.cycles - st.setup_start;
@@ -332,11 +361,33 @@ impl<'p> Engine<'p> {
         accumulate(&mut st.stitch, &stitched.stats);
         st.tables.push(table);
         let key = st.pending_key.take().unwrap_or_default();
-        st.instances
-            .push((key.clone(), base, stitched.code.len() as u32));
-        let lru = if rc.key_locs.is_empty() {
-            usize::MAX // unkeyed: the trap is patched away below
-        } else {
+
+        // Publish to the process-wide cache so other sessions can skip
+        // set-up and stitching for this (region, key).
+        if let Some(cache) = &self.options.shared_cache {
+            cache.insert(
+                SharedKey {
+                    program: self.program.borrow().id(),
+                    region,
+                    key: key.clone(),
+                },
+                Arc::new(stitched),
+            );
+        }
+
+        self.index_instance(region, key, base, code_len);
+        Ok(())
+    }
+
+    /// Record a freshly installed instance (stitched here or copied from
+    /// the shared cache): instance history, keyed cache + LRU (with
+    /// capacity eviction), unkeyed trap retirement, and resume at `base`.
+    fn index_instance(&mut self, region: u16, key: Vec<u64>, base: u32, len: u32) {
+        let rc = &self.program.borrow().compiled.regions[region as usize];
+        let (keyed, enter_pc) = (!rc.key_locs.is_empty(), rc.enter_pc);
+        let st = &mut self.regions[region as usize];
+        st.instances.push((key.clone(), base, len));
+        let lru = if keyed {
             if let Some(cap) = self.options.keyed_cache_capacity {
                 while st.cache.len() >= cap.max(1) {
                     match st.lru.pop_lru() {
@@ -349,25 +400,26 @@ impl<'p> Engine<'p> {
                 }
             }
             st.lru.insert(key.clone())
+        } else {
+            usize::MAX // unkeyed: the trap is patched away below
         };
         st.cache.insert(key, CacheEntry { base, lru });
 
         // Unkeyed regions: retire the trap — patch EnterRegion into a
         // direct branch to the stitched code (§1: the templates "become
         // part of the application").
-        if rc.key_locs.is_empty() {
-            let disp = base as i64 - (rc.enter_pc as i64 + 1);
+        if !keyed {
+            let disp = base as i64 - (enter_pc as i64 + 1);
             let (w, _) = encode(&Inst::branch(
                 Op::Br,
                 dyncomp_machine::isa::ZERO,
                 disp as i32,
             ))
             .expect("patch branch encodes");
-            self.vm.patch_code(rc.enter_pc, w);
+            self.vm.patch_code(enter_pc, w);
         }
 
         self.vm.pc = base;
-        Ok(())
     }
 
     /// Measurement report for region `index`.
@@ -376,6 +428,7 @@ impl<'p> Engine<'p> {
         RegionReport {
             invocations: st.invocations,
             stitches: st.stitches,
+            shared_hits: st.shared_hits,
             setup_cycles: st.setup_cycles,
             stitch_cycles: st.stitch.cycles,
             instructions_stitched: st.stitch.instructions_stitched,
@@ -394,14 +447,15 @@ impl<'p> Engine<'p> {
     /// the set-up code's tables are still live in data memory, so this
     /// re-measures pure stitching work (for throughput benches and
     /// ablations). Returns the accumulated stats of the extra runs; the
-    /// engine's own per-region reports are unaffected.
+    /// session's own per-region reports are unaffected.
     ///
     /// # Errors
     /// Stitching failures (same as the original stitches).
     pub fn restitch_all(&mut self, opts: &StitchOptions) -> Result<StitchStats, Error> {
         let mut total = StitchStats::default();
         let base = self.vm.code.len() as u32;
-        for (idx, rc) in self.program.compiled.regions.iter().enumerate() {
+        let program = self.program.borrow();
+        for (idx, rc) in program.compiled.regions.iter().enumerate() {
             for &table in &self.regions[idx].tables {
                 let s = dyncomp_stitcher::stitch(rc, table, &mut self.vm.mem, base, opts)?;
                 accumulate(&mut total, &s.stats);

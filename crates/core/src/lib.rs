@@ -41,19 +41,53 @@
 //! assert_eq!(report.invocations, 1);
 //! # Ok::<(), dyncomp::Error>(())
 //! ```
+//!
+//! ## Many sessions, one program
+//!
+//! The compile artifact is immutable and `Send + Sync`: wrap it in an
+//! [`Arc`](std::sync::Arc) and any number of [`Session`]s — on any
+//! threads — execute it concurrently, each with its own VM and
+//! deterministic cycle counts. An optional process-wide
+//! [`SharedCodeCache`] lets sessions reuse each other's stitched code.
+//!
+//! ```
+//! use dyncomp::{Compiler, Session};
+//! use std::sync::Arc;
+//!
+//! let program = Arc::new(Compiler::new().compile(
+//!     "int poly(int c, int x) {
+//!          dynamicRegion (c) {
+//!              return c * x * x + c * x + c;
+//!          }
+//!      }",
+//! )?);
+//! let results: Vec<u64> = std::thread::scope(|s| {
+//!     let handles: Vec<_> = (0..4)
+//!         .map(|_| {
+//!             let program = Arc::clone(&program);
+//!             s.spawn(move || Session::new(program).call("poly", &[3, 10]).unwrap())
+//!         })
+//!         .collect();
+//!     handles.into_iter().map(|h| h.join().unwrap()).collect()
+//! });
+//! assert_eq!(results, vec![333; 4]);
+//! # Ok::<(), dyncomp::Error>(())
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod advisor;
+pub mod cache;
 pub mod engine;
 pub mod measure;
 
 pub use advisor::{advise, FunctionAdvice, Hypothesis};
-pub use engine::{Engine, EngineOptions, RegionReport};
+pub use cache::{SharedCacheStats, SharedCodeCache, SharedKey};
+pub use engine::{Engine, EngineOptions, RegionReport, Session};
 pub use measure::{
-    measure_kernel, measure_kernel_full, measure_kernel_with, KernelMeasurement, KernelSetup,
-    OptProfile,
+    measure_kernel, measure_kernel_full, measure_kernel_with, run_session, KernelMeasurement,
+    KernelSetup, OptProfile, SessionOutcome,
 };
 
 use dyncomp_analysis::AnalysisConfig;
@@ -231,6 +265,7 @@ impl Compiler {
             specs.iter().map(|(f, s)| (*f, s.stats)).collect();
         let compiled = dyncomp_codegen::compile_module(&mut module, &specs)?;
         Ok(Program {
+            id: NEXT_PROGRAM_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             module,
             types: lowered.types,
             compiled,
@@ -239,9 +274,19 @@ impl Compiler {
     }
 }
 
-/// A fully statically compiled program, ready to run on an [`Engine`].
+/// Process-wide program identity source: every compile gets a distinct id
+/// so [`SharedCodeCache`] entries from different programs never collide.
+static NEXT_PROGRAM_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A fully statically compiled program, ready to run on a [`Session`].
+///
+/// The artifact is immutable after compilation and `Send + Sync`: wrap it
+/// in an `Arc` and any number of sessions — on any threads — can execute
+/// it concurrently. All mutable run-time state lives in [`Session`].
 #[derive(Debug)]
 pub struct Program {
+    /// Process-unique identity (see [`Program::id`]).
+    id: u64,
     /// The final IR (post-SSA-destruction; for inspection).
     pub module: Module,
     /// Struct layouts for host-side data construction.
@@ -262,7 +307,21 @@ impl Program {
     pub fn region_count(&self) -> usize {
         self.compiled.regions.len()
     }
+
+    /// Process-unique identity, part of every [`SharedKey`]: stitched code
+    /// cached by sessions of one program is never served to another.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
 }
+
+// The compile artifact must stay thread-shareable; a non-Sync field
+// sneaking into any of its component crates should fail compilation here,
+// not at a distant `Arc<Program>` use site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Program>();
+};
 
 #[cfg(test)]
 mod tests;

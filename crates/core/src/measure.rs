@@ -9,11 +9,16 @@
 //! profile of Table 3 comes from the specializer's and stitcher's
 //! counters.
 
-use crate::{Compiler, Engine, Error, Program};
+use crate::{Compiler, EngineOptions, Error, Program, RegionReport, Session};
 use dyncomp_specialize::SpecStats;
 use dyncomp_stitcher::StitchStats;
+use std::sync::Arc;
 
 /// How to run one kernel for measurement.
+///
+/// The closures are `Send + Sync` so one setup can drive many concurrent
+/// sessions over a shared `Arc<Program>` (the determinism suite and the
+/// `concurrent_throughput` bench).
 pub struct KernelSetup<'a> {
     /// Annotated MiniC source (compiled both ways).
     pub src: &'a str,
@@ -24,10 +29,10 @@ pub struct KernelSetup<'a> {
     /// Build input data in VM memory; returns values (typically addresses)
     /// that [`KernelSetup::args`] may use.
     #[allow(clippy::type_complexity)]
-    pub prepare: Box<dyn Fn(&mut Engine) -> Vec<u64> + 'a>,
+    pub prepare: Box<dyn Fn(&mut Session) -> Vec<u64> + Send + Sync + 'a>,
     /// Arguments for invocation `i`, given the prepared values.
     #[allow(clippy::type_complexity)]
-    pub args: Box<dyn Fn(u64, &[u64]) -> Vec<u64> + 'a>,
+    pub args: Box<dyn Fn(u64, &[u64]) -> Vec<u64> + Send + Sync + 'a>,
 }
 
 /// Everything Table 2 needs for one kernel/configuration row.
@@ -147,28 +152,15 @@ pub fn measure_kernel_full(
     engine_options: crate::EngineOptions,
 ) -> Result<KernelMeasurement, Error> {
     // ---- static baseline ----
-    let static_prog = Compiler::static_baseline().compile(setup.src)?;
-    let (static_total, static_checksum) = run_version(&static_prog, setup)?;
+    let static_prog = Arc::new(Compiler::static_baseline().compile(setup.src)?);
+    let static_run = run_session(&static_prog, setup, EngineOptions::default())?;
 
     // ---- dynamic version ----
-    let dyn_prog = dynamic_compiler.compile(setup.src)?;
-    let (dyn_result, dyn_checksum, reports) = {
-        let mut engine = Engine::with_options(&dyn_prog, engine_options);
-        let prepared = (setup.prepare)(&mut engine);
-        let mut checksum = 0u64;
-        let mut total = 0u64;
-        for i in 0..setup.iterations {
-            let args = (setup.args)(i, &prepared);
-            let before = engine.cycles();
-            let r = engine.call(setup.func, &args)?;
-            total += engine.cycles() - before;
-            checksum = checksum.wrapping_mul(1099511628211).wrapping_add(r);
-        }
-        let reports: Vec<_> = (0..dyn_prog.region_count())
-            .map(|i| engine.region_report(i))
-            .collect();
-        (total, checksum, reports)
-    };
+    let dyn_prog = Arc::new(dynamic_compiler.compile(setup.src)?);
+    let dyn_run = run_session(&dyn_prog, setup, engine_options)?;
+    let (static_total, static_checksum) = (static_run.call_cycles, static_run.checksum);
+    let (dyn_result, dyn_checksum, reports) =
+        (dyn_run.call_cycles, dyn_run.checksum, dyn_run.reports);
 
     assert_eq!(
         static_checksum, dyn_checksum,
@@ -243,17 +235,50 @@ pub fn measure_kernel_full(
     })
 }
 
-fn run_version(prog: &Program, setup: &KernelSetup<'_>) -> Result<(u64, u64), Error> {
-    let mut engine = Engine::new(prog);
-    let prepared = (setup.prepare)(&mut engine);
+/// What one session produced running a kernel workload: everything the
+/// determinism suite compares bit-for-bit across threads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionOutcome {
+    /// FNV-style checksum over every invocation's result, in order.
+    pub checksum: u64,
+    /// Simulated cycles spent inside the measured calls.
+    pub call_cycles: u64,
+    /// The session's final VM cycle counter (calls + data preparation).
+    pub total_cycles: u64,
+    /// Per-region measurement reports.
+    pub reports: Vec<RegionReport>,
+}
+
+/// Run one complete session of a kernel workload over a shared program:
+/// fresh [`Session`], prepare data, run every invocation, collect region
+/// reports. This is the unit the concurrency harnesses replicate across
+/// threads — with default options every replica is bit-identical.
+///
+/// # Errors
+/// Execution failure (VM fault, stitch failure, unknown function).
+pub fn run_session(
+    program: &Arc<Program>,
+    setup: &KernelSetup<'_>,
+    options: EngineOptions,
+) -> Result<SessionOutcome, Error> {
+    let mut session = Session::with_options(Arc::clone(program), options);
+    let prepared = (setup.prepare)(&mut session);
     let mut checksum = 0u64;
     let mut total = 0u64;
     for i in 0..setup.iterations {
         let args = (setup.args)(i, &prepared);
-        let before = engine.cycles();
-        let r = engine.call(setup.func, &args)?;
-        total += engine.cycles() - before;
+        let before = session.cycles();
+        let r = session.call(setup.func, &args)?;
+        total += session.cycles() - before;
         checksum = checksum.wrapping_mul(1099511628211).wrapping_add(r);
     }
-    Ok((total, checksum))
+    let reports = (0..program.region_count())
+        .map(|i| session.region_report(i))
+        .collect();
+    Ok(SessionOutcome {
+        checksum,
+        call_cycles: total,
+        total_cycles: session.cycles(),
+        reports,
+    })
 }

@@ -1,7 +1,7 @@
 //! End-to-end tests: full static pipeline + VM + stitcher, with
 //! differential checks against the static baseline and speedup sanity.
 
-use crate::{measure_kernel, Compiler, Engine, KernelSetup};
+use crate::{measure_kernel, Compiler, Engine, KernelSetup, Session};
 
 /// Run the same calls on static and dynamic builds; results must agree.
 /// Each argument set gets a fresh dynamic engine: an unkeyed region's
@@ -99,7 +99,7 @@ fn dynamic_beats_static_on_unrolled_kernel() {
         src,
         func: "eval",
         iterations: 300,
-        prepare: Box::new(|e: &mut Engine| {
+        prepare: Box::new(|e: &mut Session| {
             let mut h = e.heap();
             let coef = h.array_i64(&[3, 1, 4, 1, 5, 9, 2, 6]).unwrap();
             let cfg = h.record(&[8, coef]).unwrap();
@@ -680,4 +680,171 @@ fn bounded_cache_is_semantically_transparent() {
             assert_eq!(r.stitches, 6);
         }
     }
+}
+
+// ---- artifact/session split -------------------------------------------
+
+/// The compile artifact and Arc-based sessions are thread-shareable; the
+/// borrowed [`Engine`] alias is still `Send` (it can move to a worker).
+#[test]
+fn program_and_session_are_thread_shareable() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn assert_send<T: Send>() {}
+    assert_send_sync::<crate::Program>();
+    assert_send_sync::<crate::Session>();
+    assert_send::<Engine<'static>>();
+}
+
+/// Regression: a faulting frame-slot read during key extraction used to be
+/// silently mapped to key 0 (`unwrap_or(0)`), aliasing distinct cache
+/// entries on bad stack state. It must propagate as an error.
+#[test]
+fn faulting_frame_key_read_is_an_error_not_key_zero() {
+    use dyncomp_machine::isa::SP;
+    use dyncomp_machine::template::ValueLoc;
+
+    let p = Compiler::new()
+        .compile("int f(int x) { return x; }")
+        .unwrap();
+    let mut e = Engine::new(&p);
+    e.vm.set_reg(SP, u64::MAX - 1024); // wild stack pointer
+    let err = e.read_key(&[ValueLoc::Frame(0)]);
+    assert!(err.is_err(), "fault must not alias to key 0");
+    assert!(
+        matches!(err, Err(crate::Error::Vm(_))),
+        "fault surfaces as a VM error"
+    );
+    // A healthy stack still reads fine.
+    e.vm.set_reg(SP, 1024);
+    assert!(e.read_key(&[ValueLoc::Frame(0)]).is_ok());
+}
+
+/// Keyed cross-session reuse: a second session over the same program and
+/// shared cache installs the first session's instances — zero stitches,
+/// one shared hit per distinct key, identical results.
+#[test]
+fn shared_cache_reuses_keyed_instances_across_sessions() {
+    use std::sync::Arc;
+
+    let src = r#"
+        int f(int k, int x) {
+            dynamicRegion key(k) (k) {
+                return k * x * x + k;
+            }
+        }
+    "#;
+    let p = Arc::new(Compiler::new().compile(src).unwrap());
+    let cache = Arc::new(crate::SharedCodeCache::default());
+    let opts = || crate::EngineOptions {
+        shared_cache: Some(Arc::clone(&cache)),
+        ..crate::EngineOptions::default()
+    };
+
+    let mut a = crate::Session::with_options(Arc::clone(&p), opts());
+    let want: Vec<u64> = [(3u64, 10u64), (5, 10), (3, 2), (5, 2)]
+        .iter()
+        .map(|&(k, x)| a.call("f", &[k, x]).unwrap())
+        .collect();
+    let ra = a.region_report(0);
+    assert_eq!(ra.stitches, 2, "one stitch per distinct key");
+    assert_eq!(ra.shared_hits, 0, "first session populated the cache");
+    assert_eq!(cache.stats().insertions, 2);
+
+    let mut b = crate::Session::with_options(Arc::clone(&p), opts());
+    let got: Vec<u64> = [(3u64, 10u64), (5, 10), (3, 2), (5, 2)]
+        .iter()
+        .map(|&(k, x)| b.call("f", &[k, x]).unwrap())
+        .collect();
+    assert_eq!(got, want, "reused code computes identical results");
+    let rb = b.region_report(0);
+    assert_eq!(rb.stitches, 0, "second session never stitches");
+    assert_eq!(rb.shared_hits, 2, "one install per distinct key");
+
+    // The installed instances are identical up to relocation: same
+    // program and install addresses, so only linearized-table address
+    // words may differ (session B's table lives at a different brk —
+    // it never ran set-up code).
+    for idx in 0..2 {
+        let ca = a.stitched_instances(0)[idx].1;
+        let cb = b.stitched_instances(0)[idx].1;
+        assert_eq!(ca.len(), cb.len(), "instance {idx} length differs");
+        let diffs = ca.iter().zip(cb).filter(|(x, y)| x != y).count();
+        assert!(
+            diffs <= 1,
+            "instance {idx}: {diffs} words differ (only the table address may)"
+        );
+    }
+}
+
+/// Unkeyed regions also reuse across sessions, and the installing session
+/// still retires its EnterRegion trap (later calls bypass the runtime).
+#[test]
+fn shared_cache_reuses_unkeyed_instances_and_patches_trap() {
+    use std::sync::Arc;
+
+    let src = r#"
+        int poly(int c, int x) {
+            dynamicRegion (c) {
+                return c * x * x + c * x + c;
+            }
+        }
+    "#;
+    let p = Arc::new(Compiler::new().compile(src).unwrap());
+    let cache = Arc::new(crate::SharedCodeCache::default());
+    let opts = || crate::EngineOptions {
+        shared_cache: Some(Arc::clone(&cache)),
+        ..crate::EngineOptions::default()
+    };
+
+    let mut a = crate::Session::with_options(Arc::clone(&p), opts());
+    assert_eq!(a.call("poly", &[3, 10]).unwrap(), 333);
+
+    let mut b = crate::Session::with_options(Arc::clone(&p), opts());
+    assert_eq!(b.call("poly", &[3, 10]).unwrap(), 333);
+    assert_eq!(b.call("poly", &[3, 1]).unwrap(), 9);
+    let rb = b.region_report(0);
+    assert_eq!(rb.stitches, 0);
+    assert_eq!(rb.shared_hits, 1);
+    // The trap was patched after the install: only the first call trapped.
+    assert_eq!(rb.invocations, 1);
+}
+
+/// With the shared cache the cheaper install path shows up in the cycle
+/// accounting: the reusing session is strictly faster than the stitching
+/// one, and default-mode accounting is untouched.
+#[test]
+fn shared_install_is_cheaper_than_stitching() {
+    use std::sync::Arc;
+
+    let src = r#"
+        int poly(int c, int x) {
+            dynamicRegion (c) {
+                return c * x * x + c * x + c;
+            }
+        }
+    "#;
+    let p = Arc::new(Compiler::new().compile(src).unwrap());
+
+    // Default mode: accounting identical with and without Arc sharing.
+    let mut plain = crate::Session::new(Arc::clone(&p));
+    plain.call("poly", &[3, 10]).unwrap();
+    let mut borrowed = Engine::new(&p);
+    borrowed.call("poly", &[3, 10]).unwrap();
+    assert_eq!(plain.cycles(), borrowed.cycles());
+
+    let cache = Arc::new(crate::SharedCodeCache::default());
+    let opts = || crate::EngineOptions {
+        shared_cache: Some(Arc::clone(&cache)),
+        ..crate::EngineOptions::default()
+    };
+    let mut first = crate::Session::with_options(Arc::clone(&p), opts());
+    first.call("poly", &[3, 10]).unwrap();
+    let mut second = crate::Session::with_options(Arc::clone(&p), opts());
+    second.call("poly", &[3, 10]).unwrap();
+    assert!(
+        second.cycles() < first.cycles(),
+        "install ({}) should be cheaper than set-up + stitch ({})",
+        second.cycles(),
+        first.cycles()
+    );
 }

@@ -712,10 +712,9 @@ mod proptests {
                     return Inst::op3(op, ra, operand, rc);
                 }
                 Format::Memory => {
-                    let disp = rng.range_i64(
-                        i64::from(limits::DISP_MIN),
-                        i64::from(limits::DISP_MAX) + 1,
-                    ) as i16;
+                    let disp = rng
+                        .range_i64(i64::from(limits::DISP_MIN), i64::from(limits::DISP_MAX) + 1)
+                        as i16;
                     return Inst::mem(op, ra, rb, disp);
                 }
                 Format::Branch => {

@@ -35,10 +35,10 @@ pub mod regactions;
 pub use cost::StitchCost;
 
 use dyncomp_ir::eval::Memory;
+use dyncomp_ir::fxhash::FxHashMap;
 use dyncomp_ir::SlotPath;
 use dyncomp_machine::isa::{decode, encode, Format, Inst, Op, Operand, LIN, SCRATCH0, ZERO};
 use dyncomp_machine::template::{HoleField, LoopMarker, RegionCode, StitchPlan, TmplExit};
-use dyncomp_ir::fxhash::FxHashMap;
 use std::fmt;
 
 /// Stitching options (ablations).
@@ -116,6 +116,14 @@ pub struct StitchStats {
 }
 
 /// The stitched, executable code for one region instance.
+///
+/// Besides the installable code words, this records everything needed to
+/// re-install the instance elsewhere (another code address, another
+/// session's memory) via [`Stitched::relocate`]: the linearized-table
+/// contents and the positions of every base-dependent word. Stitched code
+/// is position-independent except for (a) the `Ldiw` words holding the
+/// linearized-table address and (b) the region-exit branches, whose
+/// targets are absolute addresses in the enclosing function.
 #[derive(Clone, Debug)]
 pub struct Stitched {
     /// Code words, to be installed at the `base` passed to [`stitch`].
@@ -123,8 +131,73 @@ pub struct Stitched {
     /// Address of the linearized constants table in data memory (0 when
     /// unused).
     pub lin_table_addr: u64,
+    /// The linearized constants table's contents, in slot order (empty
+    /// when the instance needed no table).
+    pub lin_words: Vec<u64>,
+    /// Word positions of `Ldiw` instructions whose second word holds the
+    /// linearized-table base address.
+    pub lin_addr_patches: Vec<u32>,
+    /// Word positions of far-entry `Ldiw`s whose second word holds the
+    /// table base plus the recorded byte offset.
+    pub lin_far_addr_patches: Vec<(u32, u32)>,
+    /// Region-exit branches as `(word position, absolute target)`; their
+    /// displacements depend on the installation base.
+    pub exit_patches: Vec<(u32, u32)>,
     /// Counters.
     pub stats: StitchStats,
+}
+
+impl Stitched {
+    /// Re-create this instance for installation at `new_base`, with a
+    /// fresh linearized constants table allocated and filled in `mem`:
+    /// returns the patched code words and the new table address. This is
+    /// how a process-wide code cache installs one session's stitched code
+    /// into another session — a bulk copy plus O(patches) fix-ups, never
+    /// a re-stitch.
+    ///
+    /// Cross-session reuse assumes the sessions are *replicas*: same
+    /// program installed at the same addresses, and any pointer-typed
+    /// run-time constants (table entries, promoted register-action
+    /// addresses) referring to identically laid-out session memory. The
+    /// keyed cache already assumes keys determine the stitched code; this
+    /// extends that assumption across sessions.
+    ///
+    /// # Errors
+    /// Table allocation failure, or an exit branch whose displacement no
+    /// longer encodes from `new_base`.
+    pub fn relocate(
+        &self,
+        new_base: u32,
+        mem: &mut Memory,
+    ) -> Result<(Vec<u32>, u64), StitchError> {
+        let mut code = self.code.clone();
+        let lin_addr = if self.lin_words.is_empty() {
+            0
+        } else {
+            let addr = mem
+                .alloc(8 * self.lin_words.len() as u64)
+                .map_err(|e| StitchError::Table(e.to_string()))?;
+            for (i, &v) in self.lin_words.iter().enumerate() {
+                mem.write_u64(addr + 8 * i as u64, v)
+                    .map_err(|e| StitchError::Table(e.to_string()))?;
+            }
+            addr
+        };
+        for &p in &self.lin_addr_patches {
+            code[p as usize + 1] = lin_addr as u32;
+        }
+        for &(p, off) in &self.lin_far_addr_patches {
+            code[p as usize + 1] = (lin_addr as u32).wrapping_add(off);
+        }
+        for &(p, target) in &self.exit_patches {
+            let disp = i64::from(target) - (i64::from(new_base) + i64::from(p) + 1);
+            let (w, _) = encode(&Inst::branch(Op::Br, ZERO, disp as i32)).map_err(|e| {
+                StitchError::BadTemplate(format!("relocated exit branch does not encode: {e}"))
+            })?;
+            code[p as usize] = w;
+        }
+        Ok((code, lin_addr))
+    }
 }
 
 /// Stitching failure.
@@ -183,6 +256,7 @@ pub fn stitch(
         fixups: Vec::new(),
         lin_ldiw_patches: Vec::new(),
         lin_far_patches: Vec::new(),
+        exit_patches: Vec::new(),
         queue: Vec::new(),
         accesses: Vec::new(),
         reg_known: FxHashMap::default(),
@@ -277,6 +351,10 @@ pub fn stitch(
     Ok(Stitched {
         code: st.out,
         lin_table_addr: lin_addr,
+        lin_words: st.lin,
+        lin_addr_patches: st.lin_ldiw_patches,
+        lin_far_addr_patches: st.lin_far_patches,
+        exit_patches: st.exit_patches,
         stats: st.stats,
     })
 }
@@ -301,6 +379,8 @@ struct Stitcher<'a> {
     lin_ldiw_patches: Vec<u32>,
     /// Far-entry `Ldiw` positions to patch with `lin_addr + offset`.
     lin_far_patches: Vec<(u32, u32)>,
+    /// Region-exit branches: `(output word position, absolute target)`.
+    exit_patches: Vec<(u32, u32)>,
     /// Branch targets waiting to be stitched.
     queue: Vec<Key>,
     /// Register-actions log: memory accesses with constant addresses.
@@ -564,6 +644,7 @@ impl Stitcher<'_> {
                     .get(exit as usize)
                     .ok_or_else(|| StitchError::BadTemplate(format!("exit {exit}")))?;
                 let disp = target as i64 - (self.abs_pos() as i64 + 1);
+                self.exit_patches.push((self.out.len() as u32, target));
                 self.emit(Inst::branch(Op::Br, ZERO, disp as i32));
                 Ok(None)
             }

@@ -86,8 +86,12 @@ fn random_stmt(rng: &mut SplitMix64, nest: u32) -> Stmt {
     // loops appear under dynamic and constant branches alike.
     if nest > 0 && rng.chance(1, 4) {
         let c = random_expr(rng, 2);
-        let t = (0..rng.below(3)).map(|_| random_stmt(rng, nest - 1)).collect();
-        let e = (0..rng.below(3)).map(|_| random_stmt(rng, nest - 1)).collect();
+        let t = (0..rng.below(3))
+            .map(|_| random_stmt(rng, nest - 1))
+            .collect();
+        let e = (0..rng.below(3))
+            .map(|_| random_stmt(rng, nest - 1))
+            .collect();
         return Stmt::IfBlock(c, t, e);
     }
     match rng.below(5) {
@@ -103,8 +107,16 @@ fn random_stmt(rng: &mut SplitMix64, nest: u32) -> Stmt {
             };
             Stmt::If(c, (v, t), e)
         }
-        2 => Stmt::Loop(rng.next_u64() as u8, rng.below(6) as u8, random_expr(rng, 2)),
-        3 => Stmt::Unrolled(rng.next_u64() as u8, rng.below(5) as u8, random_expr(rng, 2)),
+        2 => Stmt::Loop(
+            rng.next_u64() as u8,
+            rng.below(6) as u8,
+            random_expr(rng, 2),
+        ),
+        3 => Stmt::Unrolled(
+            rng.next_u64() as u8,
+            rng.below(5) as u8,
+            random_expr(rng, 2),
+        ),
         _ => Stmt::Switch(
             random_expr(rng, 2),
             (rng.next_u64() as u8, random_expr(rng, 2)),
@@ -115,7 +127,9 @@ fn random_stmt(rng: &mut SplitMix64, nest: u32) -> Stmt {
 }
 
 fn random_stmts(rng: &mut SplitMix64) -> Vec<Stmt> {
-    (0..rng.range_u64(1, 6)).map(|_| random_stmt(rng, 2)).collect()
+    (0..rng.range_u64(1, 6))
+        .map(|_| random_stmt(rng, 2))
+        .collect()
 }
 
 fn render_stmt(s: &Stmt, dynamic: bool, out: &mut String) {
