@@ -9,11 +9,16 @@
 //!
 //! A second pass repeats the ladder with the process-wide shared
 //! stitched-code cache enabled, where sessions reuse each other's
-//! stitched code instead of re-running set-up + stitching.
+//! stitched code instead of re-running set-up + stitching; a third pass
+//! runs in tiered mode (statically compiled fallback + background stitch
+//! workers), where each session additionally owns a small host worker
+//! pool.
 //!
 //! Usage: `cargo run --release -p dyncomp-bench --bin concurrent_throughput [--smoke]`
 
-use dyncomp::{run_session, Compiler, EngineOptions, KernelSetup, Program, SharedCodeCache};
+use dyncomp::{
+    run_session, Compiler, EngineOptions, KernelSetup, Program, SharedCodeCache, TieredOptions,
+};
 use dyncomp_bench::kernels::{calculator, dispatch, smatmul, sorter, spmv};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -53,18 +58,23 @@ fn main() {
     );
     for (name, setup) in &workloads {
         let program = Arc::new(Compiler::new().compile(setup.src).expect("kernel compiles"));
+        let tiered_program = Arc::new(
+            Compiler::tiered()
+                .compile(setup.src)
+                .expect("kernel compiles tiered"),
+        );
         println!("\n== {name} ==");
-        for shared in [false, true] {
-            let mode = if shared {
-                "shared stitched-code cache"
-            } else {
-                "per-session cache"
+        for mode in [Mode::PerSession, Mode::SharedCache, Mode::Tiered] {
+            let (label, prog) = match mode {
+                Mode::PerSession => ("per-session cache", &program),
+                Mode::SharedCache => ("shared stitched-code cache", &program),
+                Mode::Tiered => ("tiered (1 bg worker, speculative)", &tiered_program),
             };
-            let base = run_ladder(&program, setup, 1, shared);
-            println!("  {mode}:");
+            let base = run_ladder(prog, setup, 1, mode);
+            println!("  {label}:");
             println!("    1 thread : {:>8.1} sessions/s", base.sessions_per_sec);
             for threads in [2usize, 4, 8] {
-                let r = run_ladder(&program, setup, threads, shared);
+                let r = run_ladder(prog, setup, threads, mode);
                 assert_eq!(
                     r.checksum, base.checksum,
                     "{name}: results must not depend on thread count"
@@ -77,6 +87,14 @@ fn main() {
             }
         }
     }
+}
+
+/// How each ladder configures its sessions.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    PerSession,
+    SharedCache,
+    Tiered,
 }
 
 struct LadderResult {
@@ -93,9 +111,13 @@ fn run_ladder(
     program: &Arc<Program>,
     setup: &KernelSetup<'_>,
     threads: usize,
-    shared: bool,
+    mode: Mode,
 ) -> LadderResult {
-    let cache = shared.then(|| Arc::new(SharedCodeCache::default()));
+    let cache = (mode == Mode::SharedCache).then(|| Arc::new(SharedCodeCache::default()));
+    let tiered = (mode == Mode::Tiered).then(|| TieredOptions {
+        speculate: true,
+        ..TieredOptions::default()
+    });
     let next = AtomicUsize::new(0);
     let checksums: Vec<std::sync::Mutex<Option<u64>>> =
         (0..SESSIONS).map(|_| std::sync::Mutex::new(None)).collect();
@@ -109,6 +131,7 @@ fn run_ladder(
                 }
                 let options = EngineOptions {
                     shared_cache: cache.clone(),
+                    tiered: tiered.clone(),
                     ..EngineOptions::default()
                 };
                 let outcome = run_session(program, setup, options).expect("session runs");

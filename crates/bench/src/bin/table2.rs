@@ -3,7 +3,12 @@
 //! `BENCH_table2.json` next to the current directory so the perf
 //! trajectory is tracked across commits.
 //!
-//! Usage: `cargo run --release -p dyncomp-bench --bin table2 [--smoke] [--json <path>]`
+//! Usage: `cargo run --release -p dyncomp-bench --bin table2 [--smoke] [--json <path>] [--check <path>]`
+//!
+//! `--check <path>` compares the freshly rendered JSON against a
+//! committed reference byte-for-byte and exits non-zero on any drift —
+//! every field is simulated-deterministic, so CI uses this to catch
+//! checksum or cycle-accounting regressions.
 
 use dyncomp_bench::{render_table2_json, run_all, table2_header, Scale};
 
@@ -35,10 +40,33 @@ fn main() {
     println!("Columns: speedup (static/dynamic cycles per execution), breakeven point,");
     println!("dynamic compilation overhead as set-up / stitcher cycles (thousands),");
     println!("and overhead cycles per stitched instruction (stitched instruction count).");
-    match std::fs::write(&json_path, render_table2_json(&rows)) {
+    let rendered = render_table2_json(&rows);
+    match std::fs::write(&json_path, &rendered) {
         Ok(()) => println!("wrote {json_path}"),
         Err(e) => {
             eprintln!("table2: cannot write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(p) = args.iter().position(|a| a == "--check") {
+        let reference_path = args.get(p + 1).cloned().unwrap_or_else(|| {
+            eprintln!("table2: --check needs a path");
+            std::process::exit(2);
+        });
+        let reference = std::fs::read_to_string(&reference_path).unwrap_or_else(|e| {
+            eprintln!("table2: cannot read reference {reference_path}: {e}");
+            std::process::exit(2);
+        });
+        if rendered == reference {
+            println!("check: matches {reference_path}");
+        } else {
+            eprintln!("table2: results drifted from {reference_path}:");
+            for (want, got) in reference.lines().zip(rendered.lines()) {
+                if want != got {
+                    eprintln!("  - {want}");
+                    eprintln!("  + {got}");
+                }
+            }
             std::process::exit(1);
         }
     }

@@ -1,0 +1,53 @@
+//! Warm-up latency bench: time-to-first-result, time-to-first-fast and
+//! empirical (effective) breakeven for the synchronous, tiered and
+//! tiered + speculative execution modes, per kernel. Writes the
+//! machine-readable `BENCH_warmup.json`.
+//!
+//! Usage: `cargo run --release -p dyncomp-bench --bin warmup [--smoke] [--json <path>]`
+
+use dyncomp_bench::warmup::{render_warmup_json, run_warmup, warmup_header};
+use dyncomp_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    };
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(p) => args.get(p + 1).cloned().unwrap_or_else(|| {
+            eprintln!("warmup: --json needs a path");
+            std::process::exit(2);
+        }),
+        None => "BENCH_warmup.json".to_string(),
+    };
+    println!("Warm-up latency: sync vs tiered vs tiered+speculative ({scale:?} scale)");
+    println!("{}", warmup_header());
+    println!("{}", "-".repeat(110));
+    let rows = run_warmup(scale).unwrap_or_else(|e| {
+        eprintln!("warmup bench failed: {e}");
+        std::process::exit(1);
+    });
+    let mut last = "";
+    for row in &rows {
+        if row.kernel != last && !last.is_empty() {
+            println!();
+        }
+        last = row.kernel;
+        println!("{}", row.table_row());
+    }
+    println!();
+    println!("Columns: cycles of invocation 1, first invocation cheaper than the static");
+    println!("baseline (and cumulative cycles through it), and the least n where the");
+    println!("mode's cumulative cycles drop to the static baseline's. Tiered modes run");
+    println!("the statically compiled fallback while one background worker stitches");
+    println!("under the deterministic virtual-clock model (see EXPERIMENTS.md).");
+    match std::fs::write(&json_path, render_warmup_json(&rows)) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => {
+            eprintln!("warmup: cannot write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

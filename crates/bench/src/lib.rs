@@ -22,6 +22,8 @@ pub mod kernels {
     pub mod spmv;
 }
 
+pub mod warmup;
+
 pub use dyncomp::KernelMeasurement;
 
 use dyncomp::Error;
@@ -166,7 +168,7 @@ pub fn run_all(scale: Scale) -> Result<Vec<KernelResult>, Error> {
 }
 
 /// Escape a string for a JSON literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -106,3 +106,34 @@ fn shared_cache_preserves_results_across_threads() {
         );
     }
 }
+
+/// Tiered mode must not weaken the determinism guarantee: background
+/// stitch workers make wall-clock progress, but install visibility is
+/// decided on virtual clocks, so eight threaded sessions with tiering
+/// (and speculation) are still bit-identical to the single-threaded run —
+/// checksums, cycle counts, and full reports including tiered counters.
+#[test]
+fn eight_threads_bit_identical_with_tiering() {
+    for (name, setup) in workloads() {
+        let program = Arc::new(Compiler::tiered().compile(setup.src).expect("compiles"));
+        for speculate in [false, true] {
+            let options = EngineOptions {
+                tiered: Some(dyncomp::TieredOptions {
+                    workers: 2,
+                    speculate,
+                    ..dyncomp::TieredOptions::default()
+                }),
+                ..EngineOptions::default()
+            };
+            let reference = run_session(&program, &setup, options.clone()).expect("reference runs");
+            let outcomes = run_threaded(&program, &setup, &options);
+            for (i, o) in outcomes.iter().enumerate() {
+                assert_eq!(
+                    *o, reference,
+                    "{name} (speculate={speculate}): tiered session {i} of {THREADS} \
+                     diverged from the single-threaded run"
+                );
+            }
+        }
+    }
+}

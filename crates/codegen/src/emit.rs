@@ -61,6 +61,9 @@ struct Emitter<'a> {
     tmpl: Option<TemplateBuf>,
     hole_folds: HashMap<InstId, (InstId, u8)>, // hole -> (user, operand pos)
     float_pool_used: bool,
+    // Static fallback entry block per region (tiered lowering): recorded
+    // when a branch conditioned on a `TierProbe` intrinsic is emitted.
+    fallback_blocks: HashMap<dyncomp_ir::RegionId, BlockId>,
 }
 
 struct TemplateBuf {
@@ -155,6 +158,7 @@ pub fn emit_function(
         tmpl: None,
         hole_folds: HashMap::new(),
         float_pool_used: false,
+        fallback_blocks: HashMap::new(),
     };
     em.compute_hole_folds(specs);
 
@@ -233,12 +237,17 @@ pub fn emit_function(
             .iter()
             .map(|&v| em.value_loc(v))
             .collect();
+        let fallback_pc = em
+            .fallback_blocks
+            .get(&s.region)
+            .map(|b| out.label_offsets[&em.labels[b]]);
         regions.push((
             s.region,
             RegionCode {
                 region_index: region_base_index + k as u16,
                 enter_pc,
                 setup_pc,
+                fallback_pc,
                 template: templates.remove(&s.region).expect("template built"),
                 exit_pcs,
                 key_locs,
@@ -936,6 +945,15 @@ impl Emitter<'_> {
                 self.push(Inst::op3(Op::Sqrtt, ZERO, Operand::Reg(fa), fd));
                 self.writeback(e, fd, true);
             }
+            Intrinsic::TierProbe => {
+                // The probe is opaque in the IR but trivial in machine code:
+                // the emitted code always takes the specialized path into the
+                // `EnterRegion` trap, where the engine may redirect to the
+                // fallback copy (recorded via the branch on this probe).
+                let rd = self.def_int(e, 0);
+                self.load_const(rd, 1);
+                self.writeback(e, rd, false);
+            }
         }
         Ok(())
     }
@@ -972,6 +990,18 @@ impl Emitter<'_> {
                 then_b,
                 else_b,
             } => {
+                // A branch on a tier probe marks `else_b` as the static
+                // fallback entry of the probed region (tiered lowering).
+                if let InstKind::CallIntrinsic {
+                    which: Intrinsic::TierProbe,
+                    args,
+                } = self.f.kind(cond)
+                {
+                    if let Some(Const::Int(r)) = args.first().and_then(|&a| self.f.as_const(a)) {
+                        self.fallback_blocks
+                            .insert(dyncomp_ir::RegionId::from_index(r as usize), else_b);
+                    }
+                }
                 let rc = self.read_int(Entity::Val(cond), 0)?;
                 self.asm.branch_to(Op::Bne, rc, self.labels[&then_b]);
                 if next != Some(else_b) {

@@ -153,6 +153,9 @@ pub fn compile_module(
         for (_, mut rc) in emitted.regions {
             rc.enter_pc += base;
             rc.setup_pc += base;
+            if let Some(p) = rc.fallback_pc.as_mut() {
+                *p += base;
+            }
             for pc in rc.exit_pcs.iter_mut() {
                 *pc += base;
             }

@@ -13,6 +13,7 @@ fn build(src: &str) -> (Module, CompiledModule) {
         src,
         &LowerOptions {
             honor_annotations: false,
+            tiered_fallback: false,
         },
     )
     .expect("compiles")

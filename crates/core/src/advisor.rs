@@ -109,6 +109,7 @@ pub fn advise(src: &str) -> Result<Vec<FunctionAdvice>, Error> {
         src,
         &LowerOptions {
             honor_annotations: false,
+            tiered_fallback: false,
         },
     )?;
     let mut module = lowered.module;

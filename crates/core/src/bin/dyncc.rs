@@ -4,6 +4,7 @@
 //! dyncc <file.mc> [--ir] [--templates] [--disasm] [--regions]
 //!                 [--static] [--run <func> [args…]] [--report] [--stitched]
 //!                 [--sessions N] [--threads T] [--shared-cache]
+//!                 [--tiered] [--stitch-workers N] [--speculate]
 //! ```
 //!
 //! * `--ir`        print the final IR of every function
@@ -24,8 +25,15 @@
 //!   the process-wide sharded cache
 //! * `--advise`    ignore annotations and report, per function, what each
 //!   parameter would buy as a run-time constant (the §7 annotation tool)
+//! * `--tiered`    lower statically compiled fallback copies for every
+//!   region and run with background stitch workers: cold entries execute
+//!   the fallback while a worker stitches off-thread (deterministic
+//!   virtual-clock overlap model)
+//! * `--stitch-workers N` background workers for `--tiered` (default 1)
+//! * `--speculate` with `--tiered`, pre-stitch keys predicted by the
+//!   per-region stride/frequency predictor
 
-use dyncomp::{Compiler, Engine, EngineOptions, Session, SharedCodeCache};
+use dyncomp::{Compiler, Engine, EngineOptions, Session, SharedCodeCache, TieredOptions};
 use dyncomp_machine::disasm::disassemble;
 use dyncomp_machine::template::{HoleField, LoopMarker, TmplExit};
 use std::process::exit;
@@ -93,8 +101,11 @@ fn main() {
         exit(0);
     }
 
+    let tiered = flag("--tiered");
     let compiler = if flag("--static") {
         Compiler::static_baseline()
+    } else if tiered {
+        Compiler::tiered()
     } else {
         Compiler::new()
     };
@@ -238,6 +249,11 @@ fn main() {
         };
         let sessions = numeric("--sessions", 1).max(1);
         let threads = numeric("--threads", 1).max(1);
+        let tiered_options = tiered.then(|| TieredOptions {
+            workers: numeric("--stitch-workers", 1).max(1),
+            speculate: flag("--speculate"),
+            ..TieredOptions::default()
+        });
         if sessions > 1 || flag("--shared-cache") {
             run_multi_session(
                 &program,
@@ -246,11 +262,18 @@ fn main() {
                 sessions,
                 threads,
                 flag("--shared-cache"),
+                tiered_options,
             );
             return;
         }
 
-        let mut engine = Engine::new(&program);
+        let mut engine = Engine::with_options(
+            &program,
+            EngineOptions {
+                tiered: tiered_options,
+                ..EngineOptions::default()
+            },
+        );
         let before = engine.cycles();
         match engine.call(func, &call_args) {
             Ok(v) => {
@@ -278,6 +301,17 @@ fn main() {
                      {} instruction(s) stitched",
                     r.stitches, r.setup_cycles, r.stitch_cycles, r.instructions_stitched
                 );
+                if r.fallback_runs > 0 || r.bg_installs > 0 {
+                    println!(
+                        "          tiered: {} fallback run(s), {} background install(s) \
+                         ({} speculative), background set-up {} + stitch {} cycles",
+                        r.fallback_runs,
+                        r.bg_installs,
+                        r.spec_installs,
+                        r.bg_setup_cycles,
+                        r.bg_stitch_cycles
+                    );
+                }
                 let s = r.stitch_stats;
                 println!(
                     "          {} hole(s) inline, {} via table, {} constant branch(es), \
@@ -337,6 +371,7 @@ struct SessionRow {
 /// spread across `threads` host threads, and print per-session cycle
 /// counts. With `shared`, sessions publish and reuse stitched code through
 /// a process-wide [`SharedCodeCache`].
+#[allow(clippy::too_many_arguments)]
 fn run_multi_session(
     program: &Arc<dyncomp::Program>,
     func: &str,
@@ -344,6 +379,7 @@ fn run_multi_session(
     n: usize,
     threads: usize,
     shared: bool,
+    tiered: Option<TieredOptions>,
 ) {
     let cache = shared.then(|| Arc::new(SharedCodeCache::default()));
     let mut rows: Vec<Option<Result<SessionRow, dyncomp::Error>>> = (0..n).map(|_| None).collect();
@@ -351,10 +387,12 @@ fn run_multi_session(
     std::thread::scope(|s| {
         for slots in rows.chunks_mut(chunk) {
             let cache = cache.clone();
+            let tiered = tiered.clone();
             s.spawn(move || {
                 for slot in slots {
                     let options = EngineOptions {
                         shared_cache: cache.clone(),
+                        tiered: tiered.clone(),
                         ..EngineOptions::default()
                     };
                     let mut session = Session::with_options(Arc::clone(program), options);

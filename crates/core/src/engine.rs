@@ -27,6 +27,7 @@
 //! for the sharding and the cycle-accounting caveat).
 
 use crate::cache::{LruOrder, SharedCodeCache, SharedKey};
+use crate::tiered::{TierDecision, TieredOptions, TieredState};
 use crate::{Error, Program};
 use dyncomp_ir::fxhash::FxHashMap;
 use dyncomp_machine::heap::HeapBuilder;
@@ -76,6 +77,14 @@ pub struct EngineOptions {
     /// Cycles charged per code word when installing a shared-cache hit
     /// (the bulk copy + patch relocation).
     pub shared_install_cycles_per_word: u64,
+    /// Tiered execution: on a cold region entry, run the statically
+    /// compiled fallback copy while a background worker stitches (see
+    /// [`crate::tiered`]). `None` (the default) keeps fully synchronous
+    /// set-up + stitching and bit-identical accounting to the paper
+    /// tables. Requires a program compiled with
+    /// [`crate::CompileOptions::tiered_fallback`]; regions without a
+    /// fallback copy fall back to synchronous stitching.
+    pub tiered: Option<TieredOptions>,
 }
 
 impl Default for EngineOptions {
@@ -90,6 +99,7 @@ impl Default for EngineOptions {
             shared_cache: None,
             shared_lookup_cycles: 30,
             shared_install_cycles_per_word: 1,
+            tiered: None,
         }
     }
 }
@@ -142,6 +152,20 @@ struct RegionState {
     /// keyed regions; patched unkeyed regions bypass the trap, so the
     /// session counts their entries via [`Session::call`]'s bookkeeping).
     invocations: u64,
+    /// Entries that ran the statically compiled fallback copy while a
+    /// background stitch was in flight (tiered mode).
+    fallback_runs: u64,
+    /// Instances installed from background workers (tiered mode).
+    bg_installs: u64,
+    /// Of [`RegionState::bg_installs`], those stitched speculatively
+    /// (predicted key, ahead of demand).
+    spec_installs: u64,
+    /// Set-up cycles spent on background forks (worker clocks, never the
+    /// session's — kept separate from [`RegionState::setup_cycles`] so
+    /// synchronous accounting is untouched).
+    bg_setup_cycles: u64,
+    /// Stitch cycles spent on background forks.
+    bg_stitch_cycles: u64,
 }
 
 /// Per-region measurement report (feeds Table 2 / Table 3).
@@ -164,6 +188,20 @@ pub struct RegionReport {
     /// Keyed-cache entries evicted to respect
     /// [`EngineOptions::keyed_cache_capacity`].
     pub evictions: u64,
+    /// Entries that ran the fallback copy while a background stitch was in
+    /// flight (tiered mode; zero in synchronous mode).
+    pub fallback_runs: u64,
+    /// Instances installed from background workers (tiered mode).
+    pub bg_installs: u64,
+    /// Of `bg_installs`, those stitched speculatively from a predicted
+    /// key.
+    pub spec_installs: u64,
+    /// Set-up cycles spent on background forks (worker virtual clocks;
+    /// never added to `setup_cycles`).
+    pub bg_setup_cycles: u64,
+    /// Stitch cycles spent on background forks (never added to
+    /// `stitch_cycles`).
+    pub bg_stitch_cycles: u64,
 }
 
 /// One execution session over a shared, immutable [`Program`].
@@ -181,6 +219,9 @@ pub struct Session<P: Borrow<Program> = Arc<Program>> {
     pub vm: Vm,
     options: EngineOptions,
     regions: Vec<RegionState>,
+    /// Background stitch state; `Some` iff [`EngineOptions::tiered`] was
+    /// configured.
+    tiered: Option<TieredState>,
 }
 
 /// Single-owner compatibility alias: a [`Session`] borrowing the program.
@@ -203,11 +244,16 @@ impl<P: Borrow<Program>> Session<P> {
         let regions = (0..p.compiled.regions.len())
             .map(|_| RegionState::default())
             .collect();
+        let tiered = options
+            .tiered
+            .clone()
+            .map(|t| TieredState::new(&p.compiled.regions, t));
         Session {
             program,
             vm,
             options,
             regions,
+            tiered,
         }
     }
 
@@ -282,7 +328,7 @@ impl<P: Borrow<Program>> Session<P> {
         let rc = &self.program.borrow().compiled.regions[region as usize];
         let key = self.read_key(&rc.key_locs)?;
         let keyed = !rc.key_locs.is_empty();
-        let (setup_pc, key_len) = (rc.setup_pc, rc.key_locs.len());
+        let (setup_pc, fallback_pc, key_len) = (rc.setup_pc, rc.fallback_pc, rc.key_locs.len());
         let st = &mut self.regions[region as usize];
         st.invocations += 1;
         self.vm.cycles += self.options.trap_cycles;
@@ -296,12 +342,16 @@ impl<P: Borrow<Program>> Session<P> {
                     st.lru.touch(entry.lru);
                 }
                 self.vm.pc = entry.base;
+                self.speculate_after(region, &key);
             }
             None => {
                 // Not stitched here yet: consult the process-wide cache
                 // before paying for set-up + stitching.
                 if let Some(stitched) = self.shared_lookup(region, &key) {
-                    self.install_shared(region, key, &stitched)?;
+                    self.install_shared(region, key.clone(), &stitched)?;
+                    self.speculate_after(region, &key);
+                } else if let (true, Some(fallback)) = (self.tiered.is_some(), fallback_pc) {
+                    self.tiered_miss(region, key, fallback, setup_pc)?;
                 } else {
                     let st = &mut self.regions[region as usize];
                     st.pending_key = Some(key);
@@ -311,6 +361,97 @@ impl<P: Borrow<Program>> Session<P> {
             }
         }
         Ok(())
+    }
+
+    /// Tiered mode, cold entry: install a finished background stitch, run
+    /// the fallback copy while one is in flight, or (if the background run
+    /// failed) stitch synchronously. The jobs-map probe piggybacks on the
+    /// trap / keyed-lookup charges already paid by the caller; enqueued
+    /// jobs are charged [`TieredOptions::dispatch_cycles`] each.
+    fn tiered_miss(
+        &mut self,
+        region: u16,
+        key: Vec<u64>,
+        fallback_pc: u32,
+        setup_pc: u32,
+    ) -> Result<(), Error> {
+        let now = self.vm.cycles;
+        let tiered = self.tiered.as_mut().expect("tiered configured");
+        let dispatch = tiered.options().dispatch_cycles;
+        let (decision, enqueued) = tiered.decide(&self.vm, region, &key, &self.options.stitch, now);
+        self.vm.cycles += enqueued * dispatch;
+        match decision {
+            TierDecision::Install {
+                stitched,
+                setup_cycles,
+                stitch_cycles,
+                speculative,
+            } => {
+                // Same bulk copy + relocation (and per-word charge) as a
+                // shared-cache install.
+                let base = self.vm.code.len() as u32;
+                let (code, _lin_addr) = stitched.relocate(base, &mut self.vm.mem)?;
+                self.vm.cycles += self.options.shared_install_cycles_per_word * code.len() as u64;
+                self.vm.append_code(&code);
+                let st = &mut self.regions[region as usize];
+                st.bg_installs += 1;
+                if speculative {
+                    st.spec_installs += 1;
+                }
+                st.bg_setup_cycles += setup_cycles;
+                st.bg_stitch_cycles += stitch_cycles;
+                if let Some(cache) = &self.options.shared_cache {
+                    cache.insert(
+                        SharedKey {
+                            program: self.program.borrow().id(),
+                            region,
+                            key: key.clone(),
+                        },
+                        Arc::clone(&stitched),
+                    );
+                }
+                self.index_instance(region, key.clone(), base, code.len() as u32);
+                self.speculate_after(region, &key);
+            }
+            TierDecision::Fallback => {
+                self.regions[region as usize].fallback_runs += 1;
+                self.speculate_after(region, &key);
+                self.vm.pc = fallback_pc;
+            }
+            TierDecision::Synchronous => {
+                let st = &mut self.regions[region as usize];
+                st.pending_key = Some(key);
+                st.setup_start = self.vm.cycles;
+                self.vm.pc = setup_pc;
+            }
+        }
+        Ok(())
+    }
+
+    /// Tiered mode: feed the region's key predictor and enqueue predicted
+    /// keys (bounded by the in-flight cap), charging dispatch cycles per
+    /// job. No-op when tiering or speculation is off, or the region is
+    /// unkeyed.
+    fn speculate_after(&mut self, region: u16, key: &[u64]) {
+        let Some(tiered) = self.tiered.as_mut() else {
+            return;
+        };
+        if key.is_empty() {
+            return;
+        }
+        let dispatch = tiered.options().dispatch_cycles;
+        let now = self.vm.cycles;
+        let cache = &self.regions[region as usize].cache;
+        let is_cached = |k: &[u64]| cache.contains_key(k);
+        let enqueued = tiered.observe_and_speculate(
+            &self.vm,
+            region,
+            key,
+            &is_cached,
+            &self.options.stitch,
+            now,
+        );
+        self.vm.cycles += enqueued * dispatch;
     }
 
     /// Probe the shared cache (when configured), charging the probe cost.
@@ -434,6 +575,11 @@ impl<P: Borrow<Program>> Session<P> {
             instructions_stitched: st.stitch.instructions_stitched,
             stitch_stats: st.stitch,
             evictions: st.evictions,
+            fallback_runs: st.fallback_runs,
+            bg_installs: st.bg_installs,
+            spec_installs: st.spec_installs,
+            bg_setup_cycles: st.bg_setup_cycles,
+            bg_stitch_cycles: st.bg_stitch_cycles,
         }
     }
 

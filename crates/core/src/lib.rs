@@ -81,14 +81,16 @@ pub mod advisor;
 pub mod cache;
 pub mod engine;
 pub mod measure;
+pub mod tiered;
 
 pub use advisor::{advise, FunctionAdvice, Hypothesis};
 pub use cache::{SharedCacheStats, SharedCodeCache, SharedKey};
 pub use engine::{Engine, EngineOptions, RegionReport, Session};
 pub use measure::{
-    measure_kernel, measure_kernel_full, measure_kernel_with, run_session, KernelMeasurement,
-    KernelSetup, OptProfile, SessionOutcome,
+    measure_kernel, measure_kernel_full, measure_kernel_with, run_session, run_session_trace,
+    KernelMeasurement, KernelSetup, OptProfile, SessionOutcome, SessionTrace,
 };
+pub use tiered::{KeyPredictor, TieredOptions};
 
 use dyncomp_analysis::AnalysisConfig;
 use dyncomp_codegen::CompiledModule;
@@ -160,6 +162,11 @@ pub struct CompileOptions {
     pub optimize: bool,
     /// Constants/reachability analysis configuration (§3.1 / ablation).
     pub analysis: AnalysisConfig,
+    /// Lower a statically compiled fallback copy of each region body so a
+    /// tiered engine can run it while set-up + stitching happen on a
+    /// background worker ([`TieredOptions`]). Off by default: the default
+    /// artifact stays bit-identical to the untiered compiler's output.
+    pub tiered_fallback: bool,
 }
 
 impl Default for CompileOptions {
@@ -168,6 +175,7 @@ impl Default for CompileOptions {
             dynamic: true,
             optimize: true,
             analysis: AnalysisConfig::default(),
+            tiered_fallback: false,
         }
     }
 }
@@ -199,6 +207,15 @@ impl Compiler {
         })
     }
 
+    /// A compiler producing a tiered artifact: annotations honored, plus a
+    /// statically compiled fallback copy per region for the tiered engine.
+    pub fn tiered() -> Self {
+        Compiler::with_options(CompileOptions {
+            tiered_fallback: true,
+            ..Default::default()
+        })
+    }
+
     /// Compile MiniC source through the full static pipeline.
     ///
     /// # Errors
@@ -209,6 +226,7 @@ impl Compiler {
             src,
             &LowerOptions {
                 honor_annotations: self.options.dynamic,
+                tiered_fallback: self.options.tiered_fallback,
             },
         )?;
         let mut module = lowered.module;

@@ -249,6 +249,64 @@ pub struct SessionOutcome {
     pub reports: Vec<RegionReport>,
 }
 
+/// A [`run_session`] run with the per-invocation cycle trace kept: what
+/// the warm-up/latency analyses consume (time to first result, time to
+/// first fast execution, empirical breakeven).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionTrace {
+    /// FNV-style checksum over every invocation's result, in order.
+    pub checksum: u64,
+    /// Simulated cycles of each invocation, in call order.
+    pub per_call_cycles: Vec<u64>,
+    /// Per-region measurement reports.
+    pub reports: Vec<RegionReport>,
+}
+
+/// Like [`run_session`], but recording each invocation's cycle cost
+/// individually.
+///
+/// Each invocation is charged the stitcher cycles its traps incurred:
+/// synchronous stitching happens on the critical path, so the trace
+/// reflects Table 2's overhead accounting (set-up runs on the VM clock
+/// already; stitcher cycles are cost-model accounted). Background
+/// stitches in tiered mode spend their cycles on worker clocks and are
+/// correctly absent from the trace.
+///
+/// # Errors
+/// Execution failure (VM fault, stitch failure, unknown function).
+pub fn run_session_trace(
+    program: &Arc<Program>,
+    setup: &KernelSetup<'_>,
+    options: EngineOptions,
+) -> Result<SessionTrace, Error> {
+    let mut session = Session::with_options(Arc::clone(program), options);
+    let prepared = (setup.prepare)(&mut session);
+    let mut checksum = 0u64;
+    let mut per_call_cycles = Vec::with_capacity(setup.iterations as usize);
+    let stitched_so_far = |s: &Session| -> u64 {
+        (0..s.program().region_count())
+            .map(|i| s.region_report(i).stitch_cycles)
+            .sum()
+    };
+    for i in 0..setup.iterations {
+        let args = (setup.args)(i, &prepared);
+        let before = session.cycles();
+        let stitch_before = stitched_so_far(&session);
+        let r = session.call(setup.func, &args)?;
+        let stitch_in_call = stitched_so_far(&session) - stitch_before;
+        per_call_cycles.push(session.cycles() - before + stitch_in_call);
+        checksum = checksum.wrapping_mul(1099511628211).wrapping_add(r);
+    }
+    let reports = (0..program.region_count())
+        .map(|i| session.region_report(i))
+        .collect();
+    Ok(SessionTrace {
+        checksum,
+        per_call_cycles,
+        reports,
+    })
+}
+
 /// Run one complete session of a kernel workload over a shared program:
 /// fresh [`Session`], prepare data, run every invocation, collect region
 /// reports. This is the unit the concurrency harnesses replicate across

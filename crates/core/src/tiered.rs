@@ -1,0 +1,612 @@
+//! Tiered execution: background stitch workers and speculative
+//! pre-stitching of predicted keys.
+//!
+//! In tiered mode a session entering a cold dynamic region does not stall
+//! for set-up + stitching: it enqueues a *stitch job* — a forked snapshot
+//! of the whole simulated machine — to a pool of host worker threads and
+//! immediately resumes in the region's statically compiled fallback copy
+//! (lowered behind a [`dyncomp_ir::Intrinsic::TierProbe`] guard, entered by
+//! redirecting the `EnterRegion` trap to `RegionCode::fallback_pc`). The
+//! worker runs the region's set-up code on the fork, stitches into the
+//! fork's detached memory, and replies with a relocatable
+//! [`Stitched`] artifact; a later entry installs it via the same
+//! bulk-copy + patch relocation path the shared cache uses.
+//!
+//! # Deterministic overlap model
+//!
+//! Host threads make wall-clock progress, but *when* a stitched instance
+//! becomes visible to the session is decided purely on virtual clocks, so
+//! tiered runs are exactly repeatable and independent of host scheduling:
+//!
+//! * Jobs are numbered in enqueue order, stamped with the session's cycle
+//!   counter at enqueue time (after the trap/lookup/dispatch charges).
+//! * Each of the `workers` *virtual* workers owns a clock starting at 0.
+//!   Jobs are assigned strictly in enqueue order to the virtual worker
+//!   with the smallest clock (ties: lowest index); the job's completion
+//!   time is `max(worker_clock, enqueue_cycles) + setup_cycles +
+//!   stitch_cycles`, both measured on the fork, and the worker's clock
+//!   advances to it.
+//! * An entry picks up a finished job only once the session's own cycle
+//!   counter has passed that completion time (`ready_at`); until then it
+//!   keeps running the fallback. Host completion is awaited (a blocking
+//!   `recv`) only at resolution points, which affects wall-clock time but
+//!   never simulated results.
+//!
+//! The session is charged [`TieredOptions::dispatch_cycles`] per enqueued
+//! job and the shared-cache constants
+//! ([`crate::EngineOptions::shared_install_cycles_per_word`]) per installed
+//! word; the worker's set-up and stitch cycles are spent on the worker's
+//! clock, never the session's.
+//!
+//! # Speculative pre-stitching
+//!
+//! Keyed regions feed every observed key tuple to a per-region
+//! [`KeyPredictor`] (element-wise stride + bounded frequency table). With
+//! [`TieredOptions::speculate`] on, predicted keys are enqueued before they
+//! are demanded, capped by [`TieredOptions::max_inflight`], so e.g. a
+//! `1..100` scalar sweep has key *k+1* stitched by the time it arrives.
+//! Speculation relies on the same invariant the keyed cache already
+//! assumes: the key tuple (together with the region's other run-time
+//! constants, which are taken from the forked snapshot) fully determines
+//! the stitched code.
+
+use dyncomp_ir::fxhash::FxHashMap;
+use dyncomp_machine::isa::{CTP, SP};
+use dyncomp_machine::template::{RegionCode, ValueLoc};
+use dyncomp_machine::vm::{Stop, Vm};
+use dyncomp_stitcher::{StitchOptions, Stitched};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Tiered-mode configuration ([`crate::EngineOptions::tiered`]).
+#[derive(Clone, Debug)]
+pub struct TieredOptions {
+    /// Number of background stitch workers (host threads *and* virtual
+    /// worker clocks; the virtual count is what the cycle model sees).
+    pub workers: usize,
+    /// Enqueue predicted keys ahead of demand.
+    pub speculate: bool,
+    /// How many keys ahead the stride predictor enqueues per entry.
+    pub speculate_depth: usize,
+    /// Cap on outstanding (unresolved) speculative jobs per session; no
+    /// unbounded queue growth regardless of the key stream.
+    pub max_inflight: usize,
+    /// Cycles the session is charged per job it enqueues (snapshotting and
+    /// queuing in the trap handler).
+    pub dispatch_cycles: u64,
+    /// Instruction budget for each background fork (a runaway set-up loop
+    /// fails the job instead of hanging a worker).
+    pub job_fuel: u64,
+}
+
+impl Default for TieredOptions {
+    fn default() -> Self {
+        TieredOptions {
+            workers: 1,
+            speculate: false,
+            speculate_depth: 4,
+            max_inflight: 8,
+            dispatch_cycles: 25,
+            job_fuel: 2_000_000_000,
+        }
+    }
+}
+
+/// Lightweight per-region key predictor: element-wise stride over the last
+/// two keys plus a bounded frequency table. All arithmetic wraps, so
+/// adversarial key streams cannot panic.
+#[derive(Debug, Default)]
+pub struct KeyPredictor {
+    last: Option<Vec<u64>>,
+    stride: Option<Vec<u64>>,
+    /// A stride is only predicted from once it has repeated (two equal
+    /// consecutive deltas); an alternating key stream therefore falls
+    /// through to the frequency table instead of chasing a bogus stride.
+    stride_confirmed: bool,
+    freq: FxHashMap<Vec<u64>, u32>,
+}
+
+/// Bound on the frequency table; beyond it new keys are not tracked.
+const FREQ_CAP: usize = 256;
+
+impl KeyPredictor {
+    /// Record an observed key tuple.
+    pub fn observe(&mut self, key: &[u64]) {
+        if let Some(last) = &self.last {
+            if last.len() == key.len() {
+                let stride: Vec<u64> = key
+                    .iter()
+                    .zip(last.iter())
+                    .map(|(a, b)| a.wrapping_sub(*b))
+                    .collect();
+                self.stride_confirmed = self.stride.as_ref() == Some(&stride);
+                self.stride = Some(stride);
+            } else {
+                self.stride = None;
+                self.stride_confirmed = false;
+            }
+        }
+        self.last = Some(key.to_vec());
+        if self.freq.len() < FREQ_CAP || self.freq.contains_key(key) {
+            *self.freq.entry(key.to_vec()).or_insert(0) += 1;
+        }
+    }
+
+    /// Predict up to `depth` likely-next key tuples, most likely first:
+    /// the stride sequence continued from the last key, then the most
+    /// frequent previously seen keys. Deterministic for a given history.
+    pub fn predict(&self, depth: usize) -> Vec<Vec<u64>> {
+        let mut out: Vec<Vec<u64>> = Vec::new();
+        if let (Some(last), Some(stride)) = (&self.last, &self.stride) {
+            if self.stride_confirmed && stride.iter().any(|&s| s != 0) {
+                let mut k = last.clone();
+                for _ in 0..depth {
+                    for (x, s) in k.iter_mut().zip(stride.iter()) {
+                        *x = x.wrapping_add(*s);
+                    }
+                    out.push(k.clone());
+                }
+            }
+        }
+        // Frequency fallback: recurring keys not already predicted (covers
+        // alternating patterns the single stride misses).
+        if out.len() < depth {
+            let mut by_freq: Vec<(&Vec<u64>, u32)> =
+                self.freq.iter().map(|(k, &c)| (k, c)).collect();
+            by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+            for (k, c) in by_freq {
+                if out.len() >= depth {
+                    break;
+                }
+                if c < 2 || Some(k) == self.last.as_ref() || out.iter().any(|o| o == k) {
+                    continue;
+                }
+                out.push(k.clone());
+            }
+        }
+        out
+    }
+}
+
+/// What a worker produces for one job.
+struct JobOutput {
+    stitched: Stitched,
+    setup_cycles: u64,
+}
+
+type JobReply = Result<JobOutput, String>;
+
+/// A stitch job shipped to the worker pool: a forked machine plus
+/// everything needed to run set-up and stitch detached from the session.
+struct JobRequest {
+    fork: Box<Vm>,
+    rc: Arc<RegionCode>,
+    stitch_opts: StitchOptions,
+    /// `Some` for speculative jobs: write these key values over the key
+    /// locations before running set-up (the reverse of `read_key`).
+    key_override: Option<Vec<u64>>,
+    job_fuel: u64,
+    reply: mpsc::Sender<JobReply>,
+}
+
+fn run_job(req: JobRequest) -> JobReply {
+    let JobRequest {
+        mut fork,
+        rc,
+        stitch_opts,
+        key_override,
+        job_fuel,
+        ..
+    } = req;
+    if let Some(key) = &key_override {
+        for (loc, &v) in rc.key_locs.iter().zip(key.iter()) {
+            match *loc {
+                ValueLoc::Reg(r) => fork.set_reg(r, v),
+                ValueLoc::FReg(r) => fork.set_freg(r, f64::from_bits(v)),
+                ValueLoc::Frame(off) => fork
+                    .mem
+                    .write_u64(fork.reg(SP).wrapping_add(off as i64 as u64), v)
+                    .map_err(|e| format!("speculative key spill: {e}"))?,
+            }
+        }
+    }
+    fork.pc = rc.setup_pc;
+    fork.cycles = 0;
+    fork.fuel = job_fuel;
+    match fork.run() {
+        Ok(Stop::EndSetup { region }) if region == rc.region_index => {}
+        Ok(stop) => return Err(format!("unexpected stop in background set-up: {stop:?}")),
+        Err(e) => return Err(format!("background set-up failed: {e}")),
+    }
+    let setup_cycles = fork.cycles;
+    let table = fork.reg(CTP);
+    // Stitch into the fork's detached code space / memory; the linearized
+    // table is rebuilt in the installing session by `Stitched::relocate`.
+    let base = fork.code.len() as u32;
+    let stitched = dyncomp_stitcher::stitch(&rc, table, &mut fork.mem, base, &stitch_opts)
+        .map_err(|e| format!("background stitch failed: {e}"))?;
+    Ok(JobOutput {
+        stitched,
+        setup_cycles,
+    })
+}
+
+/// A pool of host worker threads consuming [`JobRequest`]s.
+struct WorkerPool {
+    tx: Option<mpsc::Sender<JobRequest>>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        let (tx, rx) = mpsc::channel::<JobRequest>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                thread::spawn(move || loop {
+                    let req = match rx.lock().expect("worker queue lock").recv() {
+                        Ok(r) => r,
+                        Err(_) => break, // pool dropped
+                    };
+                    let reply = req.reply.clone();
+                    let _ = reply.send(run_job(req));
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    fn submit(&self, req: JobRequest) {
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(req)
+            .expect("worker pool accepts jobs");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // workers see a closed queue and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// State of one enqueued job, keyed by `(region, key)`.
+enum JobState {
+    /// Submitted; not yet resolved against the virtual worker clocks.
+    Pending,
+    /// Finished: installable once the session clock reaches `ready_at`.
+    Ready {
+        stitched: Arc<Stitched>,
+        ready_at: u64,
+        setup_cycles: u64,
+        stitch_cycles: u64,
+        speculative: bool,
+    },
+    /// The background run failed; the entry falls back to synchronous
+    /// set-up so the failure (if real) reproduces deterministically.
+    Failed,
+}
+
+/// An unresolved job in enqueue order. The receiver is wrapped in a
+/// `Mutex` only to keep `Session` `Sync`; it is consumed exactly once, at
+/// resolution, by whoever holds the session mutably.
+struct QueuedJob {
+    region: u16,
+    key: Vec<u64>,
+    enqueue_cycles: u64,
+    speculative: bool,
+    rx: Mutex<mpsc::Receiver<JobReply>>,
+}
+
+/// Result of asking the tiered state how to handle a cold keyed entry.
+pub(crate) enum TierDecision {
+    /// A finished instance is ready: install it.
+    Install {
+        /// The relocatable instance.
+        stitched: Arc<Stitched>,
+        /// Fork-measured set-up cycles (reporting only).
+        setup_cycles: u64,
+        /// Fork-measured stitch cycles (reporting only).
+        stitch_cycles: u64,
+        /// Whether the job was enqueued speculatively.
+        speculative: bool,
+    },
+    /// Keep running the fallback copy (job in flight or just enqueued).
+    Fallback,
+    /// No background path (job failed): run set-up synchronously.
+    Synchronous,
+}
+
+/// Per-session tiered run-time state: the worker pool, virtual worker
+/// clocks, outstanding jobs and per-region key predictors.
+pub(crate) struct TieredState {
+    opts: TieredOptions,
+    pool: WorkerPool,
+    /// One immutable region descriptor per region, shareable with workers.
+    rcs: Vec<Arc<RegionCode>>,
+    /// Virtual worker clocks (cycle model; see module docs).
+    clocks: Vec<u64>,
+    /// Unresolved jobs, strictly in enqueue order.
+    queue: VecDeque<QueuedJob>,
+    /// All jobs ever enqueued and not yet consumed, by `(region, key)`.
+    jobs: FxHashMap<(u16, Vec<u64>), JobState>,
+    /// Per-region key predictors.
+    predictors: Vec<KeyPredictor>,
+    /// Outstanding (unresolved) speculative jobs.
+    spec_inflight: usize,
+}
+
+impl TieredState {
+    pub(crate) fn new(regions: &[RegionCode], opts: TieredOptions) -> Self {
+        let workers = opts.workers.max(1);
+        TieredState {
+            opts,
+            pool: WorkerPool::new(workers),
+            rcs: regions.iter().map(|rc| Arc::new(rc.clone())).collect(),
+            clocks: vec![0; workers],
+            queue: VecDeque::new(),
+            jobs: FxHashMap::default(),
+            predictors: regions.iter().map(|_| KeyPredictor::default()).collect(),
+            spec_inflight: 0,
+        }
+    }
+
+    pub(crate) fn options(&self) -> &TieredOptions {
+        &self.opts
+    }
+
+    /// Whether a job for `(region, key)` is already tracked.
+    fn has_job(&self, region: u16, key: &[u64]) -> bool {
+        self.jobs.contains_key(&(region, key.to_vec()))
+    }
+
+    /// Enqueue a stitch job on a fork of `vm`. `key_override` is `Some`
+    /// for speculative keys. `now` is the session cycle counter *after*
+    /// the dispatch charge.
+    fn enqueue(
+        &mut self,
+        vm: &Vm,
+        region: u16,
+        key: Vec<u64>,
+        speculative: bool,
+        stitch_opts: &StitchOptions,
+        now: u64,
+    ) {
+        let (tx, rx) = mpsc::channel();
+        self.pool.submit(JobRequest {
+            fork: Box::new(vm.clone()),
+            rc: Arc::clone(&self.rcs[region as usize]),
+            stitch_opts: stitch_opts.clone(),
+            key_override: speculative.then(|| key.clone()),
+            job_fuel: self.opts.job_fuel,
+            reply: tx,
+        });
+        self.queue.push_back(QueuedJob {
+            region,
+            key: key.clone(),
+            enqueue_cycles: now,
+            speculative,
+            rx: Mutex::new(rx),
+        });
+        self.jobs.insert((region, key), JobState::Pending);
+        if speculative {
+            self.spec_inflight += 1;
+        }
+    }
+
+    /// Resolve unresolved jobs, in enqueue order, up to and including the
+    /// job for `(region, key)`. Blocks on host completion (wall clock
+    /// only); virtual completion times come from the worker clocks.
+    fn resolve_until(&mut self, region: u16, key: &[u64]) {
+        while let Some(front) = self.queue.front() {
+            let target = front.region == region && front.key == key;
+            let job = self.queue.pop_front().expect("front exists");
+            let reply = job
+                .rx
+                .into_inner()
+                .expect("receiver unpoisoned")
+                .recv()
+                .expect("worker replies");
+            let slot = self
+                .jobs
+                .get_mut(&(job.region, job.key.clone()))
+                .expect("queued job tracked");
+            if job.speculative {
+                self.spec_inflight -= 1;
+            }
+            *slot = match reply {
+                Ok(out) => {
+                    let stitch_cycles = out.stitched.stats.cycles;
+                    // Min-clock virtual worker assignment (ties: lowest
+                    // index) — deterministic, host-independent.
+                    let w = (0..self.clocks.len())
+                        .min_by_key(|&i| self.clocks[i])
+                        .expect("at least one worker");
+                    let ready_at =
+                        self.clocks[w].max(job.enqueue_cycles) + out.setup_cycles + stitch_cycles;
+                    self.clocks[w] = ready_at;
+                    JobState::Ready {
+                        stitched: Arc::new(out.stitched),
+                        ready_at,
+                        setup_cycles: out.setup_cycles,
+                        stitch_cycles,
+                        speculative: job.speculative,
+                    }
+                }
+                Err(_) => JobState::Failed,
+            };
+            if target {
+                return;
+            }
+        }
+    }
+
+    /// Decide how a cold entry to `(region, key)` proceeds, enqueuing a
+    /// demand job if none exists. `now` is the session cycle counter after
+    /// the trap/lookup charges; the caller adds the dispatch charge that
+    /// [`TierDecision::Fallback`] with a fresh job implies via
+    /// [`TieredState::charge_for_enqueues`].
+    pub(crate) fn decide(
+        &mut self,
+        vm: &Vm,
+        region: u16,
+        key: &[u64],
+        stitch_opts: &StitchOptions,
+        now: u64,
+    ) -> (TierDecision, u64) {
+        let mut enqueued = 0u64;
+        if !self.has_job(region, key) {
+            let at = now + self.opts.dispatch_cycles;
+            self.enqueue(vm, region, key.to_vec(), false, stitch_opts, at);
+            enqueued = 1;
+            return (TierDecision::Fallback, enqueued);
+        }
+        if matches!(
+            self.jobs.get(&(region, key.to_vec())),
+            Some(JobState::Pending)
+        ) {
+            self.resolve_until(region, key);
+        }
+        let decision = match self.jobs.get(&(region, key.to_vec())) {
+            Some(JobState::Ready { ready_at, .. }) if *ready_at <= now => {
+                match self.jobs.remove(&(region, key.to_vec())) {
+                    Some(JobState::Ready {
+                        stitched,
+                        setup_cycles,
+                        stitch_cycles,
+                        speculative,
+                        ..
+                    }) => TierDecision::Install {
+                        stitched,
+                        setup_cycles,
+                        stitch_cycles,
+                        speculative,
+                    },
+                    _ => unreachable!("checked above"),
+                }
+            }
+            Some(JobState::Ready { .. }) => TierDecision::Fallback,
+            Some(JobState::Pending) => TierDecision::Fallback,
+            Some(JobState::Failed) | None => {
+                self.jobs.remove(&(region, key.to_vec()));
+                TierDecision::Synchronous
+            }
+        };
+        (decision, enqueued)
+    }
+
+    /// Feed the predictor for `region` with an observed key and, with
+    /// speculation enabled, enqueue predicted keys that are neither cached
+    /// (`is_cached`) nor already jobbed, up to the in-flight cap. Returns
+    /// the number of jobs enqueued (the caller charges dispatch cycles for
+    /// each).
+    pub(crate) fn observe_and_speculate(
+        &mut self,
+        vm: &Vm,
+        region: u16,
+        key: &[u64],
+        is_cached: &dyn Fn(&[u64]) -> bool,
+        stitch_opts: &StitchOptions,
+        now: u64,
+    ) -> u64 {
+        if key.is_empty() {
+            return 0;
+        }
+        self.predictors[region as usize].observe(key);
+        if !self.opts.speculate {
+            return 0;
+        }
+        let mut enqueued = 0u64;
+        for pk in self.predictors[region as usize].predict(self.opts.speculate_depth) {
+            if self.spec_inflight >= self.opts.max_inflight {
+                break;
+            }
+            if pk.as_slice() == key || is_cached(&pk) || self.has_job(region, &pk) {
+                continue;
+            }
+            let at = now + (enqueued + 1) * self.opts.dispatch_cycles;
+            self.enqueue(vm, region, pk, true, stitch_opts, at);
+            enqueued += 1;
+        }
+        enqueued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_follows_strides() {
+        let mut p = KeyPredictor::default();
+        for k in 1..=5u64 {
+            p.observe(&[k, 100]);
+        }
+        let pred = p.predict(3);
+        assert_eq!(pred[..3], [vec![6, 100], vec![7, 100], vec![8, 100]]);
+    }
+
+    #[test]
+    fn predictor_constant_repeats_predict_nothing_new() {
+        let mut p = KeyPredictor::default();
+        for _ in 0..10 {
+            p.observe(&[42]);
+        }
+        // Zero stride and the only frequent key is the last one: nothing
+        // useful to pre-stitch.
+        assert!(p.predict(4).is_empty());
+    }
+
+    #[test]
+    fn predictor_alternating_uses_frequency() {
+        let mut p = KeyPredictor::default();
+        for i in 0..10u64 {
+            p.observe(&[if i % 2 == 0 { 7 } else { 9 }]);
+        }
+        // Stride alternates ±2; the frequency table still knows both keys.
+        let pred = p.predict(4);
+        assert!(pred.contains(&vec![7]) || pred.contains(&vec![9]));
+    }
+
+    #[test]
+    fn predictor_survives_adversarial_streams() {
+        // Wrapping arithmetic + bounded tables: no panics, no unbounded
+        // growth, whatever the stream.
+        let mut p = KeyPredictor::default();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for i in 0..10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Mix lengths and extreme values.
+            match i % 4 {
+                0 => p.observe(&[x]),
+                1 => p.observe(&[u64::MAX, 0, x]),
+                2 => p.observe(&[]),
+                _ => p.observe(&[x, x.wrapping_mul(i)]),
+            }
+            let _ = p.predict(4);
+        }
+        assert!(p.freq.len() <= FREQ_CAP);
+    }
+
+    #[test]
+    fn predictor_wrapping_stride_at_extremes() {
+        let mut p = KeyPredictor::default();
+        p.observe(&[u64::MAX - 2]);
+        p.observe(&[u64::MAX - 1]);
+        p.observe(&[u64::MAX]);
+        let pred = p.predict(2);
+        assert_eq!(pred[..2], [vec![0], vec![1]]); // wraps, no panic
+    }
+}

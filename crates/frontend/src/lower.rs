@@ -30,12 +30,20 @@ pub struct LowerOptions {
     /// Honor `dynamicRegion`/`unrolled`/`dynamic` annotations. When false
     /// the program lowers as plain C (the static baseline).
     pub honor_annotations: bool,
+    /// Also lower a statically compiled *fallback copy* of every dynamic
+    /// region body, guarded by an opaque [`Intrinsic::TierProbe`] branch.
+    /// The tiered engine redirects a cold `EnterRegion` trap to the
+    /// fallback while set-up + stitching run on a background worker. Only
+    /// meaningful with `honor_annotations`; off by default (the default
+    /// lowering stays byte-identical to the untiered compiler).
+    pub tiered_fallback: bool,
 }
 
 impl Default for LowerOptions {
     fn default() -> Self {
         LowerOptions {
             honor_annotations: true,
+            tiered_fallback: false,
         }
     }
 }
@@ -185,6 +193,8 @@ pub fn lower(prog: &Program, opts: &LowerOptions) -> Result<Lowered, LowerError>
                 label_region: HashMap::new(),
                 frame_names: HashSet::new(),
                 ret_ty: funcs[name].1.clone(),
+                suppress_annotations: false,
+                label_ns: String::new(),
             };
             lw.cur = lw.f.entry;
             lw.collect_frame_names(body, params);
@@ -289,6 +299,13 @@ struct FnLowerer<'a> {
     label_region: HashMap<String, u32>,
     frame_names: HashSet<String>,
     ret_ty: CType,
+    /// Set while lowering a tiered fallback copy of a region body: the
+    /// copy is plain static code, so `unrolled`/`dynamic` annotations and
+    /// nested `dynamicRegion`s inside it are ignored rather than honored.
+    suppress_annotations: bool,
+    /// Label namespace prefix, non-empty while lowering a fallback copy so
+    /// the duplicated body's labels don't collide with the original's.
+    label_ns: String,
 }
 
 impl FnLowerer<'_> {
@@ -300,6 +317,21 @@ impl FnLowerer<'_> {
 
     fn iconst(&mut self, v: i64) -> InstId {
         self.emit(InstKind::Const(dyncomp_ir::Const::Int(v)))
+    }
+
+    /// Whether dynamic-compilation annotations are honored at this point:
+    /// globally enabled and not inside a tiered fallback copy.
+    fn honor(&self) -> bool {
+        self.opts.honor_annotations && !self.suppress_annotations
+    }
+
+    /// The label key for source label `l` in the current label namespace.
+    fn label_key(&self, l: &str) -> String {
+        if self.label_ns.is_empty() {
+            l.to_string()
+        } else {
+            format!("{}{}", self.label_ns, l)
+        }
     }
 
     fn new_block(&mut self) -> BlockId {
@@ -621,7 +653,7 @@ impl FnLowerer<'_> {
                     self.stmt(i)?;
                 }
                 let header = self.jump_to_new();
-                if *unrolled && self.opts.honor_annotations {
+                if *unrolled && self.honor() {
                     if cond.is_none() {
                         return self.err("unrolled for-loop requires a condition");
                     }
@@ -748,48 +780,51 @@ impl FnLowerer<'_> {
                 self.start_block(dead);
             }
             Stmt::Goto(l) => {
+                let key = self.label_key(l);
                 let depth = self.region_depth;
-                if let Some(&d) = self.label_region.get(l) {
+                if let Some(&d) = self.label_region.get(&key) {
                     if d != depth {
                         return self.err(format!("goto `{l}` crosses a dynamicRegion boundary"));
                     }
                 } else {
-                    self.label_region.insert(l.clone(), depth);
+                    self.label_region.insert(key.clone(), depth);
                 }
                 let b = *self
                     .labels
-                    .entry(l.clone())
+                    .entry(key)
                     .or_insert_with(|| self.f.blocks.push(dyncomp_ir::Block::new()));
                 self.terminate(Terminator::Jump(b));
                 let dead = self.new_block();
                 self.start_block(dead);
             }
             Stmt::Label(l, inner) => {
-                if self.defined_labels.contains(l) {
+                let key = self.label_key(l);
+                if self.defined_labels.contains(&key) {
                     return self.err(format!("duplicate label `{l}`"));
                 }
                 let depth = self.region_depth;
-                if let Some(&d) = self.label_region.get(l) {
+                if let Some(&d) = self.label_region.get(&key) {
                     if d != depth {
                         return self.err(format!(
                             "label `{l}` targeted from across a dynamicRegion boundary"
                         ));
                     }
                 } else {
-                    self.label_region.insert(l.clone(), depth);
+                    self.label_region.insert(key.clone(), depth);
                 }
-                self.defined_labels.insert(l.clone());
+                self.defined_labels.insert(key.clone());
                 let b = *self
                     .labels
-                    .entry(l.clone())
+                    .entry(key)
                     .or_insert_with(|| self.f.blocks.push(dyncomp_ir::Block::new()));
                 self.terminate(Terminator::Jump(b));
                 self.start_block(b);
                 self.stmt(inner)?;
             }
             Stmt::DynamicRegion { consts, keys, body } => {
-                if !self.opts.honor_annotations {
-                    // Static baseline: lower as a plain block.
+                if !self.honor() {
+                    // Static baseline (or tiered fallback copy): lower as a
+                    // plain block.
                     self.stmt(body)?;
                     return Ok(());
                 }
@@ -823,8 +858,30 @@ impl FnLowerer<'_> {
                             .unwrap()
                     })
                     .collect();
+                // Tiered lowering guards the region with an opaque probe
+                // branching to a statically compiled fallback copy of the
+                // body. Fallback and join blocks are created *before* the
+                // region's blocks so the region's contiguous block index
+                // range excludes them.
+                let guard = if self.opts.tiered_fallback {
+                    let probe_arg = self.iconst(self.f.regions.len() as i64);
+                    let probe = self.emit(InstKind::CallIntrinsic {
+                        which: Intrinsic::TierProbe,
+                        args: vec![probe_arg],
+                    });
+                    Some((probe, self.new_block(), self.new_block()))
+                } else {
+                    None
+                };
                 let entry = self.new_block();
-                self.terminate(Terminator::Jump(entry));
+                match guard {
+                    Some((probe, fallback, _)) => self.terminate(Terminator::Branch {
+                        cond: probe,
+                        then_b: entry,
+                        else_b: fallback,
+                    }),
+                    None => self.terminate(Terminator::Jump(entry)),
+                }
                 self.start_block(entry);
                 let first_region_block = entry;
                 self.region_depth = 1;
@@ -846,6 +903,23 @@ impl FnLowerer<'_> {
                     key_roots: key_ids,
                 });
                 self.start_block(exit);
+                if let Some((_, fallback, join)) = guard {
+                    // Lower the fallback copy: the same body as plain static
+                    // code (annotations suppressed), with labels renamed into
+                    // a per-region namespace so the duplicate body doesn't
+                    // collide with the original's labels.
+                    self.terminate(Terminator::Jump(join));
+                    self.start_block(fallback);
+                    let ns = format!("$fb{}$", self.f.regions.len() - 1);
+                    let saved_ns = std::mem::replace(&mut self.label_ns, ns);
+                    self.suppress_annotations = true;
+                    let r = self.stmt(body);
+                    self.suppress_annotations = false;
+                    self.label_ns = saved_ns;
+                    r?;
+                    self.terminate(Terminator::Jump(join));
+                    self.start_block(join);
+                }
             }
         }
         Ok(())
@@ -1305,7 +1379,7 @@ impl FnLowerer<'_> {
                 Ok(LValue::Mem {
                     addr: v,
                     ty: p,
-                    dynamic: *dynamic && self.opts.honor_annotations,
+                    dynamic: *dynamic && self.honor(),
                 })
             }
             Expr::Index {
@@ -1325,7 +1399,7 @@ impl FnLowerer<'_> {
                 Ok(LValue::Mem {
                     addr,
                     ty: elem,
-                    dynamic: *dynamic && self.opts.honor_annotations,
+                    dynamic: *dynamic && self.honor(),
                 })
             }
             Expr::Member {
@@ -1352,7 +1426,7 @@ impl FnLowerer<'_> {
                 Ok(LValue::Mem {
                     addr,
                     ty: fty,
-                    dynamic: *dynamic && self.opts.honor_annotations,
+                    dynamic: *dynamic && self.honor(),
                 })
             }
             _ => self.err("expression is not an lvalue"),

@@ -335,6 +335,7 @@ fn static_mode_ignores_annotations() {
         src,
         &LowerOptions {
             honor_annotations: false,
+            tiered_fallback: false,
         },
     )
     .unwrap();

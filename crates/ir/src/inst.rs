@@ -99,19 +99,29 @@ pub enum Intrinsic {
     Abs,
     /// Float square root (pure).
     Sqrt,
+    /// Tier probe (compiler-internal, not user-callable): emitted before a
+    /// dynamic region when the program is lowered with a tiered fallback
+    /// copy. Its single argument is the function-local region index (a
+    /// compile-time constant); its result selects between the specialized
+    /// entry (non-zero) and the static fallback copy (zero). It is opaque
+    /// to every optimization — never specializable, never folded — so the
+    /// fallback copy survives to code generation, where the probe is
+    /// materialized as the constant 1 and the run-time engine redirects
+    /// control at the `EnterRegion` trap instead.
+    TierProbe,
 }
 
 impl Intrinsic {
     /// Whether a call's result may be a run-time constant when its
     /// arguments are (§3.1's idempotent/side-effect-free/non-trapping test).
     pub fn is_specializable(self) -> bool {
-        !matches!(self, Intrinsic::Alloc)
+        !matches!(self, Intrinsic::Alloc | Intrinsic::TierProbe)
     }
 
     /// Number of arguments.
     pub fn arity(self) -> usize {
         match self {
-            Intrinsic::Alloc | Intrinsic::Abs | Intrinsic::Sqrt => 1,
+            Intrinsic::Alloc | Intrinsic::Abs | Intrinsic::Sqrt | Intrinsic::TierProbe => 1,
             Intrinsic::Max | Intrinsic::Min => 2,
         }
     }
@@ -128,7 +138,7 @@ impl Intrinsic {
     /// operand-kind mismatch.
     pub fn eval(self, args: &[Const]) -> Option<Const> {
         match self {
-            Intrinsic::Alloc => None,
+            Intrinsic::Alloc | Intrinsic::TierProbe => None,
             Intrinsic::Max => Some(Const::Int(args[0].as_int()?.max(args[1].as_int()?))),
             Intrinsic::Min => Some(Const::Int(args[0].as_int()?.min(args[1].as_int()?))),
             Intrinsic::Abs => Some(Const::Int(args[0].as_int()?.wrapping_abs())),
@@ -144,6 +154,7 @@ impl Intrinsic {
             Intrinsic::Min => "min",
             Intrinsic::Abs => "abs",
             Intrinsic::Sqrt => "sqrt",
+            Intrinsic::TierProbe => "tier_probe",
         }
     }
 }

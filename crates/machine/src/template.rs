@@ -299,6 +299,11 @@ pub struct RegionCode {
     pub enter_pc: u32,
     /// Code address of the set-up subgraph's entry.
     pub setup_pc: u32,
+    /// Code address of the statically compiled fallback copy of the region
+    /// body (`None` unless the program was lowered with a tiered fallback).
+    /// A tiered engine may redirect a cold `EnterRegion` trap here while
+    /// set-up + stitching proceed on a background worker.
+    pub fallback_pc: Option<u32>,
     /// The machine-code template.
     pub template: Template,
     /// Post-region code addresses, indexed by [`TmplExit::ExitRegion`]

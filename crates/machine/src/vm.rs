@@ -156,6 +156,12 @@ impl From<EvalError> for VmError {
 }
 
 /// The simulated machine.
+///
+/// `Clone` forks the whole machine — code, predecode cache, registers,
+/// memory, cycle state — giving an independent machine that can run
+/// elsewhere (the tiered runtime forks the session VM so background
+/// workers can execute region set-up code against a detached snapshot).
+#[derive(Clone)]
 pub struct Vm {
     /// Code space (word-addressed; stitched code is appended here).
     ///

@@ -66,6 +66,9 @@ pub struct StitchOptions {
     /// aid. Ignored (treated as off) when `register_actions` is active,
     /// whose bookkeeping needs the word-by-word walk.
     pub plans: bool,
+    /// Print register-action diagnostics to stderr (debugging aid for the
+    /// §5 extension; off by default).
+    pub debug_regactions: bool,
 }
 
 impl Default for StitchOptions {
@@ -77,6 +80,7 @@ impl Default for StitchOptions {
             max_blocks: 200_000,
             register_actions: None,
             plans: true,
+            debug_regactions: false,
         }
     }
 }
@@ -319,7 +323,7 @@ pub fn stitch(
     // §5 register actions: promote hot constant addresses.
     if let (Some(k), Some(slot_base)) = (opts.register_actions, ra_slots) {
         let accesses = std::mem::take(&mut st.accesses);
-        if std::env::var_os("DYNCOMP_DEBUG_RA").is_some() {
+        if opts.debug_regactions {
             eprintln!("[regactions] {} const accesses recorded", accesses.len());
         }
         let (preamble, _rewritten, ra_stats) =

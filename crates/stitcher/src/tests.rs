@@ -31,6 +31,7 @@ fn region(template: Template, static_len: u32) -> RegionCode {
         region_index: 0,
         enter_pc: 0,
         setup_pc: 0,
+        fallback_pc: None,
         template,
         exit_pcs: vec![],
         key_locs: vec![],
@@ -564,4 +565,110 @@ fn stitcher_cycles_accumulate() {
     let out2 = stitch(&rc, t2, &mut mem2, 0, &StitchOptions::default()).unwrap();
     assert!(out.stats.cycles > out2.stats.cycles);
     let _: Reg = 0;
+}
+
+// ---- Stitched::relocate edge cases -------------------------------------
+// `relocate` is the install path for both the shared code cache and the
+// tiered runtime's background installs, so its corners matter: blocks with
+// nothing to patch, re-installation at the original base, and patches
+// touching the very last code word.
+
+/// A minimal hand-built `Stitched` (no table, no patches by default).
+fn bare_stitched(code: Vec<u32>) -> crate::Stitched {
+    crate::Stitched {
+        code,
+        lin_table_addr: 0,
+        lin_words: vec![],
+        lin_addr_patches: vec![],
+        lin_far_addr_patches: vec![],
+        exit_patches: vec![],
+        stats: crate::StitchStats::default(),
+    }
+}
+
+#[test]
+fn relocate_zero_patch_block_is_a_plain_copy() {
+    let code = vec![
+        word(Inst::op3(Op::Addq, 1, Operand::Lit(2), 1)),
+        word(Inst::op3(Op::Mulq, 1, Operand::Reg(1), 0)),
+    ];
+    let s = bare_stitched(code.clone());
+    let mut mem = Memory::with_capacity(1 << 16);
+    let brk_before = mem.alloc(0).unwrap();
+    let (out, lin) = s.relocate(1234, &mut mem).unwrap();
+    assert_eq!(out, code, "no patches: relocation must be a verbatim copy");
+    assert_eq!(lin, 0, "no table words: no table allocated");
+    assert_eq!(mem.alloc(0).unwrap(), brk_before, "no memory consumed");
+}
+
+#[test]
+fn relocate_at_same_base_reproduces_original_exit_branches() {
+    // An exit branch at word 2 targeting absolute address 10, originally
+    // stitched for base 100: disp = 10 - (100 + 2 + 1) = -93.
+    let base = 100u32;
+    let exit_at = 2u32;
+    let target = 10u32;
+    let disp = target as i64 - (base as i64 + exit_at as i64 + 1);
+    let mut code = vec![
+        word(Inst::op3(Op::Addq, 1, Operand::Lit(1), 1)),
+        word(Inst::op3(Op::Addq, 1, Operand::Lit(1), 1)),
+        word(Inst::branch(Op::Br, ZERO, disp as i32)),
+    ];
+    let mut s = bare_stitched(code.clone());
+    s.exit_patches = vec![(exit_at, target)];
+    let mut mem = Memory::with_capacity(1 << 16);
+    let (out, _) = s.relocate(base, &mut mem).unwrap();
+    assert_eq!(out, code, "same-base relocation must be the identity");
+    // And a different base re-encodes the displacement correctly.
+    let new_base = 500u32;
+    let (out2, _) = s.relocate(new_base, &mut mem).unwrap();
+    let disp2 = target as i64 - (new_base as i64 + exit_at as i64 + 1);
+    code[exit_at as usize] = word(Inst::branch(Op::Br, ZERO, disp2 as i32));
+    assert_eq!(out2, code);
+}
+
+#[test]
+fn relocate_far_entry_patch_in_final_code_word() {
+    // A far-entry Ldiw whose *address word* (p + 1) is the last word of
+    // the code: the patch must land exactly on the final word without
+    // running past the buffer.
+    let code = vec![
+        word(Inst::op3(Op::Addq, 1, Operand::Lit(0), 1)),
+        0xdead_0000, // Ldiw first word (opcode irrelevant to relocate)
+        0xffff_ffff, // second word: table address placeholder (final word)
+    ];
+    let mut s = bare_stitched(code);
+    s.lin_words = vec![7, 11, 13];
+    s.lin_far_addr_patches = vec![(1, 16)]; // slot 2: byte offset 16
+    let mut mem = Memory::with_capacity(1 << 16);
+    let (out, lin) = s.relocate(0, &mut mem).unwrap();
+    assert_ne!(lin, 0, "table words present: a table must be allocated");
+    assert_eq!(out.len(), 3);
+    assert_eq!(
+        out[2],
+        (lin as u32).wrapping_add(16),
+        "final word must hold table base + recorded offset"
+    );
+    // The freshly allocated table holds the recorded words.
+    for (i, &w) in s.lin_words.iter().enumerate() {
+        assert_eq!(mem.read_u64(lin + 8 * i as u64).unwrap(), w);
+    }
+    // A second relocation allocates a second, independent table.
+    let (out_b, lin_b) = s.relocate(0, &mut mem).unwrap();
+    assert_ne!(lin_b, lin);
+    assert_eq!(out_b[2], (lin_b as u32).wrapping_add(16));
+}
+
+#[test]
+fn relocate_near_table_patch_in_final_code_word() {
+    // Same corner for the near (`lin_addr_patches`) form: second word of
+    // the Ldiw is the final code word and receives the raw table base.
+    let code = vec![0xbeef_0000, 0x0000_0000];
+    let mut s = bare_stitched(code);
+    s.lin_words = vec![42];
+    s.lin_addr_patches = vec![0];
+    let mut mem = Memory::with_capacity(1 << 16);
+    let (out, lin) = s.relocate(64, &mut mem).unwrap();
+    assert_eq!(out[1], lin as u32);
+    assert_eq!(mem.read_u64(lin).unwrap(), 42);
 }
