@@ -9,8 +9,14 @@
 //! committed reference byte-for-byte and exits non-zero on any drift —
 //! every field is simulated-deterministic, so CI uses this to catch
 //! checksum or cycle-accounting regressions.
+//!
+//! `--trace` runs every kernel with the trace ring enabled. Tracing is
+//! observation-only (zero simulated cycles), so the rendered table must
+//! be byte-identical with or without it — CI runs the drift gate both
+//! ways to enforce that.
 
-use dyncomp_bench::{render_table2_json, run_all, table2_header, Scale};
+use dyncomp::{EngineOptions, TraceOptions};
+use dyncomp_bench::{render_table2_json, run_all_with, table2_header, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,6 +25,10 @@ fn main() {
     } else {
         Scale::Paper
     };
+    let mut options = EngineOptions::default();
+    if args.iter().any(|a| a == "--trace") {
+        options.trace = Some(TraceOptions::default());
+    }
     let json_path = match args.iter().position(|a| a == "--json") {
         Some(p) => args.get(p + 1).cloned().unwrap_or_else(|| {
             eprintln!("table2: --json needs a path");
@@ -29,7 +39,7 @@ fn main() {
     println!("Table 2: Speedup and Breakeven Point Results ({scale:?} scale)");
     println!("{}", table2_header());
     println!("{}", "-".repeat(180));
-    let rows = run_all(scale).unwrap_or_else(|e| {
+    let rows = run_all_with(scale, options).unwrap_or_else(|e| {
         eprintln!("benchmark failed: {e}");
         std::process::exit(1);
     });

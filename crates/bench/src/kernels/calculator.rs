@@ -14,7 +14,7 @@
 //! the interpreter compiles itself away.
 
 use crate::KernelResult;
-use dyncomp::{measure_kernel, Error, KernelSetup, Program, Session};
+use dyncomp::{Error, KernelSetup, Program, Session};
 use std::borrow::Borrow;
 
 /// Opcodes: 0 push-literal, 1 push-x, 2 push-y, 3 add, 4 sub, 5 mul.
@@ -148,7 +148,15 @@ pub fn setup(iterations: u64) -> KernelSetup<'static> {
 /// Measure the calculator over `iterations` interpretations with varying
 /// `x`, `y`.
 pub fn measure(iterations: u64) -> Result<KernelResult, Error> {
-    let m = measure_kernel(&setup(iterations))?;
+    measure_with(iterations, dyncomp::EngineOptions::default())
+}
+
+/// [`measure`] under explicit engine options (tracing harnesses).
+pub fn measure_with(
+    iterations: u64,
+    options: dyncomp::EngineOptions,
+) -> Result<KernelResult, Error> {
+    let m = dyncomp::measure_kernel_with(&setup(iterations), options)?;
     Ok(KernelResult {
         name: "Reverse-polish stack-based desk calculator",
         config: format!("{iterations} interpretations, varying x, y"),

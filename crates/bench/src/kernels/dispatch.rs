@@ -10,7 +10,7 @@
 //! code, one per installed guard.
 
 use crate::KernelResult;
-use dyncomp::{measure_kernel, Error, KernelSetup, Program, Session};
+use dyncomp::{Error, KernelSetup, Program, Session};
 use dyncomp_ir::prng::SplitMix64;
 use std::borrow::Borrow;
 
@@ -110,7 +110,16 @@ pub fn setup(n_guards: u64, iterations: u64) -> KernelSetup<'static> {
 
 /// Measure `iterations` event dispatches against `n_guards` guards.
 pub fn measure(n_guards: u64, iterations: u64) -> Result<KernelResult, Error> {
-    let m = measure_kernel(&setup(n_guards, iterations))?;
+    measure_with(n_guards, iterations, dyncomp::EngineOptions::default())
+}
+
+/// [`measure`] under explicit engine options (tracing harnesses).
+pub fn measure_with(
+    n_guards: u64,
+    iterations: u64,
+    options: dyncomp::EngineOptions,
+) -> Result<KernelResult, Error> {
+    let m = dyncomp::measure_kernel_with(&setup(n_guards, iterations), options)?;
     Ok(KernelResult {
         name: "Event dispatcher in an extensible OS",
         config: format!("6 predicate types; {n_guards} different event guards"),

@@ -9,7 +9,7 @@
 //! the actual scalar, plus the constant trip count as an immediate.
 
 use crate::KernelResult;
-use dyncomp::{measure_kernel, Error, KernelSetup, Program, Session};
+use dyncomp::{Error, KernelSetup, Program, Session};
 use std::borrow::Borrow;
 
 /// The kernel: `dst[i] = src[i] * s` over a flattened matrix.
@@ -57,7 +57,17 @@ pub fn setup(rows: u64, cols: u64, n_scalars: u64) -> KernelSetup<'static> {
 
 /// Measure `n_scalars` full multiplications of a `rows × cols` matrix.
 pub fn measure(rows: u64, cols: u64, n_scalars: u64) -> Result<KernelResult, Error> {
-    let m = measure_kernel(&setup(rows, cols, n_scalars))?;
+    measure_with(rows, cols, n_scalars, dyncomp::EngineOptions::default())
+}
+
+/// [`measure`] under explicit engine options (tracing harnesses).
+pub fn measure_with(
+    rows: u64,
+    cols: u64,
+    n_scalars: u64,
+    options: dyncomp::EngineOptions,
+) -> Result<KernelResult, Error> {
+    let m = dyncomp::measure_kernel_with(&setup(rows, cols, n_scalars), options)?;
     Ok(KernelResult {
         name: "Scalar-matrix multiply",
         config: format!("{rows}x{cols} matrix, multiplied by all scalars 1..{n_scalars}"),

@@ -9,7 +9,7 @@
 //! static code calling the (once-stitched) comparator.
 
 use crate::KernelResult;
-use dyncomp::{measure_kernel, Error, KernelSetup, Program, Session};
+use dyncomp::{Error, KernelSetup, Program, Session};
 use dyncomp_ir::prng::SplitMix64;
 use std::borrow::Borrow;
 
@@ -113,7 +113,17 @@ pub fn setup(n: u64, nkeys: u64, sorts: u64) -> KernelSetup<'static> {
 
 /// Measure `sorts` sorts of `n` records with `nkeys`-key comparators.
 pub fn measure(n: u64, nkeys: u64, sorts: u64) -> Result<KernelResult, Error> {
-    let m = measure_kernel(&setup(n, nkeys, sorts))?;
+    measure_with(n, nkeys, sorts, dyncomp::EngineOptions::default())
+}
+
+/// [`measure`] under explicit engine options (tracing harnesses).
+pub fn measure_with(
+    n: u64,
+    nkeys: u64,
+    sorts: u64,
+    options: dyncomp::EngineOptions,
+) -> Result<KernelResult, Error> {
+    let m = dyncomp::measure_kernel_with(&setup(n, nkeys, sorts), options)?;
     Ok(KernelResult {
         name: "QuickSort record sorter",
         config: format!("{nkeys} keys, each of a different type; {n} records"),

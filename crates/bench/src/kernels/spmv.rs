@@ -9,7 +9,7 @@
 //! (floats never fit immediates, §4).
 
 use crate::KernelResult;
-use dyncomp::{measure_kernel, Error, KernelSetup, Program, Session};
+use dyncomp::{Error, KernelSetup, Program, Session};
 use dyncomp_ir::prng::SplitMix64;
 use std::borrow::Borrow;
 
@@ -118,7 +118,17 @@ pub fn setup(n: u64, per_row: u64, iterations: u64) -> KernelSetup<'static> {
 /// Measure `iterations` multiplications of an `n × n` matrix with
 /// `per_row` entries per row.
 pub fn measure(n: u64, per_row: u64, iterations: u64) -> Result<KernelResult, Error> {
-    let m = measure_kernel(&setup(n, per_row, iterations))?;
+    measure_with(n, per_row, iterations, dyncomp::EngineOptions::default())
+}
+
+/// [`measure`] under explicit engine options (tracing harnesses).
+pub fn measure_with(
+    n: u64,
+    per_row: u64,
+    iterations: u64,
+    options: dyncomp::EngineOptions,
+) -> Result<KernelResult, Error> {
+    let m = dyncomp::measure_kernel_with(&setup(n, per_row, iterations), options)?;
     let density = 100.0 * per_row as f64 / n as f64;
     Ok(KernelResult {
         name: "Sparse matrix-vector multiply",

@@ -22,11 +22,12 @@ pub mod kernels {
     pub mod spmv;
 }
 
+pub mod jsonv;
 pub mod warmup;
 
 pub use dyncomp::KernelMeasurement;
 
-use dyncomp::Error;
+use dyncomp::{EngineOptions, Error};
 
 /// One measured Table 2 row.
 #[derive(Clone, Debug)]
@@ -143,25 +144,36 @@ pub enum Scale {
 /// # Errors
 /// Propagates the first kernel failure.
 pub fn run_all(scale: Scale) -> Result<Vec<KernelResult>, Error> {
+    run_all_with(scale, EngineOptions::default())
+}
+
+/// [`run_all`] under explicit engine options — used by the tracing drift
+/// gate (tracing is observation-only, so rows must be identical with it
+/// on or off) and by the tiered/speculative harnesses.
+///
+/// # Errors
+/// Propagates the first kernel failure.
+pub fn run_all_with(scale: Scale, options: EngineOptions) -> Result<Vec<KernelResult>, Error> {
+    let o = &options;
     let mut rows = Vec::new();
     match scale {
         Scale::Smoke => {
-            rows.push(kernels::calculator::measure(80)?);
-            rows.push(kernels::smatmul::measure(8, 16, 8)?);
-            rows.push(kernels::spmv::measure(12, 3, 20)?);
-            rows.push(kernels::spmv::measure(8, 2, 20)?);
-            rows.push(kernels::dispatch::measure(10, 60)?);
-            rows.push(kernels::sorter::measure(40, 4, 5)?);
-            rows.push(kernels::sorter::measure(40, 12, 5)?);
+            rows.push(kernels::calculator::measure_with(80, o.clone())?);
+            rows.push(kernels::smatmul::measure_with(8, 16, 8, o.clone())?);
+            rows.push(kernels::spmv::measure_with(12, 3, 20, o.clone())?);
+            rows.push(kernels::spmv::measure_with(8, 2, 20, o.clone())?);
+            rows.push(kernels::dispatch::measure_with(10, 60, o.clone())?);
+            rows.push(kernels::sorter::measure_with(40, 4, 5, o.clone())?);
+            rows.push(kernels::sorter::measure_with(40, 12, 5, o.clone())?);
         }
         Scale::Paper => {
-            rows.push(kernels::calculator::measure(2000)?);
-            rows.push(kernels::smatmul::measure(100, 800, 100)?);
-            rows.push(kernels::spmv::measure(200, 10, 300)?);
-            rows.push(kernels::spmv::measure(96, 5, 300)?);
-            rows.push(kernels::dispatch::measure(10, 2000)?);
-            rows.push(kernels::sorter::measure(500, 4, 20)?);
-            rows.push(kernels::sorter::measure(500, 12, 20)?);
+            rows.push(kernels::calculator::measure_with(2000, o.clone())?);
+            rows.push(kernels::smatmul::measure_with(100, 800, 100, o.clone())?);
+            rows.push(kernels::spmv::measure_with(200, 10, 300, o.clone())?);
+            rows.push(kernels::spmv::measure_with(96, 5, 300, o.clone())?);
+            rows.push(kernels::dispatch::measure_with(10, 2000, o.clone())?);
+            rows.push(kernels::sorter::measure_with(500, 4, 20, o.clone())?);
+            rows.push(kernels::sorter::measure_with(500, 12, 20, o.clone())?);
         }
     }
     Ok(rows)

@@ -1,0 +1,103 @@
+//! Background-worker fault injection: a panicking stitch job must never
+//! abort the session. The worker catches the panic (`catch_unwind`), the
+//! job resolves as `Failed`, the region is pinned to its statically
+//! compiled fallback copy permanently, a `BgFailed` event is traced, and
+//! the session's results stay bit-identical to a synchronous run.
+
+use dyncomp::measure::run_session;
+use dyncomp::{Compiler, EngineOptions, EventKind, Session, TieredOptions, TraceOptions};
+use dyncomp_bench::kernels::calculator;
+use std::sync::Arc;
+
+fn traced_tiered(inject: Option<u16>) -> EngineOptions {
+    EngineOptions {
+        trace: Some(TraceOptions::default()),
+        tiered: Some(TieredOptions {
+            workers: 2,
+            inject_panic_region: inject,
+            ..TieredOptions::default()
+        }),
+        ..EngineOptions::default()
+    }
+}
+
+/// Run the calculator workload on a session we can inspect afterwards.
+fn run_inspectable(options: EngineOptions) -> (u64, Session) {
+    let setup = calculator::setup(80);
+    let program = Arc::new(Compiler::tiered().compile(setup.src).expect("compiles"));
+    let mut session = Session::with_options(Arc::clone(&program), options);
+    let prepared = (setup.prepare)(&mut session);
+    let mut checksum = 0u64;
+    for i in 0..setup.iterations {
+        let args = (setup.args)(i, &prepared);
+        let r = session
+            .call(setup.func, &args)
+            .expect("session must survive background failures");
+        checksum = checksum.wrapping_mul(1099511628211).wrapping_add(r);
+    }
+    (checksum, session)
+}
+
+#[test]
+fn background_worker_panic_does_not_abort_the_session() {
+    let setup = calculator::setup(80);
+    let sync_prog = Arc::new(Compiler::new().compile(setup.src).expect("compiles"));
+    let sync = run_session(&sync_prog, &setup, EngineOptions::default()).expect("runs");
+
+    let (checksum, session) = run_inspectable(traced_tiered(Some(0)));
+    assert_eq!(
+        checksum, sync.checksum,
+        "results must be bit-identical despite the worker panic"
+    );
+
+    // The region is pinned to the static fallback forever: no installs,
+    // every entry runs the fallback copy.
+    assert!(session.region_pinned(0), "region pinned after panic");
+    let msg = session
+        .last_background_failure()
+        .expect("failure message recorded");
+    assert!(
+        msg.contains("injected background stitch panic"),
+        "panic payload surfaced: {msg}"
+    );
+    let report = session.region_report(0);
+    assert_eq!(report.bg_installs, 0, "nothing installed from a dead path");
+    assert_eq!(
+        report.stitches, 0,
+        "no synchronous re-stitch either: pinned"
+    );
+    assert!(
+        report.fallback_runs >= setup.iterations,
+        "every entry served by the fallback ({} runs)",
+        report.fallback_runs
+    );
+
+    // The trace records exactly one BgFailed with panicked=true, stamped
+    // on the session clock, and the aggregates agree with the reports.
+    let t = session.trace().expect("tracing on");
+    let panics = t
+        .events()
+        .filter(|e| matches!(e.kind, EventKind::BgFailed { panicked: true, .. }))
+        .count();
+    assert_eq!(panics, 1, "one failed job, one BgFailed event");
+    assert_eq!(t.profiles()[0].bg_failed, 1);
+    session.trace_self_check().expect("attribution still exact");
+}
+
+#[test]
+fn panic_free_control_run_installs_background_code() {
+    // Same workload without injection: the background path works, the
+    // region is not pinned, and no failure is recorded.
+    let (checksum, session) = run_inspectable(traced_tiered(None));
+    let setup = calculator::setup(80);
+    let sync_prog = Arc::new(Compiler::new().compile(setup.src).expect("compiles"));
+    let sync = run_session(&sync_prog, &setup, EngineOptions::default()).expect("runs");
+    assert_eq!(checksum, sync.checksum);
+    assert!(!session.region_pinned(0));
+    assert_eq!(session.last_background_failure(), None);
+    let report = session.region_report(0);
+    assert!(report.bg_installs > 0, "background install landed");
+    let t = session.trace().expect("tracing on");
+    assert_eq!(t.profiles()[0].bg_failed, 0);
+    session.trace_self_check().expect("attribution exact");
+}

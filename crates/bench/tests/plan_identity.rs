@@ -154,3 +154,72 @@ fn plan_path_bit_identical_across_paper_kernels() {
         );
     }
 }
+
+/// Keyed region whose key value is patched straight into the code: small
+/// keys fit the 8-bit inline literal (and hit the recorded plan), larger
+/// ones must fail the plan's applicability check and take the
+/// interpretive path.
+const ADVERSARIAL_LIT_SRC: &str = r#"
+    int f(int k, int x) {
+        dynamicRegion key(k) (k) {
+            return x + k;
+        }
+    }
+"#;
+
+#[test]
+fn plan_path_bit_identical_on_adversarial_literals() {
+    // Crosses the 8-bit literal boundary (the old plan patcher truncated
+    // `v as u8`), plus full-width and sign-bit-set values.
+    let keys: [u64; 8] = [3, 200, 255, 256, 300, 70_000, 1 << 40, u64::MAX];
+    let w = Workload {
+        name: "adversarial literals",
+        src: ADVERSARIAL_LIT_SRC,
+        func: "f",
+        prepare: Box::new(|_| vec![]),
+        calls: Box::new(move |i, _| vec![keys[i as usize], 10]),
+        n_calls: keys.len() as u64,
+    };
+    let (res_plan, inst_plan, hits, misses) = run(&w, true);
+    let (res_interp, inst_interp, _, _) = run(&w, false);
+    assert_eq!(res_plan, res_interp, "results differ with plans on");
+    assert_eq!(inst_plan, inst_interp, "stitched code differs");
+    // Expected semantics, independently: x + k wrapping.
+    for (i, &k) in keys.iter().enumerate() {
+        assert_eq!(res_plan[i], k.wrapping_add(10), "key {k}");
+    }
+    assert!(hits > 0, "small keys should hit the plan");
+    assert!(
+        misses > 0,
+        "out-of-range keys must miss the plan, not truncate"
+    );
+}
+
+#[test]
+fn plan_path_bit_identical_beyond_displacement_range() {
+    // A sparse matrix with well over 1024 distinct float values pushes
+    // linearized-table offsets past the 14-bit displacement range
+    // (±8 KiB), forcing the far-entry sequence — the old memdisp patcher
+    // masked such offsets to 14 bits.
+    let w = Workload {
+        name: "far table offsets",
+        src: spmv::SRC,
+        func: "spmv",
+        prepare: Box::new(|e| {
+            let m = spmv::gen_matrix(56, 28, 13);
+            assert!(
+                m.val.len() > 1100,
+                "need >1024 distinct table values, got {}",
+                m.val.len()
+            );
+            let (mp, xp, yp) = spmv::build(e, &m);
+            vec![mp, xp, yp]
+        }),
+        calls: Box::new(|_, p| vec![p[0], p[1], p[2]]),
+        n_calls: 2,
+    };
+    let (res_plan, inst_plan, _, _) = run(&w, true);
+    let (res_interp, inst_interp, _, _) = run(&w, false);
+    assert_eq!(res_plan, res_interp, "results differ with plans on");
+    assert_eq!(inst_plan, inst_interp, "stitched code differs");
+}

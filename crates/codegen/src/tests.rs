@@ -38,7 +38,7 @@ fn run_vm(m: &Module, cm: &CompiledModule, func: &str, args: &[u64]) -> (u64, u6
     let mut vm = Vm::new(1 << 22);
     install(cm, m, &mut vm);
     let entry = cm.entry_of(func).expect("function exists");
-    vm.setup_call(entry, args);
+    vm.setup_call(entry, args).unwrap();
     match vm.run() {
         Ok(Stop::Halted) => (vm.reg(0), vm.cycles),
         other => panic!("vm stopped unexpectedly: {other:?}"),
@@ -49,7 +49,7 @@ fn run_vm_f(m: &Module, cm: &CompiledModule, func: &str, args: &[u64]) -> f64 {
     let mut vm = Vm::new(1 << 22);
     install(cm, m, &mut vm);
     let entry = cm.entry_of(func).expect("function exists");
-    vm.setup_call(entry, args);
+    vm.setup_call(entry, args).unwrap();
     match vm.run() {
         Ok(Stop::Halted) => vm.freg(0),
         other => panic!("vm stopped unexpectedly: {other:?}"),

@@ -32,8 +32,15 @@
 //! * `--stitch-workers N` background workers for `--tiered` (default 1)
 //! * `--speculate` with `--tiered`, pre-stitch keys predicted by the
 //!   per-region stride/frequency predictor
+//! * `--trace-out FILE` with `--run`, record the deterministic event
+//!   trace and write it to `FILE`; also prints a per-region profile
+//!   summary and runs the cycle-attribution self-check
+//! * `--trace-format {jsonl,chrome}` trace file format (default `jsonl`;
+//!   `chrome` loads in `chrome://tracing` / Perfetto)
 
-use dyncomp::{Compiler, Engine, EngineOptions, Session, SharedCodeCache, TieredOptions};
+use dyncomp::{
+    Compiler, Engine, EngineOptions, Session, SharedCodeCache, TieredOptions, TraceOptions,
+};
 use dyncomp_machine::disasm::disassemble;
 use dyncomp_machine::template::{HoleField, LoopMarker, TmplExit};
 use std::process::exit;
@@ -254,7 +261,27 @@ fn main() {
             speculate: flag("--speculate"),
             ..TieredOptions::default()
         });
+        let str_opt = |name: &str| -> Option<String> {
+            args.iter().position(|a| a == name).map(|p| {
+                args.get(p + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("dyncc: {name} needs a value");
+                    exit(2);
+                })
+            })
+        };
+        let trace_out = str_opt("--trace-out");
+        let trace_format = str_opt("--trace-format").unwrap_or_else(|| "jsonl".to_string());
+        if !matches!(trace_format.as_str(), "jsonl" | "chrome") {
+            eprintln!("dyncc: --trace-format must be `jsonl` or `chrome`, got `{trace_format}`");
+            exit(2);
+        }
         if sessions > 1 || flag("--shared-cache") {
+            if trace_out.is_some() {
+                eprintln!(
+                    "dyncc: --trace-out traces a single session; drop --sessions/--shared-cache"
+                );
+                exit(2);
+            }
             run_multi_session(
                 &program,
                 func,
@@ -271,6 +298,7 @@ fn main() {
             &program,
             EngineOptions {
                 tiered: tiered_options,
+                trace: trace_out.as_ref().map(|_| TraceOptions::default()),
                 ..EngineOptions::default()
             },
         );
@@ -291,6 +319,58 @@ fn main() {
             Err(e) => {
                 eprintln!("dyncc: run failed: {e}");
                 exit(1);
+            }
+        }
+        if let Some(path) = &trace_out {
+            if let Err(e) = engine.trace_self_check() {
+                eprintln!("dyncc: {e}");
+                exit(1);
+            }
+            let rendered = match trace_format.as_str() {
+                "chrome" => engine.trace_chrome(),
+                _ => engine.trace_jsonl(),
+            }
+            .expect("tracing enabled with --trace-out");
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("dyncc: cannot write {path}: {e}");
+                exit(1);
+            }
+            let t = engine.trace().expect("tracing enabled with --trace-out");
+            println!(
+                "\nwrote {path} ({trace_format}, {} event(s) recorded, {} dropped); self-check ok",
+                t.events().count(),
+                t.dropped()
+            );
+            println!(
+                "{:<4} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>7} {:>6} {:>12}",
+                "rgn",
+                "invoc",
+                "stitches",
+                "setup cy",
+                "stitch cy",
+                "instrs",
+                "patches",
+                "keyhits",
+                "shared",
+                "bg",
+                "1st-stitched"
+            );
+            for p in t.profiles() {
+                println!(
+                    "{:<4} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>7} {:>6} {:>12}",
+                    p.region,
+                    p.invocations,
+                    p.stitches,
+                    p.setup_cycles,
+                    p.stitch_cycles,
+                    p.instructions_stitched,
+                    p.plan_patches,
+                    p.keyed_hits,
+                    p.shared_cache_hits,
+                    p.bg_installs,
+                    p.first_stitched_at
+                        .map_or("never".to_string(), |c| c.to_string()),
+                );
             }
         }
         if flag("--report") {

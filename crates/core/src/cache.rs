@@ -218,27 +218,31 @@ impl SharedCodeCache {
     /// Publish a stitched instance. When two sessions race on the same
     /// key, the later publication wins (both are valid — same key, same
     /// code under the replica assumption). Evicts LRU entries as needed
-    /// to respect the shard capacity.
-    pub fn insert(&self, key: SharedKey, code: Arc<Stitched>) {
+    /// to respect the shard capacity; returns how many this publication
+    /// evicted (0 on replacement).
+    pub fn insert(&self, key: SharedKey, code: Arc<Stitched>) -> usize {
         let mut shard = self.shard(&key).lock().expect("shard lock poisoned");
         self.insertions.fetch_add(1, Ordering::Relaxed);
         if let Some(e) = shard.map.get_mut(&key) {
             e.code = code;
             let slot = e.lru;
             shard.lru.touch(slot);
-            return;
+            return 0;
         }
+        let mut evicted = 0;
         while shard.map.len() >= self.per_shard_capacity {
             match shard.lru.pop_lru() {
                 Some(victim) => {
                     shard.map.remove(&victim);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    evicted += 1;
                 }
                 None => break,
             }
         }
         let slot = shard.lru.insert(key.clone());
         shard.map.insert(key, ShardEntry { code, lru: slot });
+        evicted
     }
 
     /// Instances currently cached, across all shards.
@@ -301,6 +305,7 @@ mod tests {
             lin_addr_patches: Vec::new(),
             lin_far_addr_patches: Vec::new(),
             exit_patches: Vec::new(),
+            plan_patches: Vec::new(),
             stats: Default::default(),
         })
     }

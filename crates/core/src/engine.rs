@@ -28,6 +28,7 @@
 
 use crate::cache::{LruOrder, SharedCodeCache, SharedKey};
 use crate::tiered::{TierDecision, TieredOptions, TieredState};
+use crate::trace::{ClockDomain, EventKind, RegionProfile, TraceOptions, TraceState};
 use crate::{Error, Program};
 use dyncomp_ir::fxhash::FxHashMap;
 use dyncomp_machine::heap::HeapBuilder;
@@ -85,6 +86,12 @@ pub struct EngineOptions {
     /// [`crate::CompileOptions::tiered_fallback`]; regions without a
     /// fallback copy fall back to synchronous stitching.
     pub tiered: Option<TieredOptions>,
+    /// Structured tracing ([`crate::trace`]). `None` (the default) records
+    /// nothing and allocates nothing. When set, every region-lifecycle
+    /// transition is recorded as a cycle-stamped [`crate::TraceEvent`];
+    /// tracing charges **zero** simulated cycles, so all cycle accounting
+    /// is identical with it on or off.
+    pub trace: Option<TraceOptions>,
 }
 
 impl Default for EngineOptions {
@@ -100,6 +107,7 @@ impl Default for EngineOptions {
             shared_lookup_cycles: 30,
             shared_install_cycles_per_word: 1,
             tiered: None,
+            trace: None,
         }
     }
 }
@@ -222,6 +230,9 @@ pub struct Session<P: Borrow<Program> = Arc<Program>> {
     /// Background stitch state; `Some` iff [`EngineOptions::tiered`] was
     /// configured.
     tiered: Option<TieredState>,
+    /// Trace state; `Some` iff [`EngineOptions::trace`] was configured.
+    /// Boxed: the common untraced path carries one pointer, not the ring.
+    trace: Option<Box<TraceState>>,
 }
 
 /// Single-owner compatibility alias: a [`Session`] borrowing the program.
@@ -244,16 +255,21 @@ impl<P: Borrow<Program>> Session<P> {
         let regions = (0..p.compiled.regions.len())
             .map(|_| RegionState::default())
             .collect();
+        let trace = options
+            .trace
+            .as_ref()
+            .map(|t| Box::new(TraceState::new(t, p.compiled.regions.len())));
         let tiered = options
             .tiered
             .clone()
-            .map(|t| TieredState::new(&p.compiled.regions, t));
+            .map(|t| TieredState::new(&p.compiled.regions, t, trace.is_some()));
         Session {
             program,
             vm,
             options,
             regions,
             tiered,
+            trace,
         }
     }
 
@@ -278,7 +294,7 @@ impl<P: Borrow<Program>> Session<P> {
             .compiled
             .entry_of(name)
             .ok_or_else(|| Error::NoSuchFunction(name.to_string()))?;
-        self.vm.setup_call(entry, args);
+        self.vm.setup_call(entry, args)?;
         self.run_to_halt()?;
         Ok(self.vm.reg(0))
     }
@@ -324,22 +340,54 @@ impl<P: Borrow<Program>> Session<P> {
         Ok(key)
     }
 
+    /// Record a trace event stamped with the session clock (a no-op
+    /// without [`EngineOptions::trace`]; the `kind` argument is only
+    /// constructed at traced call sites).
+    #[inline]
+    fn tr(&mut self, kind: EventKind) {
+        if let Some(t) = self.trace.as_mut() {
+            t.emit(self.vm.cycles, ClockDomain::Session, kind);
+        }
+    }
+
+    /// Relay resolution-point events recorded inside the tiered state
+    /// (BgReady stamps live on virtual worker clocks the engine never
+    /// sees directly).
+    fn relay_tiered_events(&mut self) {
+        let Some(tiered) = self.tiered.as_mut() else {
+            return;
+        };
+        let events = tiered.take_events();
+        if let Some(t) = self.trace.as_mut() {
+            for e in events {
+                t.emit(e.at, e.clock, e.kind);
+            }
+        }
+    }
+
     fn enter_region(&mut self, region: u16, _at: u32) -> Result<(), Error> {
         let rc = &self.program.borrow().compiled.regions[region as usize];
         let key = self.read_key(&rc.key_locs)?;
         let keyed = !rc.key_locs.is_empty();
         let (setup_pc, fallback_pc, key_len) = (rc.setup_pc, rc.fallback_pc, rc.key_locs.len());
-        let st = &mut self.regions[region as usize];
-        st.invocations += 1;
+        self.regions[region as usize].invocations += 1;
         self.vm.cycles += self.options.trap_cycles;
+        self.tr(EventKind::RegionEnter { region, keyed });
         if keyed {
             self.vm.cycles +=
                 self.options.keyed_lookup_cycles + self.options.per_key_cycles * key_len as u64;
         }
-        match st.cache.get(&key).copied() {
+        let cached = self.regions[region as usize].cache.get(&key).copied();
+        if keyed {
+            self.tr(EventKind::KeyedLookup {
+                region,
+                hit: cached.is_some(),
+            });
+        }
+        match cached {
             Some(entry) => {
                 if keyed {
-                    st.lru.touch(entry.lru);
+                    self.regions[region as usize].lru.touch(entry.lru);
                 }
                 self.vm.pc = entry.base;
                 self.speculate_after(region, &key);
@@ -357,6 +405,7 @@ impl<P: Borrow<Program>> Session<P> {
                     st.pending_key = Some(key);
                     st.setup_start = self.vm.cycles;
                     self.vm.pc = setup_pc;
+                    self.tr(EventKind::SetupStart { region });
                 }
             }
         }
@@ -380,6 +429,10 @@ impl<P: Borrow<Program>> Session<P> {
         let dispatch = tiered.options().dispatch_cycles;
         let (decision, enqueued) = tiered.decide(&self.vm, region, &key, &self.options.stitch, now);
         self.vm.cycles += enqueued * dispatch;
+        self.relay_tiered_events();
+        for _ in 0..enqueued {
+            self.tr(EventKind::TierDispatch { region });
+        }
         match decision {
             TierDecision::Install {
                 stitched,
@@ -400,8 +453,18 @@ impl<P: Borrow<Program>> Session<P> {
                 }
                 st.bg_setup_cycles += setup_cycles;
                 st.bg_stitch_cycles += stitch_cycles;
+                self.tr(EventKind::BgInstall {
+                    region,
+                    words: code.len() as u32,
+                    speculative,
+                    setup_cycles,
+                    stitch_cycles,
+                });
+                if speculative {
+                    self.tr(EventKind::SpeculateHit { region });
+                }
                 if let Some(cache) = &self.options.shared_cache {
-                    cache.insert(
+                    let evicted = cache.insert(
                         SharedKey {
                             program: self.program.borrow().id(),
                             region,
@@ -409,12 +472,19 @@ impl<P: Borrow<Program>> Session<P> {
                         },
                         Arc::clone(&stitched),
                     );
+                    if evicted > 0 {
+                        self.tr(EventKind::CacheEvict {
+                            region,
+                            count: evicted as u64,
+                        });
+                    }
                 }
-                self.index_instance(region, key.clone(), base, code.len() as u32);
+                self.index_instance(region, key.clone(), base, code.len() as u32)?;
                 self.speculate_after(region, &key);
             }
             TierDecision::Fallback => {
                 self.regions[region as usize].fallback_runs += 1;
+                self.tr(EventKind::FallbackRun { region });
                 self.speculate_after(region, &key);
                 self.vm.pc = fallback_pc;
             }
@@ -423,6 +493,7 @@ impl<P: Borrow<Program>> Session<P> {
                 st.pending_key = Some(key);
                 st.setup_start = self.vm.cycles;
                 self.vm.pc = setup_pc;
+                self.tr(EventKind::SetupStart { region });
             }
         }
         Ok(())
@@ -452,6 +523,9 @@ impl<P: Borrow<Program>> Session<P> {
             now,
         );
         self.vm.cycles += enqueued * dispatch;
+        for _ in 0..enqueued {
+            self.tr(EventKind::SpeculateIssue { region });
+        }
     }
 
     /// Probe the shared cache (when configured), charging the probe cost.
@@ -462,11 +536,16 @@ impl<P: Borrow<Program>> Session<P> {
     ) -> Option<Arc<dyncomp_stitcher::Stitched>> {
         let cache = self.options.shared_cache.as_ref()?;
         self.vm.cycles += self.options.shared_lookup_cycles;
-        cache.lookup(&SharedKey {
+        let hit = cache.lookup(&SharedKey {
             program: self.program.borrow().id(),
             region,
             key: key.to_vec(),
-        })
+        });
+        self.tr(EventKind::CacheLookup {
+            region,
+            hit: hit.is_some(),
+        });
+        hit
     }
 
     /// Install another session's stitched instance: bulk copy + base and
@@ -483,30 +562,73 @@ impl<P: Borrow<Program>> Session<P> {
         self.vm.cycles += self.options.shared_install_cycles_per_word * code.len() as u64;
         self.vm.append_code(&code);
         self.regions[region as usize].shared_hits += 1;
-        self.index_instance(region, key, base, code.len() as u32);
+        self.tr(EventKind::CacheInstall {
+            region,
+            words: code.len() as u32,
+        });
+        self.index_instance(region, key, base, code.len() as u32)?;
         Ok(())
     }
 
     fn end_setup(&mut self, region: u16) -> Result<(), Error> {
-        let rc = &self.program.borrow().compiled.regions[region as usize];
         let table = self.vm.reg(CTP);
         let base = self.vm.code.len() as u32;
-        let stitched =
-            dyncomp_stitcher::stitch(rc, table, &mut self.vm.mem, base, &self.options.stitch)?;
+        let setup_delta = self.vm.cycles - self.regions[region as usize].setup_start;
+        self.tr(EventKind::SetupEnd {
+            region,
+            cycles: setup_delta,
+        });
+        self.tr(EventKind::StitchStart { region });
+        // Recording plan patches is host-side bookkeeping only (no stats,
+        // no cycles); request it only when there is a trace to feed.
+        let stitch_opts = if self.trace.is_some() && !self.options.stitch.record_patches {
+            let mut o = self.options.stitch.clone();
+            o.record_patches = true;
+            Some(o)
+        } else {
+            None
+        };
+        let rc = &self.program.borrow().compiled.regions[region as usize];
+        let stitched = dyncomp_stitcher::stitch(
+            rc,
+            table,
+            &mut self.vm.mem,
+            base,
+            stitch_opts.as_ref().unwrap_or(&self.options.stitch),
+        )?;
         self.vm.append_code(&stitched.code);
         let code_len = stitched.code.len() as u32;
 
         let st = &mut self.regions[region as usize];
-        st.setup_cycles += self.vm.cycles - st.setup_start;
+        st.setup_cycles += setup_delta;
         st.stitches += 1;
         accumulate(&mut st.stitch, &stitched.stats);
         st.tables.push(table);
         let key = st.pending_key.take().unwrap_or_default();
+        let s = &stitched.stats;
+        self.tr(EventKind::StitchEnd {
+            region,
+            cycles: s.cycles,
+            instructions: s.instructions_stitched,
+            holes_inline: s.holes_inline,
+            holes_big: s.holes_big,
+            const_branches: s.const_branches_resolved,
+            loop_iterations: s.loop_iterations,
+            plan_hits: s.plan_hits,
+            plan_misses: s.plan_misses,
+        });
+        for p in &stitched.plan_patches {
+            self.tr(EventKind::PlanPatch {
+                region,
+                word: p.at,
+                value: p.value,
+            });
+        }
 
         // Publish to the process-wide cache so other sessions can skip
         // set-up and stitching for this (region, key).
         if let Some(cache) = &self.options.shared_cache {
-            cache.insert(
+            let evicted = cache.insert(
                 SharedKey {
                     program: self.program.borrow().id(),
                     region,
@@ -514,20 +636,38 @@ impl<P: Borrow<Program>> Session<P> {
                 },
                 Arc::new(stitched),
             );
+            if evicted > 0 {
+                self.tr(EventKind::CacheEvict {
+                    region,
+                    count: evicted as u64,
+                });
+            }
         }
 
-        self.index_instance(region, key, base, code_len);
+        self.index_instance(region, key, base, code_len)?;
         Ok(())
     }
 
     /// Record a freshly installed instance (stitched here or copied from
     /// the shared cache): instance history, keyed cache + LRU (with
     /// capacity eviction), unkeyed trap retirement, and resume at `base`.
-    fn index_instance(&mut self, region: u16, key: Vec<u64>, base: u32, len: u32) {
+    ///
+    /// # Errors
+    /// [`Error::Vm`] if the unkeyed trap-retirement branch does not encode
+    /// or the trap site is out of code range (a code space grown past the
+    /// branch displacement range, not an internal invariant).
+    fn index_instance(
+        &mut self,
+        region: u16,
+        key: Vec<u64>,
+        base: u32,
+        len: u32,
+    ) -> Result<(), Error> {
         let rc = &self.program.borrow().compiled.regions[region as usize];
         let (keyed, enter_pc) = (!rc.key_locs.is_empty(), rc.enter_pc);
         let st = &mut self.regions[region as usize];
         st.instances.push((key.clone(), base, len));
+        let mut evicted = 0u64;
         let lru = if keyed {
             if let Some(cap) = self.options.keyed_cache_capacity {
                 while st.cache.len() >= cap.max(1) {
@@ -535,6 +675,7 @@ impl<P: Borrow<Program>> Session<P> {
                         Some(victim) => {
                             st.cache.remove(&victim);
                             st.evictions += 1;
+                            evicted += 1;
                         }
                         None => break,
                     }
@@ -545,6 +686,9 @@ impl<P: Borrow<Program>> Session<P> {
             usize::MAX // unkeyed: the trap is patched away below
         };
         st.cache.insert(key, CacheEntry { base, lru });
+        for _ in 0..evicted {
+            self.tr(EventKind::KeyedEvict { region });
+        }
 
         // Unkeyed regions: retire the trap — patch EnterRegion into a
         // direct branch to the stitched code (§1: the templates "become
@@ -556,11 +700,17 @@ impl<P: Borrow<Program>> Session<P> {
                 dyncomp_machine::isa::ZERO,
                 disp as i32,
             ))
-            .expect("patch branch encodes");
-            self.vm.patch_code(enter_pc, w);
+            .map_err(|e| {
+                Error::Stitch(dyncomp_stitcher::StitchError::BadTemplate(format!(
+                    "trap-retirement branch to stitched code does not encode \
+                     (region {region}, base {base}, enter_pc {enter_pc}): {e}"
+                )))
+            })?;
+            self.vm.patch_code(enter_pc, w)?;
         }
 
         self.vm.pc = base;
+        Ok(())
     }
 
     /// Measurement report for region `index`.
@@ -586,6 +736,66 @@ impl<P: Borrow<Program>> Session<P> {
     /// Total VM cycles so far.
     pub fn cycles(&self) -> u64 {
         self.vm.cycles
+    }
+
+    /// The trace state, when [`EngineOptions::trace`] was configured.
+    pub fn trace(&self) -> Option<&TraceState> {
+        self.trace.as_deref()
+    }
+
+    /// Whether `region`'s background stitch path panicked and the region
+    /// is permanently pinned to its static fallback copy. Always `false`
+    /// without tiered execution.
+    pub fn region_pinned(&self, region: u16) -> bool {
+        self.tiered.as_ref().is_some_and(|t| t.is_pinned(region))
+    }
+
+    /// Message from the most recent background stitch failure (error or
+    /// panic), for diagnostics. `None` without tiered execution or when
+    /// no background job has failed.
+    pub fn last_background_failure(&self) -> Option<&str> {
+        self.tiered.as_ref().and_then(|t| t.last_failure())
+    }
+
+    /// Per-region trace aggregates ([`RegionProfile`]), when tracing.
+    pub fn region_profiles(&self) -> Option<&[RegionProfile]> {
+        self.trace.as_ref().map(|t| t.profiles())
+    }
+
+    /// Seal the trace (synthesizing `SpeculateWaste` events once) and
+    /// render it as JSON Lines. `None` when tracing is off.
+    pub fn trace_jsonl(&mut self) -> Option<String> {
+        let now = self.vm.cycles;
+        self.trace.as_mut().map(|t| {
+            t.seal(now);
+            t.render_jsonl()
+        })
+    }
+
+    /// Seal the trace and render it in Chrome `trace_event` JSON.
+    /// `None` when tracing is off.
+    pub fn trace_chrome(&mut self) -> Option<String> {
+        let now = self.vm.cycles;
+        self.trace.as_mut().map(|t| {
+            t.seal(now);
+            t.render_chrome()
+        })
+    }
+
+    /// Assert that cycle attribution summed over trace events equals the
+    /// per-region [`RegionReport`] counters exactly. `Ok(())` when tracing
+    /// is off (nothing to check).
+    ///
+    /// # Errors
+    /// [`Error::Trace`] naming the first mismatching counter.
+    pub fn trace_self_check(&self) -> Result<(), Error> {
+        let Some(t) = self.trace.as_ref() else {
+            return Ok(());
+        };
+        let reports: Vec<RegionReport> = (0..self.regions.len())
+            .map(|i| self.region_report(i))
+            .collect();
+        t.self_check(&reports).map_err(Error::Trace)
     }
 
     /// Re-run the stitcher over every `(region, constants table)` pair

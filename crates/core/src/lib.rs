@@ -82,15 +82,20 @@ pub mod cache;
 pub mod engine;
 pub mod measure;
 pub mod tiered;
+pub mod trace;
 
 pub use advisor::{advise, FunctionAdvice, Hypothesis};
 pub use cache::{SharedCacheStats, SharedCodeCache, SharedKey};
 pub use engine::{Engine, EngineOptions, RegionReport, Session};
 pub use measure::{
-    measure_kernel, measure_kernel_full, measure_kernel_with, run_session, run_session_trace,
-    KernelMeasurement, KernelSetup, OptProfile, SessionOutcome, SessionTrace,
+    measure_kernel, measure_kernel_full, measure_kernel_with, run_session, run_session_profiled,
+    run_session_trace, KernelMeasurement, KernelSetup, OptProfile, ProfiledSession, SessionOutcome,
+    SessionTrace,
 };
 pub use tiered::{KeyPredictor, TieredOptions};
+pub use trace::{
+    ClockDomain, CycleHistogram, EventKind, RegionProfile, TraceEvent, TraceOptions, TraceState,
+};
 
 use dyncomp_analysis::AnalysisConfig;
 use dyncomp_codegen::CompiledModule;
@@ -116,6 +121,9 @@ pub enum Error {
     Vm(dyncomp_machine::VmError),
     /// Unknown function name.
     NoSuchFunction(String),
+    /// Trace self-check failure: cycle attribution summed over trace
+    /// events disagrees with the [`RegionReport`] counters.
+    Trace(String),
 }
 
 impl fmt::Display for Error {
@@ -128,6 +136,7 @@ impl fmt::Display for Error {
             Error::Stitch(e) => e.fmt(f),
             Error::Vm(e) => e.fmt(f),
             Error::NoSuchFunction(n) => write!(f, "no function named `{n}`"),
+            Error::Trace(m) => write!(f, "trace self-check failed: {m}"),
         }
     }
 }

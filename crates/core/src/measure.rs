@@ -9,6 +9,7 @@
 //! profile of Table 3 comes from the specializer's and stitcher's
 //! counters.
 
+use crate::trace::{RegionProfile, TraceOptions};
 use crate::{Compiler, EngineOptions, Error, Program, RegionReport, Session};
 use dyncomp_specialize::SpecStats;
 use dyncomp_stitcher::StitchStats;
@@ -304,6 +305,71 @@ pub fn run_session_trace(
         checksum,
         per_call_cycles,
         reports,
+    })
+}
+
+/// A [`run_session`] run with tracing forced on and the attribution
+/// self-check already passed: the observability artifacts the
+/// `region_profile` bench and `dyncc --trace-out` consume.
+#[derive(Clone, Debug)]
+pub struct ProfiledSession {
+    /// The ordinary session outcome (checksums, cycles, reports).
+    pub outcome: SessionOutcome,
+    /// Per-region trace aggregates.
+    pub profiles: Vec<RegionProfile>,
+    /// The sealed event trace as JSON Lines.
+    pub jsonl: String,
+    /// The sealed event trace in Chrome `trace_event` JSON.
+    pub chrome: String,
+    /// Events dropped from the bounded ring (aggregates are exact
+    /// regardless).
+    pub dropped: u64,
+}
+
+/// Like [`run_session`], with [`EngineOptions::trace`] forced on (using
+/// the given options' trace configuration, or the default one) and the
+/// cycle-attribution self-check run before returning.
+///
+/// # Errors
+/// Execution failure, or [`Error::Trace`] when the trace-event sums
+/// disagree with the [`RegionReport`] counters.
+pub fn run_session_profiled(
+    program: &Arc<Program>,
+    setup: &KernelSetup<'_>,
+    mut options: EngineOptions,
+) -> Result<ProfiledSession, Error> {
+    if options.trace.is_none() {
+        options.trace = Some(TraceOptions::default());
+    }
+    let mut session = Session::with_options(Arc::clone(program), options);
+    let prepared = (setup.prepare)(&mut session);
+    let mut checksum = 0u64;
+    let mut total = 0u64;
+    for i in 0..setup.iterations {
+        let args = (setup.args)(i, &prepared);
+        let before = session.cycles();
+        let r = session.call(setup.func, &args)?;
+        total += session.cycles() - before;
+        checksum = checksum.wrapping_mul(1099511628211).wrapping_add(r);
+    }
+    session.trace_self_check()?;
+    let reports: Vec<RegionReport> = (0..program.region_count())
+        .map(|i| session.region_report(i))
+        .collect();
+    let jsonl = session.trace_jsonl().expect("tracing forced on");
+    let chrome = session.trace_chrome().expect("tracing forced on");
+    let trace = session.trace().expect("tracing forced on");
+    Ok(ProfiledSession {
+        outcome: SessionOutcome {
+            checksum,
+            call_cycles: total,
+            total_cycles: session.cycles(),
+            reports,
+        },
+        profiles: trace.profiles().to_vec(),
+        dropped: trace.dropped(),
+        jsonl,
+        chrome,
     })
 }
 

@@ -50,12 +50,14 @@
 //! constants, which are taken from the forked snapshot) fully determines
 //! the stitched code.
 
+use crate::trace::{ClockDomain, EventKind, TraceEvent};
 use dyncomp_ir::fxhash::FxHashMap;
 use dyncomp_machine::isa::{CTP, SP};
 use dyncomp_machine::template::{RegionCode, ValueLoc};
 use dyncomp_machine::vm::{Stop, Vm};
 use dyncomp_stitcher::{StitchOptions, Stitched};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -79,6 +81,12 @@ pub struct TieredOptions {
     /// Instruction budget for each background fork (a runaway set-up loop
     /// fails the job instead of hanging a worker).
     pub job_fuel: u64,
+    /// Fault injection for tests: background jobs for this region index
+    /// panic inside the worker, exercising the panic-hardening path
+    /// (`catch_unwind` → `BgFailed` → region pinned to its fallback).
+    /// Always `None` in real use.
+    #[doc(hidden)]
+    pub inject_panic_region: Option<u16>,
 }
 
 impl Default for TieredOptions {
@@ -90,6 +98,7 @@ impl Default for TieredOptions {
             max_inflight: 8,
             dispatch_cycles: 25,
             job_fuel: 2_000_000_000,
+            inject_panic_region: None,
         }
     }
 }
@@ -176,7 +185,19 @@ struct JobOutput {
     setup_cycles: u64,
 }
 
-type JobReply = Result<JobOutput, String>;
+/// Why a background job did not produce an instance.
+enum JobFailure {
+    /// The fork reported an ordinary error (bad set-up, stitch error).
+    /// The entry retries synchronously so a real failure reproduces
+    /// deterministically on the session.
+    Error(String),
+    /// The job body panicked. The worker thread survives
+    /// (`catch_unwind`), the region is pinned to its static fallback
+    /// permanently, and the session keeps running.
+    Panic(String),
+}
+
+type JobReply = Result<JobOutput, JobFailure>;
 
 /// A stitch job shipped to the worker pool: a forked machine plus
 /// everything needed to run set-up and stitch detached from the session.
@@ -188,18 +209,24 @@ struct JobRequest {
     /// locations before running set-up (the reverse of `read_key`).
     key_override: Option<Vec<u64>>,
     job_fuel: u64,
+    /// Fault injection (tests only): panic at the top of the job body.
+    inject_panic: bool,
     reply: mpsc::Sender<JobReply>,
 }
 
-fn run_job(req: JobRequest) -> JobReply {
+fn run_job(req: JobRequest) -> Result<JobOutput, String> {
     let JobRequest {
         mut fork,
         rc,
         stitch_opts,
         key_override,
         job_fuel,
+        inject_panic,
         ..
     } = req;
+    if inject_panic {
+        panic!("injected background stitch panic (test)");
+    }
     if let Some(key) = &key_override {
         for (loc, &v) in rc.key_locs.iter().zip(key.iter()) {
             match *loc {
@@ -233,6 +260,17 @@ fn run_job(req: JobRequest) -> JobReply {
     })
 }
 
+/// Best-effort human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "background stitch worker panicked".to_string()
+    }
+}
+
 /// A pool of host worker threads consuming [`JobRequest`]s.
 struct WorkerPool {
     tx: Option<mpsc::Sender<JobRequest>>,
@@ -247,12 +285,22 @@ impl WorkerPool {
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 thread::spawn(move || loop {
-                    let req = match rx.lock().expect("worker queue lock").recv() {
+                    // A sibling worker panicking mid-`recv` poisons the
+                    // queue mutex; the queue itself is still consistent,
+                    // so recover and keep serving.
+                    let req = match rx.lock().unwrap_or_else(|p| p.into_inner()).recv() {
                         Ok(r) => r,
                         Err(_) => break, // pool dropped
                     };
                     let reply = req.reply.clone();
-                    let _ = reply.send(run_job(req));
+                    let out: JobReply = match catch_unwind(AssertUnwindSafe(|| run_job(req))) {
+                        Ok(r) => r.map_err(JobFailure::Error),
+                        // `&*payload`, not `&payload`: a `&Box<dyn Any>`
+                        // would itself coerce to `&dyn Any` and the
+                        // downcast would always miss.
+                        Err(payload) => Err(JobFailure::Panic(panic_message(&*payload))),
+                    };
+                    let _ = reply.send(out);
                 })
             })
             .collect();
@@ -262,12 +310,16 @@ impl WorkerPool {
         }
     }
 
-    fn submit(&self, req: JobRequest) {
-        self.tx
-            .as_ref()
-            .expect("pool alive")
-            .send(req)
-            .expect("worker pool accepts jobs");
+    /// Ship a job to the pool. Worker threads only exit when the queue
+    /// sender is dropped (pool drop), and panics inside job bodies are
+    /// caught, so a send can only fail if the pool is being torn down —
+    /// in which case the job is silently dropped and the entry resolves
+    /// it as a failure.
+    fn submit(&self, req: JobRequest) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(req).is_ok(),
+            None => false,
+        }
     }
 }
 
@@ -344,10 +396,21 @@ pub(crate) struct TieredState {
     predictors: Vec<KeyPredictor>,
     /// Outstanding (unresolved) speculative jobs.
     spec_inflight: usize,
+    /// Regions whose background path panicked: permanently served by the
+    /// static fallback copy, never re-enqueued.
+    pinned: Vec<bool>,
+    /// Message from the most recent background failure (error or panic),
+    /// for diagnostics; the session exposes it read-only.
+    last_failure: Option<String>,
+    /// Trace events produced at resolution points (BgReady/BgFailed are
+    /// stamped on virtual clocks the engine cannot see); drained by the
+    /// session after each decision. Empty unless `collect` is set.
+    events: Vec<TraceEvent>,
+    collect: bool,
 }
 
 impl TieredState {
-    pub(crate) fn new(regions: &[RegionCode], opts: TieredOptions) -> Self {
+    pub(crate) fn new(regions: &[RegionCode], opts: TieredOptions, collect_events: bool) -> Self {
         let workers = opts.workers.max(1);
         TieredState {
             opts,
@@ -358,7 +421,28 @@ impl TieredState {
             jobs: FxHashMap::default(),
             predictors: regions.iter().map(|_| KeyPredictor::default()).collect(),
             spec_inflight: 0,
+            pinned: vec![false; regions.len()],
+            last_failure: None,
+            events: Vec::new(),
+            collect: collect_events,
         }
+    }
+
+    /// Drain events recorded since the last call (resolution-point
+    /// BgReady/BgFailed stamps).
+    pub(crate) fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Whether `region`'s background path panicked and the region is
+    /// permanently pinned to its static fallback.
+    pub(crate) fn is_pinned(&self, region: u16) -> bool {
+        self.pinned[region as usize]
+    }
+
+    /// Message from the most recent background failure, if any.
+    pub(crate) fn last_failure(&self) -> Option<&str> {
+        self.last_failure.as_deref()
     }
 
     pub(crate) fn options(&self) -> &TieredOptions {
@@ -389,6 +473,7 @@ impl TieredState {
             stitch_opts: stitch_opts.clone(),
             key_override: speculative.then(|| key.clone()),
             job_fuel: self.opts.job_fuel,
+            inject_panic: self.opts.inject_panic_region == Some(region),
             reply: tx,
         });
         self.queue.push_back(QueuedJob {
@@ -411,12 +496,22 @@ impl TieredState {
         while let Some(front) = self.queue.front() {
             let target = front.region == region && front.key == key;
             let job = self.queue.pop_front().expect("front exists");
+            // Receivers are consumed exactly once and the Mutex exists
+            // only to keep `Session` `Sync`; a poisoned one (a panic
+            // elsewhere on this thread) still holds a valid receiver.
             let reply = job
                 .rx
                 .into_inner()
-                .expect("receiver unpoisoned")
+                .unwrap_or_else(|p| p.into_inner())
                 .recv()
-                .expect("worker replies");
+                // Workers catch job panics, so a dead channel means the
+                // pool was torn down under us; treat like a panic so the
+                // region degrades to its fallback rather than aborting.
+                .unwrap_or_else(|_| {
+                    Err(JobFailure::Panic(
+                        "background stitch worker dropped its reply channel".to_string(),
+                    ))
+                });
             let slot = self
                 .jobs
                 .get_mut(&(job.region, job.key.clone()))
@@ -435,6 +530,16 @@ impl TieredState {
                     let ready_at =
                         self.clocks[w].max(job.enqueue_cycles) + out.setup_cycles + stitch_cycles;
                     self.clocks[w] = ready_at;
+                    if self.collect {
+                        self.events.push(TraceEvent {
+                            at: ready_at,
+                            clock: ClockDomain::Worker(w as u16),
+                            kind: EventKind::BgReady {
+                                region: job.region,
+                                speculative: job.speculative,
+                            },
+                        });
+                    }
                     JobState::Ready {
                         stitched: Arc::new(out.stitched),
                         ready_at,
@@ -443,7 +548,29 @@ impl TieredState {
                         speculative: job.speculative,
                     }
                 }
-                Err(_) => JobState::Failed,
+                Err(failure) => {
+                    let panicked = matches!(failure, JobFailure::Panic(_));
+                    self.last_failure = Some(match failure {
+                        JobFailure::Error(m) | JobFailure::Panic(m) => m,
+                    });
+                    if panicked {
+                        // A panicking job body means the background path
+                        // cannot be trusted for this region: pin it to the
+                        // statically compiled fallback permanently.
+                        self.pinned[job.region as usize] = true;
+                    }
+                    if self.collect {
+                        self.events.push(TraceEvent {
+                            at: job.enqueue_cycles,
+                            clock: ClockDomain::Session,
+                            kind: EventKind::BgFailed {
+                                region: job.region,
+                                panicked,
+                            },
+                        });
+                    }
+                    JobState::Failed
+                }
             };
             if target {
                 return;
@@ -464,6 +591,9 @@ impl TieredState {
         stitch_opts: &StitchOptions,
         now: u64,
     ) -> (TierDecision, u64) {
+        if self.pinned[region as usize] {
+            return (TierDecision::Fallback, 0);
+        }
         let mut enqueued = 0u64;
         if !self.has_job(region, key) {
             let at = now + self.opts.dispatch_cycles;
@@ -499,7 +629,13 @@ impl TieredState {
             Some(JobState::Pending) => TierDecision::Fallback,
             Some(JobState::Failed) | None => {
                 self.jobs.remove(&(region, key.to_vec()));
-                TierDecision::Synchronous
+                if self.pinned[region as usize] {
+                    // Resolution just pinned the region (worker panic):
+                    // stay on the fallback copy forever.
+                    TierDecision::Fallback
+                } else {
+                    TierDecision::Synchronous
+                }
             }
         };
         (decision, enqueued)
@@ -519,7 +655,7 @@ impl TieredState {
         stitch_opts: &StitchOptions,
         now: u64,
     ) -> u64 {
-        if key.is_empty() {
+        if key.is_empty() || self.pinned[region as usize] {
             return 0;
         }
         self.predictors[region as usize].observe(key);

@@ -133,6 +133,15 @@ pub enum VmError {
     },
     /// Instruction budget exhausted.
     OutOfFuel,
+    /// More call arguments than the register calling convention carries.
+    TooManyArgs {
+        /// Arguments supplied.
+        given: usize,
+        /// Arguments the convention supports.
+        max: usize,
+    },
+    /// A code patch targeted an address outside the code area.
+    PatchOutOfRange(u32),
 }
 
 impl fmt::Display for VmError {
@@ -143,6 +152,13 @@ impl fmt::Display for VmError {
             VmError::Mem(e) => write!(f, "memory fault: {e}"),
             VmError::DivideByZero { pc } => write!(f, "integer divide by zero at pc={pc}"),
             VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            VmError::TooManyArgs { given, max } => {
+                write!(
+                    f,
+                    "{given} call arguments, but at most {max} fit in registers"
+                )
+            }
+            VmError::PatchOutOfRange(at) => write!(f, "code patch out of range: {at}"),
         }
     }
 }
@@ -233,14 +249,19 @@ impl Vm {
     /// two-word `Ldiw` starting one word earlier). This is how the engine
     /// patches `EnterRegion` traps into direct branches.
     ///
-    /// # Panics
-    /// Panics when `at` is outside the code area.
-    pub fn patch_code(&mut self, at: u32, word: u32) {
-        self.code[at as usize] = word;
+    /// # Errors
+    /// [`VmError::PatchOutOfRange`] when `at` is outside the code area.
+    pub fn patch_code(&mut self, at: u32, word: u32) -> Result<(), VmError> {
+        let slot = self
+            .code
+            .get_mut(at as usize)
+            .ok_or(VmError::PatchOutOfRange(at))?;
+        *slot = word;
         self.decoded[at as usize] = None;
         if at > 0 {
             self.decoded[at as usize - 1] = None;
         }
+        Ok(())
     }
 
     /// Address of a one-instruction `Halt` stub (created on first use),
@@ -301,8 +322,17 @@ impl Vm {
     /// Prepare a call: arguments into `r16…`/`f16…`, return address to the
     /// halt stub, `pc` to `entry`. Use [`Vm::run`] to execute and read `r0`
     /// (or `f0`) for the result.
-    pub fn setup_call(&mut self, entry: u32, args: &[u64]) {
-        assert!(args.len() <= 6, "at most 6 register arguments");
+    ///
+    /// # Errors
+    /// [`VmError::TooManyArgs`] when `args` exceeds the six register
+    /// argument slots of the calling convention.
+    pub fn setup_call(&mut self, entry: u32, args: &[u64]) -> Result<(), VmError> {
+        if args.len() > 6 {
+            return Err(VmError::TooManyArgs {
+                given: args.len(),
+                max: 6,
+            });
+        }
         for (i, &a) in args.iter().enumerate() {
             self.regs[16 + i] = a;
             self.fregs[16 + i] = f64::from_bits(a);
@@ -310,6 +340,7 @@ impl Vm {
         let stub = self.halt_stub();
         self.regs[RA as usize] = u64::from(stub);
         self.pc = entry;
+        Ok(())
     }
 
     fn fetch(&mut self, pc: u32) -> Result<(Inst, u32), VmError> {
@@ -445,6 +476,10 @@ impl Vm {
                 }
             }
             // ---- memory ----
+            // Memory- and jump-format words have no literal-operand bit:
+            // `decode` always produces `Operand::Reg` for them, so the
+            // `else` arms below are decode invariants, not reachable
+            // through any code word.
             Lda => {
                 let Operand::Reg(base) = rb else {
                     unreachable!()
@@ -532,9 +567,15 @@ impl Vm {
                 *taken = true;
             }
             // ---- float operate ----
+            // Float operate instructions use the Operate encoding, whose
+            // literal-operand bit a crafted or patched code word can set;
+            // there is no literal float form, so that decodes must fault
+            // rather than hit an unreachable arm.
             Addt | Subt | Mult | Divt => {
                 let a = self.freg(ra);
-                let Operand::Reg(b) = rb else { unreachable!() };
+                let Operand::Reg(b) = rb else {
+                    return Err(VmError::BadInstruction { pc });
+                };
                 let b = self.freg(b);
                 let v = match op {
                     Addt => a + b,
@@ -547,7 +588,9 @@ impl Vm {
             }
             Cmpteq | Cmptlt | Cmptle => {
                 let a = self.freg(ra);
-                let Operand::Reg(b) = rb else { unreachable!() };
+                let Operand::Reg(b) = rb else {
+                    return Err(VmError::BadInstruction { pc });
+                };
                 let b = self.freg(b);
                 let v = match op {
                     Cmpteq => a == b,
@@ -558,7 +601,9 @@ impl Vm {
                 self.set_reg(rc, u64::from(v));
             }
             Sqrtt => {
-                let Operand::Reg(b) = rb else { unreachable!() };
+                let Operand::Reg(b) = rb else {
+                    return Err(VmError::BadInstruction { pc });
+                };
                 let v = self.freg(b).sqrt();
                 self.set_freg(rc, v);
             }
@@ -580,17 +625,23 @@ impl Vm {
                 self.set_reg(rc, i as u64);
             }
             Fmov => {
-                let Operand::Reg(b) = rb else { unreachable!() };
+                let Operand::Reg(b) = rb else {
+                    return Err(VmError::BadInstruction { pc });
+                };
                 let v = self.freg(b);
                 self.set_freg(rc, v);
             }
             Fneg => {
-                let Operand::Reg(b) = rb else { unreachable!() };
+                let Operand::Reg(b) = rb else {
+                    return Err(VmError::BadInstruction { pc });
+                };
                 let v = -self.freg(b);
                 self.set_freg(rc, v);
             }
             Fcmovne => {
-                let Operand::Reg(b) = rb else { unreachable!() };
+                let Operand::Reg(b) = rb else {
+                    return Err(VmError::BadInstruction { pc });
+                };
                 if self.reg(ra) != 0 {
                     let v = self.freg(b);
                     self.set_freg(rc, v);
@@ -737,7 +788,7 @@ mod tests {
         // after return, halt comes from setup_call's stub... we instead
         // return directly: use setup_call on callee.
         let _ = caller;
-        vm.setup_call(callee, &[14]);
+        vm.setup_call(callee, &[14]).unwrap();
         assert_eq!(vm.run().unwrap(), Stop::Halted);
         assert_eq!(vm.reg(0), 42);
     }
@@ -1057,7 +1108,7 @@ mod tests {
         );
         let disp = target as i64 - (i64::from(start) + 1);
         let (w, _) = encode(&Inst::branch(Op::Br, ZERO, disp as i32)).unwrap();
-        vm.patch_code(start, w);
+        vm.patch_code(start, w).unwrap();
         vm.pc = start;
         assert_eq!(vm.run().unwrap(), Stop::Halted);
         assert_eq!(vm.reg(2), 222, "patched branch was executed");
@@ -1083,7 +1134,7 @@ mod tests {
         vm.pc = start;
         vm.run().unwrap();
         assert_eq!(vm.reg(1), 1000);
-        vm.patch_code(start + 1, 2000u32);
+        vm.patch_code(start + 1, 2000u32).unwrap();
         vm.pc = start;
         vm.run().unwrap();
         assert_eq!(vm.reg(1), 2000, "patched immediate word took effect");
@@ -1146,5 +1197,38 @@ mod tests {
             c1,
             m.int_op + 10 * m.int_op + 9 * m.branch_taken + m.branch_untaken
         );
+    }
+
+    #[test]
+    fn too_many_call_args_is_an_error_not_a_panic() {
+        let mut vm = Vm::new(1 << 12);
+        let err = vm.setup_call(0, &[0; 7]).unwrap_err();
+        assert!(
+            matches!(err, VmError::TooManyArgs { given: 7, max: 6 }),
+            "{err}"
+        );
+        // At the boundary, six arguments are fine.
+        vm.setup_call(0, &[0; 6]).unwrap();
+    }
+
+    #[test]
+    fn code_patch_out_of_range_is_an_error_not_a_panic() {
+        let mut vm = Vm::new(1 << 12);
+        vm.append_code(&[0]);
+        let err = vm.patch_code(99, 0).unwrap_err();
+        assert!(matches!(err, VmError::PatchOutOfRange(99)), "{err}");
+        vm.patch_code(0, 0).unwrap();
+    }
+
+    #[test]
+    fn float_op_with_literal_operand_is_an_error_not_a_panic() {
+        // Operate-format words carry a literal bit, so a crafted (or
+        // mispatched) code word can reach a float op with `Operand::Lit`;
+        // the VM must report it as a bad instruction, not panic.
+        let mut vm = Vm::new(1 << 12);
+        let start = emit(&mut vm, Inst::op3(Op::Addt, 1, Operand::Lit(5), 2));
+        vm.pc = start;
+        let err = vm.run().unwrap_err();
+        assert!(matches!(err, VmError::BadInstruction { .. }), "{err}");
     }
 }

@@ -69,6 +69,11 @@ pub struct StitchOptions {
     /// Print register-action diagnostics to stderr (debugging aid for the
     /// §5 extension; off by default).
     pub debug_regactions: bool,
+    /// Record every copy-and-patch plan patch applied into
+    /// [`Stitched::plan_patches`] (consumed by the engine's tracing
+    /// layer). Off by default; recording is host-side bookkeeping only and
+    /// never changes stats or cycle charges.
+    pub record_patches: bool,
 }
 
 impl Default for StitchOptions {
@@ -81,8 +86,19 @@ impl Default for StitchOptions {
             register_actions: None,
             plans: true,
             debug_regactions: false,
+            record_patches: false,
         }
     }
+}
+
+/// One recorded copy-and-patch plan patch (filled only with
+/// [`StitchOptions::record_patches`]; feeds `PlanPatch` trace events).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanPatchRecord {
+    /// Output word position patched, relative to the instance base.
+    pub at: u32,
+    /// The constant value patched in.
+    pub value: u64,
 }
 
 /// What the stitcher did (feeds Table 2 and Table 3).
@@ -149,6 +165,9 @@ pub struct Stitched {
     pub exit_patches: Vec<(u32, u32)>,
     /// Counters.
     pub stats: StitchStats,
+    /// Plan patches applied, in application order (empty unless
+    /// [`StitchOptions::record_patches`] was set).
+    pub plan_patches: Vec<PlanPatchRecord>,
 }
 
 impl Stitched {
@@ -265,13 +284,14 @@ pub fn stitch(
         accesses: Vec::new(),
         reg_known: FxHashMap::default(),
         known_load_at: FxHashMap::default(),
+        plan_patch_log: Vec::new(),
     };
 
     // Prologue: establish the linearized-table base register. The address
     // is unknown until stitching completes; patch afterwards.
     st.charge(st.opts.cost.directive);
     st.lin_ldiw_patches.push(st.out.len() as u32);
-    st.emit(Inst::ldiw(LIN, 0));
+    st.emit(Inst::ldiw(LIN, 0))?;
 
     // Reserve the register-actions preamble (3 words per promoted
     // address; unneeded slots remain harmless moves).
@@ -330,7 +350,9 @@ pub fn stitch(
             crate::regactions::apply_register_actions(&mut st.out, &accesses, k);
         let mut at = slot_base;
         for i in &preamble {
-            let (w, extra) = encode(i).expect("preamble encodes");
+            let (w, extra) = encode(i).map_err(|e| {
+                StitchError::BadTemplate(format!("register-actions preamble does not encode: {e}"))
+            })?;
             st.out[at] = w;
             at += 1;
             if let Some(x) = extra {
@@ -360,7 +382,45 @@ pub fn stitch(
         lin_far_addr_patches: st.lin_far_patches,
         exit_patches: st.exit_patches,
         stats: st.stats,
+        plan_patches: st.plan_patch_log,
     })
+}
+
+/// Re-encode `word`'s literal operand with `v`, refusing out-of-range
+/// values instead of truncating (the plan applicability check should have
+/// rejected them; disagreement is a bug surfaced as an error, not silent
+/// corruption).
+pub(crate) fn patch_lit_word(word: u32, v: u64) -> Result<u32, StitchError> {
+    if v > 255 {
+        return Err(StitchError::BadTemplate(format!(
+            "literal hole value {v} does not fit the 8-bit operate literal"
+        )));
+    }
+    let inst = decode(word, None).map_err(|e| StitchError::BadTemplate(e.to_string()))?;
+    let (w, _) = encode(&Inst {
+        rb: Operand::Lit(v as u8),
+        ..inst
+    })
+    .map_err(|e| StitchError::BadTemplate(e.to_string()))?;
+    Ok(w)
+}
+
+/// Rewrite `word`'s memory displacement to the linearized-table offset
+/// `off`, refusing offsets beyond the 14-bit displacement range instead
+/// of masking them (callers that can reach far offsets must take the
+/// far-entry sequence).
+pub(crate) fn patch_memdisp_word(word: u32, off: i32) -> Result<u32, StitchError> {
+    if off < 0 || !lin_near(off) {
+        return Err(StitchError::BadTemplate(format!(
+            "linearized-table offset {off} exceeds the 14-bit displacement range"
+        )));
+    }
+    Ok((word & !0x3FFF) | (off as u32 & 0x3FFF))
+}
+
+/// Whether a table offset fits the memory-format displacement.
+fn lin_near(off: i32) -> bool {
+    off <= dyncomp_machine::isa::limits::DISP_MAX
 }
 
 /// A stitch point: template block + unrolled-loop record stack.
@@ -393,6 +453,8 @@ struct Stitcher<'a> {
     reg_known: FxHashMap<u8, u64>,
     /// Output position of the hole load that established each known reg.
     known_load_at: FxHashMap<u8, u32>,
+    /// Applied plan patches (only with [`StitchOptions::record_patches`]).
+    plan_patch_log: Vec<PlanPatchRecord>,
 }
 
 impl Stitcher<'_> {
@@ -400,8 +462,10 @@ impl Stitcher<'_> {
         self.stats.cycles += c;
     }
 
-    fn emit(&mut self, i: Inst) {
-        let (w, extra) = encode(&i).expect("stitched instruction encodes");
+    fn emit(&mut self, i: Inst) -> Result<(), StitchError> {
+        let (w, extra) = encode(&i).map_err(|e| {
+            StitchError::BadTemplate(format!("stitched instruction does not encode: {e}"))
+        })?;
         self.out.push(w);
         self.stats.words_emitted += 1;
         self.stats.instructions_stitched += 1;
@@ -409,6 +473,7 @@ impl Stitcher<'_> {
             self.out.push(x);
             self.stats.words_emitted += 1;
         }
+        Ok(())
     }
 
     fn abs_pos(&self) -> u32 {
@@ -460,17 +525,12 @@ impl Stitcher<'_> {
         Ok(off as i32)
     }
 
-    /// Whether a table offset fits the memory-format displacement.
-    fn lin_near(off: i32) -> bool {
-        off <= dyncomp_machine::isa::limits::DISP_MAX
-    }
-
     /// Emit `Ldiw r25, <lin_addr + off>` (patched once the table address
     /// is known) so a far table entry can be loaded via `0(r25)`.
-    fn emit_far_base(&mut self, off: i32) {
+    fn emit_far_base(&mut self, off: i32) -> Result<(), StitchError> {
         self.lin_far_patches
             .push((self.out.len() as u32, off as u32));
-        self.emit(Inst::ldiw(SCRATCH0, 0));
+        self.emit(Inst::ldiw(SCRATCH0, 0))
     }
 
     /// Stitch a fall-through chain starting at `key`, queueing branch
@@ -484,7 +544,7 @@ impl Stitcher<'_> {
                 let target = self.done[&key];
                 self.charge(self.opts.cost.branch_fixup);
                 let disp = target as i64 - (self.abs_pos() as i64 + 1);
-                self.emit(Inst::branch(Op::Br, ZERO, disp as i32));
+                self.emit(Inst::branch(Op::Br, ZERO, disp as i32))?;
                 return Ok(());
             }
             if self.done.len() >= self.opts.max_blocks {
@@ -649,7 +709,7 @@ impl Stitcher<'_> {
                     .ok_or_else(|| StitchError::BadTemplate(format!("exit {exit}")))?;
                 let disp = target as i64 - (self.abs_pos() as i64 + 1);
                 self.exit_patches.push((self.out.len() as u32, target));
-                self.emit(Inst::branch(Op::Br, ZERO, disp as i32));
+                self.emit(Inst::branch(Op::Br, ZERO, disp as i32))?;
                 Ok(None)
             }
         }
@@ -775,7 +835,7 @@ impl Stitcher<'_> {
                             }
                         },
                     };
-                    if !Self::lin_near(off) {
+                    if !lin_near(off) {
                         self.stats.plan_misses += 1;
                         return Ok(false);
                     }
@@ -798,23 +858,27 @@ impl Stitcher<'_> {
             match p.field {
                 HoleField::Lit => {
                     // Decode + re-encode, exactly like the interpretive
-                    // path, so the output stays bit-identical.
-                    let inst =
-                        decode(word, None).map_err(|e| StitchError::BadTemplate(e.to_string()))?;
-                    let (w, _) = encode(&Inst {
-                        rb: Operand::Lit(v as u8),
-                        ..inst
-                    })
-                    .map_err(|e| StitchError::BadTemplate(e.to_string()))?;
-                    self.out[at] = w;
+                    // path, so the output stays bit-identical. The helper
+                    // refuses values > 255 — if the applicability check
+                    // ever disagrees with the patcher this errors instead
+                    // of silently truncating.
+                    self.out[at] = patch_lit_word(word, v)?;
                     self.stats.holes_inline += 1;
                 }
                 HoleField::MemDisp { .. } => {
                     let off = self.lin_offset(v)?;
-                    debug_assert!(Self::lin_near(off), "applicability check predicted near");
-                    self.out[at] = (word & !0x3FFF) | (off as u32 & 0x3FFF);
+                    // Checked rewrite: an offset the applicability check
+                    // predicted near but is not errors instead of masking
+                    // to 14 bits.
+                    self.out[at] = patch_memdisp_word(word, off)?;
                     self.stats.holes_big += 1;
                 }
+            }
+            if self.opts.record_patches {
+                self.plan_patch_log.push(PlanPatchRecord {
+                    at: at as u32,
+                    value: v,
+                });
             }
         }
         Ok(true)
@@ -835,23 +899,23 @@ impl Stitcher<'_> {
                 self.charge(self.opts.cost.hole_big);
                 self.stats.holes_big += 1;
                 let load_at = self.out.len() as u32;
-                let near = Self::lin_near(off);
+                let near = lin_near(off);
                 if near {
-                    let patched = (word & !0x3FFF) | (off as u32 & 0x3FFF);
+                    let patched = patch_memdisp_word(word, off)?;
                     self.out.push(patched);
                     self.stats.words_emitted += 1;
                     self.stats.instructions_stitched += 1;
                 } else {
                     // Far entry: materialize the slot address, rebase the
                     // load onto it.
-                    self.emit_far_base(off);
+                    self.emit_far_base(off)?;
                     let inst =
                         decode(word, None).map_err(|e| StitchError::BadTemplate(e.to_string()))?;
                     self.emit(Inst {
                         rb: Operand::Reg(SCRATCH0),
                         imm: 0,
                         ..inst
-                    });
+                    })?;
                 }
                 if !float && self.opts.register_actions.is_some() {
                     // The destination register now holds a known constant
@@ -871,7 +935,7 @@ impl Stitcher<'_> {
                 debug_assert_eq!(inst.op.format(), Format::Operate);
                 // Peephole strength reduction first (§4): constant
                 // multiplies and unsigned divides/mods rewrite entirely.
-                if self.opts.peephole && self.try_strength_reduce(&inst, v) {
+                if self.opts.peephole && self.try_strength_reduce(&inst, v)? {
                     return Ok(());
                 }
                 if v <= 255 {
@@ -880,7 +944,7 @@ impl Stitcher<'_> {
                     self.emit(Inst {
                         rb: Operand::Lit(v as u8),
                         ..inst
-                    });
+                    })?;
                 } else {
                     self.charge(self.opts.cost.hole_big);
                     self.stats.holes_big += 1;
@@ -888,7 +952,7 @@ impl Stitcher<'_> {
                     self.emit(Inst {
                         rb: Operand::Reg(SCRATCH0),
                         ..inst
-                    });
+                    })?;
                 }
             }
         }
@@ -899,16 +963,16 @@ impl Stitcher<'_> {
     fn materialize_scratch(&mut self, v: u64) -> Result<(), StitchError> {
         let sv = v as i64;
         if (-8192..=8191).contains(&sv) {
-            self.emit(Inst::mem(Op::Lda, SCRATCH0, ZERO, sv as i16));
+            self.emit(Inst::mem(Op::Lda, SCRATCH0, ZERO, sv as i16))?;
         } else if sv >= i32::MIN as i64 && sv <= i32::MAX as i64 {
-            self.emit(Inst::ldiw(SCRATCH0, sv as i32));
+            self.emit(Inst::ldiw(SCRATCH0, sv as i32))?;
         } else if self.opts.linearized_table {
             let off = self.lin_offset(v)?;
-            if Self::lin_near(off) {
-                self.emit(Inst::mem(Op::Ldq, SCRATCH0, LIN, off as i16));
+            if lin_near(off) {
+                self.emit(Inst::mem(Op::Ldq, SCRATCH0, LIN, off as i16))?;
             } else {
-                self.emit_far_base(off);
-                self.emit(Inst::mem(Op::Ldq, SCRATCH0, SCRATCH0, 0));
+                self.emit_far_base(off)?;
+                self.emit(Inst::mem(Op::Ldq, SCRATCH0, SCRATCH0, 0))?;
             }
         } else {
             // Construct from 13-bit chunks (ablation path). The leading
@@ -920,11 +984,11 @@ impl Stitcher<'_> {
                 (sv >> 13) & 0x1FFF,
                 sv & 0x1FFF,
             ];
-            self.emit(Inst::mem(Op::Lda, SCRATCH0, ZERO, chunks[0] as i16));
+            self.emit(Inst::mem(Op::Lda, SCRATCH0, ZERO, chunks[0] as i16))?;
             for &c in &chunks[1..] {
-                self.emit(Inst::op3(Op::Sll, SCRATCH0, Operand::Lit(13), SCRATCH0));
+                self.emit(Inst::op3(Op::Sll, SCRATCH0, Operand::Lit(13), SCRATCH0))?;
                 if c != 0 {
-                    self.emit(Inst::mem(Op::Lda, SCRATCH0, SCRATCH0, c as i16));
+                    self.emit(Inst::mem(Op::Lda, SCRATCH0, SCRATCH0, c as i16))?;
                 }
             }
         }
@@ -933,76 +997,76 @@ impl Stitcher<'_> {
 
     /// §4 peephole: rewrite `mulq/divqu/remqu rX, #const` using the actual
     /// value. Returns true when a rewrite was emitted.
-    fn try_strength_reduce(&mut self, inst: &Inst, v: u64) -> bool {
+    fn try_strength_reduce(&mut self, inst: &Inst, v: u64) -> Result<bool, StitchError> {
         self.charge(self.opts.cost.peephole_try);
         let ra = inst.ra;
         let rc = inst.rc;
         match inst.op {
             Op::Mulq => {
                 if v == 0 {
-                    self.emit_sr(Inst::op3(Op::Bis, ZERO, Operand::Reg(ZERO), rc));
-                    return true;
+                    self.emit_sr(Inst::op3(Op::Bis, ZERO, Operand::Reg(ZERO), rc))?;
+                    return Ok(true);
                 }
                 if v == 1 {
-                    self.emit_sr(Inst::op3(Op::Bis, ra, Operand::Reg(ra), rc));
-                    return true;
+                    self.emit_sr(Inst::op3(Op::Bis, ra, Operand::Reg(ra), rc))?;
+                    return Ok(true);
                 }
                 if v.is_power_of_two() {
                     let k = v.trailing_zeros() as u8;
-                    self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit(k), rc));
-                    return true;
+                    self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit(k), rc))?;
+                    return Ok(true);
                 }
                 // 2^k - 1: shift and subtract.
                 if (v + 1).is_power_of_two() {
                     let k = (v + 1).trailing_zeros() as u8;
-                    self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit(k), SCRATCH0));
-                    self.emit_sr(Inst::op3(Op::Subq, SCRATCH0, Operand::Reg(ra), rc));
-                    return true;
+                    self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit(k), SCRATCH0))?;
+                    self.emit_sr(Inst::op3(Op::Subq, SCRATCH0, Operand::Reg(ra), rc))?;
+                    return Ok(true);
                 }
                 // Few set bits: shift/add decomposition. Guard against the
                 // destination aliasing the source.
                 if v.count_ones() <= 3 && rc != ra {
                     let mut bits: Vec<u32> = (0..64).filter(|b| v & (1 << b) != 0).collect();
                     let first = bits.remove(0);
-                    self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit(first as u8), rc));
+                    self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit(first as u8), rc))?;
                     for b in bits {
-                        self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit(b as u8), SCRATCH0));
-                        self.emit_sr(Inst::op3(Op::Addq, rc, Operand::Reg(SCRATCH0), rc));
+                        self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit(b as u8), SCRATCH0))?;
+                        self.emit_sr(Inst::op3(Op::Addq, rc, Operand::Reg(SCRATCH0), rc))?;
                     }
-                    return true;
+                    return Ok(true);
                 }
-                false
+                Ok(false)
             }
             Op::Divqu => {
                 if v.is_power_of_two() {
                     let k = v.trailing_zeros() as u8;
-                    self.emit_sr(Inst::op3(Op::Srl, ra, Operand::Lit(k), rc));
-                    return true;
+                    self.emit_sr(Inst::op3(Op::Srl, ra, Operand::Lit(k), rc))?;
+                    return Ok(true);
                 }
-                false
+                Ok(false)
             }
             Op::Remqu => {
                 if v.is_power_of_two() {
                     let k = v.trailing_zeros();
                     if v - 1 <= 255 {
-                        self.emit_sr(Inst::op3(Op::And, ra, Operand::Lit((v - 1) as u8), rc));
+                        self.emit_sr(Inst::op3(Op::And, ra, Operand::Lit((v - 1) as u8), rc))?;
                     } else {
                         // x << (64-k) >> (64-k)
-                        self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit((64 - k) as u8), rc));
-                        self.emit_sr(Inst::op3(Op::Srl, rc, Operand::Lit((64 - k) as u8), rc));
+                        self.emit_sr(Inst::op3(Op::Sll, ra, Operand::Lit((64 - k) as u8), rc))?;
+                        self.emit_sr(Inst::op3(Op::Srl, rc, Operand::Lit((64 - k) as u8), rc))?;
                     }
-                    return true;
+                    return Ok(true);
                 }
-                false
+                Ok(false)
             }
-            _ => false,
+            _ => Ok(false),
         }
     }
 
-    fn emit_sr(&mut self, i: Inst) {
+    fn emit_sr(&mut self, i: Inst) -> Result<(), StitchError> {
         self.stats.strength_reductions += 1;
         self.charge(self.opts.cost.peephole_emit);
-        self.emit(i);
+        self.emit(i)
     }
 
     fn resolve_fixups(&mut self) -> Result<(), StitchError> {

@@ -54,7 +54,7 @@ fn run_stitched(code: &[u32], mem: Memory, args: &[u64]) -> (u64, Vm) {
     let mut vm = Vm::new(1 << 20);
     vm.mem = mem;
     let entry = vm.append_code(code);
-    vm.setup_call(entry, args);
+    vm.setup_call(entry, args).unwrap();
     match vm.run() {
         Ok(Stop::Halted) => (vm.reg(0), vm),
         other => panic!("unexpected stop: {other:?}"),
@@ -547,7 +547,7 @@ fn far_linearized_table_entries() {
     vm.mem = mem;
     vm.fuel = 50_000_000;
     let entry = vm.append_code(&out.code);
-    vm.setup_call(entry, &[]);
+    vm.setup_call(entry, &[]).unwrap();
     assert_eq!(vm.run().unwrap(), Stop::Halted);
     assert_eq!(vm.reg(0), want);
 }
@@ -582,6 +582,7 @@ fn bare_stitched(code: Vec<u32>) -> crate::Stitched {
         lin_addr_patches: vec![],
         lin_far_addr_patches: vec![],
         exit_patches: vec![],
+        plan_patches: vec![],
         stats: crate::StitchStats::default(),
     }
 }
@@ -671,4 +672,39 @@ fn relocate_near_table_patch_in_final_code_word() {
     let (out, lin) = s.relocate(64, &mut mem).unwrap();
     assert_eq!(out[1], lin as u32);
     assert_eq!(mem.read_u64(lin).unwrap(), 42);
+}
+
+#[test]
+fn patch_lit_word_rejects_values_over_255() {
+    // Regression: this used to truncate with `v as u8` (silently wrong
+    // code in release builds); it must refuse instead.
+    let w = word(Inst::op3(Op::Addq, 16, Operand::Lit(0), 0));
+    assert_eq!(
+        crate::patch_lit_word(w, 255).unwrap(),
+        word(Inst::op3(Op::Addq, 16, Operand::Lit(255), 0))
+    );
+    for v in [256u64, 300, 70_000, u64::MAX] {
+        let err = crate::patch_lit_word(w, v).unwrap_err();
+        assert!(
+            matches!(err, StitchError::BadTemplate(_)),
+            "value {v}: {err}"
+        );
+    }
+}
+
+#[test]
+fn patch_memdisp_word_rejects_offsets_beyond_displacement_range() {
+    // Regression: this used to mask to 14 bits behind a `debug_assert`
+    // (silently aliasing a wrong table slot in release builds).
+    use dyncomp_machine::isa::limits::DISP_MAX;
+    let w = word(Inst::mem(Op::Ldq, 1, 2, 0));
+    let ok = crate::patch_memdisp_word(w, DISP_MAX).unwrap();
+    assert_eq!(ok, word(Inst::mem(Op::Ldq, 1, 2, DISP_MAX as i16)));
+    for off in [DISP_MAX + 1, DISP_MAX + 8, i32::MAX, -8] {
+        let err = crate::patch_memdisp_word(w, off).unwrap_err();
+        assert!(
+            matches!(err, StitchError::BadTemplate(_)),
+            "offset {off}: {err}"
+        );
+    }
 }
