@@ -1,0 +1,313 @@
+//! Fault-injection sweep: every [`FaultPoint`] against every paper
+//! kernel, asserting the robustness invariant end to end — a session
+//! under injected faults must produce **bit-identical checksums** to the
+//! fault-free run (recovery may spend extra simulated cycles, never
+//! change a result).
+//!
+//! For each kernel the harness first measures a fault-free reference,
+//! then re-runs the full workload once per fault point with
+//! `FaultPlan::single(point, 2)` armed (two fires, any region, default
+//! recovery policy). Worker faults run under a tiered pool; shared-cache
+//! faults run against a pre-warmed [`SharedCodeCache`]. Every row
+//! records the checksum, the fault/recovery counters, and whether the
+//! checksum matched — any mismatch or unfired injection exits non-zero.
+//!
+//! Usage: `cargo run --release -p dyncomp-bench --bin fault_sweep
+//! [--smoke] [--json <path>] [--check <path>]`
+//!
+//! `--check <path>` compares the rendered JSON byte-for-byte against a
+//! committed reference (everything here is simulated-deterministic, so
+//! CI runs the sweep twice and diffs).
+
+use dyncomp::{
+    Compiler, EngineOptions, FaultPlan, FaultPoint, KernelSetup, Program, Session, SharedCodeCache,
+    TieredOptions,
+};
+use dyncomp_bench::json_str;
+use dyncomp_bench::kernels::{calculator, dispatch, smatmul, sorter, spmv};
+use std::sync::Arc;
+
+struct Workload {
+    kernel: &'static str,
+    setup: KernelSetup<'static>,
+}
+
+fn workloads(smoke: bool) -> Vec<Workload> {
+    if smoke {
+        vec![
+            Workload {
+                kernel: "calculator",
+                setup: calculator::setup(80),
+            },
+            Workload {
+                kernel: "smatmul",
+                setup: smatmul::setup(8, 16, 8),
+            },
+            Workload {
+                kernel: "spmv",
+                setup: spmv::setup(12, 3, 20),
+            },
+            Workload {
+                kernel: "dispatch",
+                setup: dispatch::setup(10, 60),
+            },
+            Workload {
+                kernel: "sorter",
+                setup: sorter::setup(40, 4, 5),
+            },
+        ]
+    } else {
+        vec![
+            Workload {
+                kernel: "calculator",
+                setup: calculator::setup(2000),
+            },
+            Workload {
+                kernel: "smatmul",
+                setup: smatmul::setup(100, 800, 100),
+            },
+            Workload {
+                kernel: "spmv",
+                setup: spmv::setup(200, 10, 300),
+            },
+            Workload {
+                kernel: "dispatch",
+                setup: dispatch::setup(10, 2000),
+            },
+            Workload {
+                kernel: "sorter",
+                setup: sorter::setup(500, 4, 20),
+            },
+        ]
+    }
+}
+
+/// Run the workload twice over on a fresh session (two passes, so every
+/// keyed region re-enters each key at least once — background jobs get
+/// resolved and re-entry fault points get an opportunity) and keep the
+/// session for health inspection.
+fn run(program: &Arc<Program>, setup: &KernelSetup<'_>, options: EngineOptions) -> (u64, Session) {
+    let mut session = Session::with_options(Arc::clone(program), options);
+    let prepared = (setup.prepare)(&mut session);
+    let mut checksum = 0u64;
+    for _pass in 0..2 {
+        for i in 0..setup.iterations {
+            let args = (setup.args)(i, &prepared);
+            let r = session
+                .call(setup.func, &args)
+                .unwrap_or_else(|e| panic!("session must survive injected faults: {e}"));
+            checksum = checksum.wrapping_mul(1099511628211).wrapping_add(r);
+        }
+    }
+    (checksum, session)
+}
+
+/// Engine options arming `point`: worker faults get a tiered pool,
+/// shared-cache faults get the pre-warmed cache, everything else runs
+/// the default synchronous engine.
+fn options_for(point: FaultPoint, warmed: &Arc<SharedCodeCache>) -> EngineOptions {
+    let mut options = EngineOptions {
+        faults: Some(FaultPlan::single(point, 2)),
+        ..EngineOptions::default()
+    };
+    match point {
+        FaultPoint::WorkerPanic | FaultPoint::WorkerSlow => {
+            options.tiered = Some(TieredOptions {
+                workers: 2,
+                ..TieredOptions::default()
+            });
+        }
+        FaultPoint::SharedCacheInstall | FaultPoint::SharedCachePoisonedShard => {
+            options.shared_cache = Some(Arc::clone(warmed));
+        }
+        _ => {}
+    }
+    options
+}
+
+struct Row {
+    kernel: &'static str,
+    point: FaultPoint,
+    checksum: u64,
+    matches: bool,
+    faults_injected: u64,
+    retries: u64,
+    failures: u64,
+    quarantined: usize,
+    fallback_runs: u64,
+    stitches: u64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"kernel\": {}, \"point\": {}, \"checksum\": {}, ",
+                "\"matches_reference\": {}, \"faults_injected\": {}, ",
+                "\"retries\": {}, \"failures\": {}, \"quarantined\": {}, ",
+                "\"fallback_runs\": {}, \"stitches\": {}}}"
+            ),
+            json_str(self.kernel),
+            json_str(self.point.name()),
+            self.checksum,
+            self.matches,
+            self.faults_injected,
+            self.retries,
+            self.failures,
+            self.quarantined,
+            self.fallback_runs,
+            self.stitches,
+        )
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(p) => args.get(p + 1).cloned().unwrap_or_else(|| {
+            eprintln!("fault_sweep: --json needs a path");
+            std::process::exit(2);
+        }),
+        None => "BENCH_fault_sweep.json".to_string(),
+    };
+
+    let scale = if smoke { "Smoke" } else { "Paper" };
+    println!("Fault sweep: every fault point x every kernel ({scale} scale)");
+    println!(
+        "{:<12} | {:<24} | {:<20} | {:>7} | {:>7} | {:>8} | {:>6} | {:>8} | {:>8} | match",
+        "kernel",
+        "fault point",
+        "checksum",
+        "faults",
+        "retries",
+        "failures",
+        "quar",
+        "fallback",
+        "stitches",
+    );
+    println!("{}", "-".repeat(132));
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut bad = 0u32;
+    for w in workloads(smoke) {
+        // One program per kernel, compiled with static fallback copies so
+        // quarantine and worker faults have somewhere to degrade to.
+        let program = Arc::new(
+            Compiler::tiered()
+                .compile(w.setup.src)
+                .unwrap_or_else(|e| panic!("{} compiles: {e}", w.kernel)),
+        );
+        let (reference, _) = run(&program, &w.setup, EngineOptions::default());
+
+        // Warm a shared cache for the shared-cache fault points, so the
+        // faulted session actually probes populated shards.
+        let warmed = Arc::new(SharedCodeCache::new(4, 64));
+        let warm_options = EngineOptions {
+            shared_cache: Some(Arc::clone(&warmed)),
+            ..EngineOptions::default()
+        };
+        let (warm_checksum, _) = run(&program, &w.setup, warm_options);
+        assert_eq!(warm_checksum, reference, "warming changes no result");
+
+        for point in FaultPoint::ALL {
+            let (checksum, session) = run(&program, &w.setup, options_for(point, &warmed));
+            let health = session.health();
+            let fallback_runs: u64 = (0..program.region_count())
+                .map(|i| session.region_report(i).fallback_runs)
+                .sum();
+            let stitches: u64 = (0..program.region_count())
+                .map(|i| u64::from(session.region_report(i).stitches))
+                .sum();
+            let matches = checksum == reference;
+            if !matches {
+                bad += 1;
+                eprintln!(
+                    "fault_sweep: {} under {} drifted: {} != {}",
+                    w.kernel,
+                    point.name(),
+                    checksum,
+                    reference
+                );
+            }
+            if health.faults_injected == 0 {
+                bad += 1;
+                eprintln!(
+                    "fault_sweep: {} under {} never fired the injection",
+                    w.kernel,
+                    point.name()
+                );
+            }
+            println!(
+                "{:<12} | {:<24} | {:<20} | {:>7} | {:>7} | {:>8} | {:>6} | {:>8} | {:>8} | {}",
+                w.kernel,
+                point.name(),
+                checksum,
+                health.faults_injected,
+                health.retries,
+                health.total_failures,
+                health.quarantined.len(),
+                fallback_runs,
+                stitches,
+                if matches { "ok" } else { "DRIFT" },
+            );
+            rows.push(Row {
+                kernel: w.kernel,
+                point,
+                checksum,
+                matches,
+                faults_injected: health.faults_injected,
+                retries: health.retries,
+                failures: health.total_failures,
+                quarantined: health.quarantined.len(),
+                fallback_runs,
+                stitches,
+            });
+        }
+    }
+
+    let mut rendered = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        rendered.push_str("  ");
+        rendered.push_str(&row.json());
+        if i + 1 < rows.len() {
+            rendered.push(',');
+        }
+        rendered.push('\n');
+    }
+    rendered.push_str("]\n");
+
+    match std::fs::write(&json_path, &rendered) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => {
+            eprintln!("fault_sweep: cannot write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(p) = args.iter().position(|a| a == "--check") {
+        let reference_path = args.get(p + 1).cloned().unwrap_or_else(|| {
+            eprintln!("fault_sweep: --check needs a path");
+            std::process::exit(2);
+        });
+        let reference = std::fs::read_to_string(&reference_path).unwrap_or_else(|e| {
+            eprintln!("fault_sweep: cannot read reference {reference_path}: {e}");
+            std::process::exit(2);
+        });
+        if rendered == reference {
+            println!("check: matches {reference_path}");
+        } else {
+            eprintln!("fault_sweep: results drifted from {reference_path}:");
+            for (want, got) in reference.lines().zip(rendered.lines()) {
+                if want != got {
+                    eprintln!("  - {want}");
+                    eprintln!("  + {got}");
+                }
+            }
+            std::process::exit(1);
+        }
+    }
+    if bad > 0 {
+        eprintln!("fault_sweep: {bad} violation(s) of the robustness invariant");
+        std::process::exit(1);
+    }
+}

@@ -14,8 +14,14 @@
 //! observation-only (zero simulated cycles), so the rendered table must
 //! be byte-identical with or without it — CI runs the drift gate both
 //! ways to enforce that.
+//!
+//! `--faults-idle` arms the full fault-injection machinery with a plan
+//! whose every injection has zero probability: the plan is consulted at
+//! every fault point but never fires, so the rendered table must stay
+//! byte-identical — the robustness CI job uses this to prove the fault
+//! plumbing itself is free.
 
-use dyncomp::{EngineOptions, TraceOptions};
+use dyncomp::{EngineOptions, FaultPlan, TraceOptions};
 use dyncomp_bench::{render_table2_json, run_all_with, table2_header, Scale};
 
 fn main() {
@@ -28,6 +34,9 @@ fn main() {
     let mut options = EngineOptions::default();
     if args.iter().any(|a| a == "--trace") {
         options.trace = Some(TraceOptions::default());
+    }
+    if args.iter().any(|a| a == "--faults-idle") {
+        options.faults = Some(FaultPlan::idle());
     }
     let json_path = match args.iter().position(|a| a == "--json") {
         Some(p) => args.get(p + 1).cloned().unwrap_or_else(|| {

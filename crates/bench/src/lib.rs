@@ -179,8 +179,9 @@ pub fn run_all_with(scale: Scale, options: EngineOptions) -> Result<Vec<KernelRe
     Ok(rows)
 }
 
-/// Escape a string for a JSON literal.
-pub(crate) fn json_str(s: &str) -> String {
+/// Escape a string for a JSON literal (shared by the bench binaries —
+/// the workspace takes no external JSON dependency).
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

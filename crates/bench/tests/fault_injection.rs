@@ -5,18 +5,32 @@
 //! the session's results stay bit-identical to a synchronous run.
 
 use dyncomp::measure::run_session;
-use dyncomp::{Compiler, EngineOptions, EventKind, Session, TieredOptions, TraceOptions};
+use dyncomp::{
+    Compiler, EngineOptions, EventKind, FailureKind, FaultPlan, FaultPoint, Injection, Session,
+    TieredOptions, TraceOptions,
+};
 use dyncomp_bench::kernels::calculator;
 use std::sync::Arc;
 
-fn traced_tiered(inject: Option<u16>) -> EngineOptions {
+/// A fault plan panicking the first background stitch job for `region`.
+fn panic_plan(region: u16) -> FaultPlan {
+    FaultPlan {
+        seed: 0,
+        injections: vec![Injection {
+            region: Some(region),
+            ..Injection::new(FaultPoint::WorkerPanic)
+        }],
+    }
+}
+
+fn traced_tiered(faults: Option<FaultPlan>) -> EngineOptions {
     EngineOptions {
         trace: Some(TraceOptions::default()),
         tiered: Some(TieredOptions {
             workers: 2,
-            inject_panic_region: inject,
             ..TieredOptions::default()
         }),
+        faults,
         ..EngineOptions::default()
     }
 }
@@ -44,7 +58,7 @@ fn background_worker_panic_does_not_abort_the_session() {
     let sync_prog = Arc::new(Compiler::new().compile(setup.src).expect("compiles"));
     let sync = run_session(&sync_prog, &setup, EngineOptions::default()).expect("runs");
 
-    let (checksum, session) = run_inspectable(traced_tiered(Some(0)));
+    let (checksum, session) = run_inspectable(traced_tiered(Some(panic_plan(0))));
     assert_eq!(
         checksum, sync.checksum,
         "results must be bit-identical despite the worker panic"
@@ -71,6 +85,15 @@ fn background_worker_panic_does_not_abort_the_session() {
         "every entry served by the fallback ({} runs)",
         report.fallback_runs
     );
+
+    // The health log attributes the failure to the fault plan.
+    let health = session.health();
+    assert_eq!(health.total_failures, 1);
+    assert_eq!(health.faults_injected, 1);
+    let rec = &health.failures[0];
+    assert_eq!(rec.region, 0);
+    assert!(rec.injected, "failure marked as plan-injected");
+    assert_eq!(rec.kind, FailureKind::Background { panicked: true });
 
     // The trace records exactly one BgFailed with panicked=true, stamped
     // on the session clock, and the aggregates agree with the reports.

@@ -1,0 +1,226 @@
+//! Policy-driven recovery under injected faults: quarantine pins failing
+//! regions to their static fallback copy, the byte-budget degradation
+//! ladder sheds stitching work, the bounded failure ring keeps records
+//! for every failing region, and the shared cache respects a resident
+//! byte budget — all while results stay bit-identical to fault-free
+//! runs.
+
+use dyncomp::{
+    Compiler, EngineOptions, FailureKind, FaultPlan, FaultPoint, Injection, RecoveryPolicy,
+    Session, SharedCodeCache, TieredOptions,
+};
+use std::sync::Arc;
+
+const POLY: &str = "int poly(int c, int x) {
+    dynamicRegion key(c) (c) {
+        return c * x * x + c * x + c;
+    }
+}";
+
+/// Drive `poly` over `keys` distinct key values, three calls each
+/// (exercising both the cold path and keyed-cache re-entries).
+fn drive(session: &mut Session, keys: u64) -> u64 {
+    let mut checksum = 0u64;
+    for rep in 0..3u64 {
+        for c in 1..=keys {
+            let r = session
+                .call("poly", &[c, 10 + rep])
+                .expect("faulted sessions must still answer");
+            checksum = checksum.wrapping_mul(1099511628211).wrapping_add(r);
+        }
+    }
+    checksum
+}
+
+fn run(options: EngineOptions, keys: u64) -> (u64, Session) {
+    // Compiled with a static fallback copy so recovery has somewhere to
+    // degrade to, but run on an ordinary synchronous session.
+    let program = Arc::new(Compiler::tiered().compile(POLY).expect("compiles"));
+    let mut session = Session::with_options(program, options);
+    let checksum = drive(&mut session, keys);
+    (checksum, session)
+}
+
+#[test]
+fn quarantine_pins_failing_region_to_fallback() {
+    let (clean, clean_session) = run(EngineOptions::default(), 6);
+
+    // Every set-up attempt traps; no retries; two failures quarantine.
+    let options = EngineOptions {
+        faults: Some(FaultPlan {
+            seed: 1,
+            injections: vec![Injection {
+                max_fires: u32::MAX,
+                ..Injection::new(FaultPoint::SetupVmTrap)
+            }],
+        }),
+        recovery: RecoveryPolicy {
+            max_retries: 0,
+            quarantine_after: 2,
+            ..RecoveryPolicy::default()
+        },
+        ..EngineOptions::default()
+    };
+    let (checksum, session) = run(options, 6);
+    assert_eq!(checksum, clean, "fallback path computes identical results");
+
+    let health = session.health();
+    assert_eq!(health.quarantined, vec![0], "region 0 quarantined");
+    assert_eq!(
+        health.faults_injected, 2,
+        "injection stops at quarantine (the degraded path is trusted)"
+    );
+    assert!(health
+        .failures
+        .iter()
+        .all(|f| f.kind == FailureKind::Setup && f.injected));
+
+    let report = session.region_report(0);
+    assert_eq!(
+        report.stitches, 1,
+        "one stitch survived before quarantine (first entry retries past \
+         its single failure)"
+    );
+    assert!(
+        report.fallback_runs > 0,
+        "later cold keys served by the fallback copy"
+    );
+    assert_eq!(report.faults_injected, 2);
+    assert_eq!(clean_session.region_report(0).fallback_runs, 0);
+}
+
+#[test]
+fn failure_ring_keeps_records_for_every_failing_region() {
+    // Regression for the single-slot `last_background_failure`: with two
+    // regions failing in the background, both must appear in the log.
+    let src = "int f(int a, int x) {
+        dynamicRegion key(a) (a) { return a * x + a; }
+    }
+    int g(int b, int x) {
+        dynamicRegion key(b) (b) { return b * x - b; }
+    }";
+    let program = Arc::new(Compiler::tiered().compile(src).expect("compiles"));
+    let mut session = Session::with_options(
+        Arc::clone(&program),
+        EngineOptions {
+            tiered: Some(TieredOptions {
+                workers: 2,
+                ..TieredOptions::default()
+            }),
+            faults: Some(FaultPlan::single(FaultPoint::WorkerPanic, 2)),
+            ..EngineOptions::default()
+        },
+    );
+    // Constant keys so the second entry resolves the (panicking) job.
+    let mut checksum = 0u64;
+    for i in 1..=4u64 {
+        let a = session.call("f", &[3, 100 + i]).expect("f survives");
+        let b = session.call("g", &[5, 200 + i]).expect("g survives");
+        checksum = checksum
+            .wrapping_mul(1099511628211)
+            .wrapping_add(a)
+            .wrapping_mul(1099511628211)
+            .wrapping_add(b);
+    }
+
+    // Fault-free reference on a plain session.
+    let mut clean = Session::with_options(Arc::clone(&program), EngineOptions::default());
+    let mut expect = 0u64;
+    for i in 1..=4u64 {
+        let a = clean.call("f", &[3, 100 + i]).expect("runs");
+        let b = clean.call("g", &[5, 200 + i]).expect("runs");
+        expect = expect
+            .wrapping_mul(1099511628211)
+            .wrapping_add(a)
+            .wrapping_mul(1099511628211)
+            .wrapping_add(b);
+    }
+    assert_eq!(checksum, expect);
+
+    let health = session.health();
+    let failed_regions: Vec<u16> = health.failures.iter().map(|f| f.region).collect();
+    assert!(
+        failed_regions.contains(&0) && failed_regions.contains(&1),
+        "both regions' failures retained, not just the last: {failed_regions:?}"
+    );
+    assert!(health.failures.iter().all(|f| {
+        f.injected
+            && f.kind == FailureKind::Background { panicked: true }
+            && f.message.contains("injected background stitch panic")
+    }));
+    assert!(session.region_pinned(0) && session.region_pinned(1));
+}
+
+#[test]
+fn code_budget_degrades_to_fallback_with_identical_results() {
+    let (clean, clean_session) = run(EngineOptions::default(), 12);
+    let clean_report = clean_session.region_report(0);
+    assert_eq!(clean_report.stitches, 12, "one instance per key, no budget");
+
+    // Enough budget for a few instances, then the ladder takes over.
+    let budget = 4 * u64::from(clean_report.stitch_stats.words_emitted / 12 * 4);
+    let options = EngineOptions {
+        recovery: RecoveryPolicy {
+            code_budget_bytes: Some(budget),
+            ..RecoveryPolicy::default()
+        },
+        ..EngineOptions::default()
+    };
+    let (checksum, session) = run(options, 12);
+    assert_eq!(checksum, clean, "degraded session computes the same");
+
+    let health = session.health();
+    assert_eq!(health.degradation_level, 2, "budget exhausted");
+    assert_eq!(health.code_budget_bytes, Some(budget));
+    assert!(health.code_bytes_installed >= budget);
+
+    let report = session.region_report(0);
+    assert!(
+        report.stitches < clean_report.stitches,
+        "budget stopped installs early ({} of {})",
+        report.stitches,
+        clean_report.stitches
+    );
+    assert!(
+        report.fallback_runs > 0,
+        "past-budget keys run the fallback"
+    );
+}
+
+#[test]
+fn shared_cache_byte_budget_evicts_under_pressure() {
+    let program = Arc::new(Compiler::tiered().compile(POLY).expect("compiles"));
+    // One shard, tiny byte budget: only a couple of instances resident.
+    let mut probe = Session::with_options(Arc::clone(&program), EngineOptions::default());
+    let _ = probe.call("poly", &[1, 10]).expect("runs");
+    let instance_bytes = 4 * u64::from(probe.region_report(0).stitch_stats.words_emitted);
+    let budget = instance_bytes * 2 + instance_bytes / 2;
+    let cache = Arc::new(SharedCodeCache::with_byte_budget(1, 64, Some(budget)));
+
+    let options = || EngineOptions {
+        shared_cache: Some(Arc::clone(&cache)),
+        ..EngineOptions::default()
+    };
+    let mut writer = Session::with_options(Arc::clone(&program), options());
+    let from_writer = drive(&mut writer, 8);
+    let (clean, _) = run(EngineOptions::default(), 8);
+    assert_eq!(from_writer, clean, "byte-budgeted cache changes no result");
+
+    assert!(cache.bytes() <= budget, "resident bytes respect the budget");
+    assert!(
+        cache.stats().evictions > 0,
+        "publishing 8 instances into a ~2-instance budget evicts"
+    );
+
+    // A second session gets a hit for a resident survivor (the writer
+    // published keys in order, so the highest keys are most recent).
+    let mut reader = Session::with_options(Arc::clone(&program), options());
+    let r = reader.call("poly", &[8, 10]).expect("runs");
+    assert_eq!(r, 8 * 100 + 8 * 10 + 8);
+    assert_eq!(
+        reader.region_report(0).shared_hits,
+        1,
+        "survivor served from the shared cache, not re-stitched"
+    );
+    assert_eq!(reader.region_report(0).stitches, 0);
+}

@@ -37,9 +37,18 @@
 //!   summary and runs the cycle-attribution self-check
 //! * `--trace-format {jsonl,chrome}` trace file format (default `jsonl`;
 //!   `chrome` loads in `chrome://tracing` / Perfetto)
+//! * `--fault-seed N` with `--run`, arm the deterministic chaos plan
+//!   (`FaultPlan::seeded(N)`): every fault point fires with probability
+//!   1/8 from a seeded PRNG, recovery retries/quarantines per policy,
+//!   and results must not change; prints a health summary afterwards
+//! * `--code-budget B` with `--run`, cap installed stitched code at `B`
+//!   bytes: past ¾ budget new stitches drop copy-and-patch plans, past
+//!   the budget regions with a static fallback copy stop installing
+//!   code entirely
 
 use dyncomp::{
-    Compiler, Engine, EngineOptions, Session, SharedCodeCache, TieredOptions, TraceOptions,
+    Compiler, Engine, EngineOptions, FaultPlan, RecoveryPolicy, Session, SharedCodeCache,
+    TieredOptions, TraceOptions,
 };
 use dyncomp_machine::disasm::disassemble;
 use dyncomp_machine::template::{HoleField, LoopMarker, TmplExit};
@@ -269,6 +278,22 @@ fn main() {
                 })
             })
         };
+        let num_u64 = |name: &str| -> Option<u64> {
+            args.iter().position(|a| a == name).map(|p| {
+                args.get(p + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("dyncc: {name} needs a non-negative integer");
+                        exit(2);
+                    })
+            })
+        };
+        let fault_seed = num_u64("--fault-seed");
+        let code_budget = num_u64("--code-budget");
+        let recovery = RecoveryPolicy {
+            code_budget_bytes: code_budget,
+            ..RecoveryPolicy::default()
+        };
         let trace_out = str_opt("--trace-out");
         let trace_format = str_opt("--trace-format").unwrap_or_else(|| "jsonl".to_string());
         if !matches!(trace_format.as_str(), "jsonl" | "chrome") {
@@ -290,6 +315,8 @@ fn main() {
                 threads,
                 flag("--shared-cache"),
                 tiered_options,
+                fault_seed.map(FaultPlan::seeded),
+                recovery,
             );
             return;
         }
@@ -299,6 +326,8 @@ fn main() {
             EngineOptions {
                 tiered: tiered_options,
                 trace: trace_out.as_ref().map(|_| TraceOptions::default()),
+                faults: fault_seed.map(FaultPlan::seeded),
+                recovery,
                 ..EngineOptions::default()
             },
         );
@@ -319,6 +348,38 @@ fn main() {
             Err(e) => {
                 eprintln!("dyncc: run failed: {e}");
                 exit(1);
+            }
+        }
+        if fault_seed.is_some() || code_budget.is_some() {
+            let h = engine.health();
+            println!(
+                "\nhealth: {} fault(s) injected, {} retr{}, {} failure(s) ({} dropped), \
+                 degradation level {}",
+                h.faults_injected,
+                h.retries,
+                if h.retries == 1 { "y" } else { "ies" },
+                h.total_failures,
+                h.dropped,
+                h.degradation_level
+            );
+            if let Some(b) = h.code_budget_bytes {
+                println!(
+                    "        {} / {b} stitched-code byte(s) installed",
+                    h.code_bytes_installed
+                );
+            }
+            if !h.quarantined.is_empty() {
+                println!("        quarantined region(s): {:?}", h.quarantined);
+            }
+            for f in &h.failures {
+                println!(
+                    "        [cycle {}] region {} {} failure{}: {}",
+                    f.at,
+                    f.region,
+                    f.kind.name(),
+                    if f.injected { " (injected)" } else { "" },
+                    f.message
+                );
             }
         }
         if let Some(path) = &trace_out {
@@ -460,6 +521,8 @@ fn run_multi_session(
     threads: usize,
     shared: bool,
     tiered: Option<TieredOptions>,
+    faults: Option<FaultPlan>,
+    recovery: RecoveryPolicy,
 ) {
     let cache = shared.then(|| Arc::new(SharedCodeCache::default()));
     let mut rows: Vec<Option<Result<SessionRow, dyncomp::Error>>> = (0..n).map(|_| None).collect();
@@ -468,11 +531,15 @@ fn run_multi_session(
         for slots in rows.chunks_mut(chunk) {
             let cache = cache.clone();
             let tiered = tiered.clone();
+            let faults = faults.clone();
+            let recovery = recovery.clone();
             s.spawn(move || {
                 for slot in slots {
                     let options = EngineOptions {
                         shared_cache: cache.clone(),
                         tiered: tiered.clone(),
+                        faults: faults.clone(),
+                        recovery: recovery.clone(),
                         ..EngineOptions::default()
                     };
                     let mut session = Session::with_options(Arc::clone(program), options);

@@ -136,16 +136,21 @@ pub struct SharedKey {
     pub key: Vec<u64>,
 }
 
-/// One shard: a hash map plus its recency order.
+/// One shard: a hash map plus its recency order and resident byte count.
 #[derive(Default)]
 struct Shard {
     map: FxHashMap<SharedKey, ShardEntry>,
     lru: LruOrder<SharedKey>,
+    /// Sum of [`ShardEntry::bytes`] over `map` (for the byte budget).
+    bytes: u64,
 }
 
 struct ShardEntry {
     code: Arc<Stitched>,
     lru: usize,
+    /// [`Stitched::footprint_bytes`] at insertion (cached so eviction
+    /// never re-walks the artifact).
+    bytes: u64,
 }
 
 /// Counters for one [`SharedCodeCache`] (monotonic, process lifetime).
@@ -169,6 +174,9 @@ pub struct SharedCodeCache {
     shards: Box<[Mutex<Shard>]>,
     shard_mask: u64,
     per_shard_capacity: usize,
+    /// Byte budget per shard (`None`: entry count only). Insertions evict
+    /// LRU entries until both the capacity and the budget hold.
+    per_shard_byte_budget: Option<u64>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
@@ -180,11 +188,26 @@ impl SharedCodeCache {
     /// minimum 1) and at most `per_shard_capacity` instances per shard
     /// (minimum 1; evictions are LRU within the shard).
     pub fn new(shards: usize, per_shard_capacity: usize) -> Self {
+        SharedCodeCache::with_byte_budget(shards, per_shard_capacity, None)
+    }
+
+    /// Same, additionally bounding each shard to `byte_budget` resident
+    /// bytes ([`Stitched::footprint_bytes`] per instance): a publication
+    /// evicts LRU entries until the budget holds again, so degraded
+    /// deployments can cap stitched-code memory instead of instance
+    /// counts. An instance larger than the whole budget still resides
+    /// alone (the cache never refuses a publication outright).
+    pub fn with_byte_budget(
+        shards: usize,
+        per_shard_capacity: usize,
+        byte_budget: Option<u64>,
+    ) -> Self {
         let n = shards.max(1).next_power_of_two();
         SharedCodeCache {
             shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
             shard_mask: n as u64 - 1,
             per_shard_capacity: per_shard_capacity.max(1),
+            per_shard_byte_budget: byte_budget,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
@@ -221,19 +244,30 @@ impl SharedCodeCache {
     /// to respect the shard capacity; returns how many this publication
     /// evicted (0 on replacement).
     pub fn insert(&self, key: SharedKey, code: Arc<Stitched>) -> usize {
+        let bytes = code.footprint_bytes();
         let mut shard = self.shard(&key).lock().expect("shard lock poisoned");
         self.insertions.fetch_add(1, Ordering::Relaxed);
         if let Some(e) = shard.map.get_mut(&key) {
+            let (slot, old_bytes) = (e.lru, e.bytes);
             e.code = code;
-            let slot = e.lru;
+            e.bytes = bytes;
             shard.lru.touch(slot);
+            shard.bytes = shard.bytes - old_bytes + bytes;
             return 0;
         }
         let mut evicted = 0;
-        while shard.map.len() >= self.per_shard_capacity {
+        // Budget pressure only evicts while something else resides: an
+        // oversized instance still publishes alone.
+        let over_budget = |shard: &Shard| {
+            self.per_shard_byte_budget
+                .is_some_and(|b| !shard.map.is_empty() && shard.bytes.saturating_add(bytes) > b)
+        };
+        while shard.map.len() >= self.per_shard_capacity || over_budget(&shard) {
             match shard.lru.pop_lru() {
                 Some(victim) => {
-                    shard.map.remove(&victim);
+                    if let Some(e) = shard.map.remove(&victim) {
+                        shard.bytes -= e.bytes;
+                    }
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                     evicted += 1;
                 }
@@ -241,7 +275,15 @@ impl SharedCodeCache {
             }
         }
         let slot = shard.lru.insert(key.clone());
-        shard.map.insert(key, ShardEntry { code, lru: slot });
+        shard.bytes += bytes;
+        shard.map.insert(
+            key,
+            ShardEntry {
+                code,
+                lru: slot,
+                bytes,
+            },
+        );
         evicted
     }
 
@@ -256,6 +298,15 @@ impl SharedCodeCache {
     /// Whether the cache holds no instances.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Resident bytes ([`Stitched::footprint_bytes`] summed), across all
+    /// shards.
+    pub fn bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").bytes)
+            .sum()
     }
 
     /// Number of lock stripes.
@@ -354,6 +405,44 @@ mod tests {
         // Each shard holds exactly one instance; the rest were evicted.
         assert_eq!(c.len(), c.shard_count().min(64));
         assert_eq!(c.stats().evictions, 64 - c.len() as u64);
+    }
+
+    #[test]
+    fn byte_budget_evicts_by_resident_bytes() {
+        // 10-word entries are 40 bytes each; a 100-byte shard holds two.
+        let c = SharedCodeCache::with_byte_budget(1, 64, Some(100));
+        c.insert(key(1), entry(10));
+        c.insert(key(2), entry(10));
+        assert_eq!(c.bytes(), 80);
+        assert!(c.lookup(&key(1)).is_some(), "key 1 made most recent");
+        c.insert(key(3), entry(10));
+        assert_eq!(c.stats().evictions, 1, "budget forced an eviction");
+        assert!(c.lookup(&key(2)).is_none(), "LRU victim under pressure");
+        assert!(c.lookup(&key(1)).is_some());
+        assert!(c.lookup(&key(3)).is_some());
+        assert_eq!(c.bytes(), 80);
+    }
+
+    #[test]
+    fn oversized_instance_resides_alone() {
+        let c = SharedCodeCache::with_byte_budget(1, 64, Some(100));
+        c.insert(key(1), entry(10));
+        // 200 words = 800 bytes, over the whole budget: everything else
+        // is evicted but the publication itself is never refused.
+        c.insert(key(2), entry(200));
+        assert!(c.lookup(&key(1)).is_none());
+        assert!(c.lookup(&key(2)).is_some());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 800);
+    }
+
+    #[test]
+    fn replacement_adjusts_resident_bytes() {
+        let c = SharedCodeCache::with_byte_budget(1, 64, Some(1000));
+        c.insert(key(1), entry(10));
+        c.insert(key(1), entry(3));
+        assert_eq!(c.bytes(), 12, "replacement swaps footprints");
+        assert_eq!(c.stats().evictions, 0);
     }
 
     #[test]

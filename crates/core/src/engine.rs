@@ -27,13 +27,18 @@
 //! for the sharding and the cycle-accounting caveat).
 
 use crate::cache::{LruOrder, SharedCodeCache, SharedKey};
+use crate::faults::{
+    FailureKind, FailureRecord, FaultPlan, FaultPoint, FaultState, HealthReport, RecoveryPolicy,
+    RecoveryState,
+};
 use crate::tiered::{TierDecision, TieredOptions, TieredState};
 use crate::trace::{ClockDomain, EventKind, RegionProfile, TraceOptions, TraceState};
 use crate::{Error, Program};
 use dyncomp_ir::fxhash::FxHashMap;
 use dyncomp_machine::heap::HeapBuilder;
-use dyncomp_machine::isa::{encode, Inst, Op, CTP, SP};
+use dyncomp_machine::isa::{decode, encode, Inst, Op, CTP, SP};
 use dyncomp_machine::template::ValueLoc;
+use dyncomp_machine::verify::verify_code;
 use dyncomp_machine::vm::{Stop, Vm};
 use dyncomp_stitcher::{StitchOptions, StitchStats};
 use std::borrow::Borrow;
@@ -92,6 +97,17 @@ pub struct EngineOptions {
     /// tracing charges **zero** simulated cycles, so all cycle accounting
     /// is identical with it on or off.
     pub trace: Option<TraceOptions>,
+    /// Deterministic fault-injection plan ([`crate::faults`]). `None`
+    /// (the default) disables injection entirely — no state is allocated
+    /// and no fault point costs anything, so the paper tables never see
+    /// this machinery. A seeded plan makes every fallible layer fail on a
+    /// deterministic, exactly repeatable schedule.
+    pub faults: Option<FaultPlan>,
+    /// Recovery policy: capped retry with virtual-cycle backoff,
+    /// per-region quarantine, and the stitched-code byte-budget
+    /// degradation ladder. Always present; with no failures and no byte
+    /// budget it charges nothing.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for EngineOptions {
@@ -108,6 +124,8 @@ impl Default for EngineOptions {
             shared_install_cycles_per_word: 1,
             tiered: None,
             trace: None,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -174,6 +192,10 @@ struct RegionState {
     bg_setup_cycles: u64,
     /// Stitch cycles spent on background forks.
     bg_stitch_cycles: u64,
+    /// Faults the plan injected into this region.
+    faults_injected: u64,
+    /// Recovery retries charged against this region.
+    retries: u64,
 }
 
 /// Per-region measurement report (feeds Table 2 / Table 3).
@@ -210,6 +232,10 @@ pub struct RegionReport {
     /// Stitch cycles spent on background forks (never added to
     /// `stitch_cycles`).
     pub bg_stitch_cycles: u64,
+    /// Faults the plan injected into this region (zero without a plan).
+    pub faults_injected: u64,
+    /// Recovery retries charged against this region.
+    pub retries: u64,
 }
 
 /// One execution session over a shared, immutable [`Program`].
@@ -233,6 +259,12 @@ pub struct Session<P: Borrow<Program> = Arc<Program>> {
     /// Trace state; `Some` iff [`EngineOptions::trace`] was configured.
     /// Boxed: the common untraced path carries one pointer, not the ring.
     trace: Option<Box<TraceState>>,
+    /// Fault-injection state; `Some` iff [`EngineOptions::faults`] was
+    /// configured. Boxed for the same reason as `trace`.
+    faults: Option<Box<FaultState>>,
+    /// Recovery bookkeeping: the bounded failure ring, per-region
+    /// quarantine, the byte-budget ladder.
+    recovery: RecoveryState,
 }
 
 /// Single-owner compatibility alias: a [`Session`] borrowing the program.
@@ -263,6 +295,11 @@ impl<P: Borrow<Program>> Session<P> {
             .tiered
             .clone()
             .map(|t| TieredState::new(&p.compiled.regions, t, trace.is_some()));
+        let faults = options
+            .faults
+            .as_ref()
+            .map(|plan| Box::new(FaultState::new(plan)));
+        let recovery = RecoveryState::new(options.recovery.clone(), p.compiled.regions.len());
         Session {
             program,
             vm,
@@ -270,6 +307,8 @@ impl<P: Borrow<Program>> Session<P> {
             regions,
             tiered,
             trace,
+            faults,
+            recovery,
         }
     }
 
@@ -352,17 +391,93 @@ impl<P: Borrow<Program>> Session<P> {
 
     /// Relay resolution-point events recorded inside the tiered state
     /// (BgReady stamps live on virtual worker clocks the engine never
-    /// sees directly).
+    /// sees directly), and fold background failures into the health log.
     fn relay_tiered_events(&mut self) {
         let Some(tiered) = self.tiered.as_mut() else {
             return;
         };
         let events = tiered.take_events();
+        let failures = tiered.take_failures();
         if let Some(t) = self.trace.as_mut() {
             for e in events {
                 t.emit(e.at, e.clock, e.kind);
             }
         }
+        for f in failures {
+            self.record_failure(
+                f.region,
+                FailureKind::Background {
+                    panicked: f.panicked,
+                },
+                f.injected,
+                f.message,
+            );
+        }
+    }
+
+    /// Consult the fault plan at an opportunity for `point` in `region`,
+    /// returning the injection's magnitude when it fires. Quarantined
+    /// regions are exempt: the degraded path they run is trusted
+    /// (injected faults model optimized-path failures). A no-op without
+    /// [`EngineOptions::faults`].
+    fn fire(&mut self, point: FaultPoint, region: u16) -> Option<u64> {
+        if self.recovery.is_quarantined(region) {
+            return None;
+        }
+        let magnitude = self.faults.as_mut()?.fire(point, region)?;
+        self.drain_injected();
+        Some(magnitude)
+    }
+
+    /// Fold fires logged inside [`FaultState`] (including ones the tiered
+    /// state triggered while the session was borrowed elsewhere) into the
+    /// per-region counters and the trace.
+    fn drain_injected(&mut self) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        for (point, region) in f.drain_pending() {
+            self.regions[region as usize].faults_injected += 1;
+            self.recovery.note_fault();
+            self.tr(EventKind::FaultInjected { region, point });
+        }
+    }
+
+    /// Record a failure (injected or genuine) into the bounded health
+    /// ring, quarantining the region if it crossed the policy threshold.
+    fn record_failure(&mut self, region: u16, kind: FailureKind, injected: bool, message: String) {
+        let rec = FailureRecord {
+            at: self.vm.cycles,
+            region,
+            kind,
+            injected,
+            message,
+        };
+        if self.recovery.record(rec) {
+            self.tr(EventKind::Quarantined { region });
+        }
+    }
+
+    /// Charge the deterministic retry backoff for attempt `attempt`
+    /// (linear in the attempt number) and count the retry.
+    fn charge_retry(&mut self, region: u16, attempt: u32) {
+        let backoff = self.recovery.policy().retry_backoff_cycles * u64::from(attempt);
+        self.vm.cycles += backoff;
+        self.regions[region as usize].retries += 1;
+        self.recovery.note_retry();
+        self.tr(EventKind::RecoveryRetry {
+            region,
+            attempt,
+            backoff,
+        });
+    }
+
+    /// Serve an entry from the region's statically compiled fallback copy
+    /// (quarantine, budget exhaustion, or a failed background install).
+    fn run_fallback(&mut self, region: u16, fallback_pc: u32) {
+        self.regions[region as usize].fallback_runs += 1;
+        self.tr(EventKind::FallbackRun { region });
+        self.vm.pc = fallback_pc;
     }
 
     fn enter_region(&mut self, region: u16, _at: u32) -> Result<(), Error> {
@@ -393,23 +508,71 @@ impl<P: Borrow<Program>> Session<P> {
                 self.speculate_after(region, &key);
             }
             None => {
+                // Quarantined or budget-exhausted regions with a static
+                // fallback copy never attempt the optimized path again.
+                if let Some(fb) = fallback_pc {
+                    if self.recovery.is_quarantined(region) || self.recovery.level() >= 2 {
+                        self.run_fallback(region, fb);
+                        return Ok(());
+                    }
+                }
                 // Not stitched here yet: consult the process-wide cache
-                // before paying for set-up + stitching.
-                if let Some(stitched) = self.shared_lookup(region, &key) {
-                    self.install_shared(region, key.clone(), &stitched)?;
+                // before paying for set-up + stitching. A degraded install
+                // (injected failure, failed relocation, verifier reject)
+                // falls through to the session's own stitch path.
+                let installed = match self.shared_lookup(region, &key) {
+                    Some(stitched) => self.install_shared(region, key.clone(), &stitched)?,
+                    None => false,
+                };
+                if installed {
                     self.speculate_after(region, &key);
                 } else if let (true, Some(fallback)) = (self.tiered.is_some(), fallback_pc) {
                     self.tiered_miss(region, key, fallback, setup_pc)?;
                 } else {
-                    let st = &mut self.regions[region as usize];
-                    st.pending_key = Some(key);
-                    st.setup_start = self.vm.cycles;
-                    self.vm.pc = setup_pc;
-                    self.tr(EventKind::SetupStart { region });
+                    self.begin_setup(region, key, setup_pc, fallback_pc);
                 }
             }
         }
         Ok(())
+    }
+
+    /// Redirect to the region's set-up code, pre-flighting injected
+    /// set-up traps under the recovery policy. A trap is modeled on a
+    /// probe fork of the VM with a small instruction budget
+    /// ([`crate::faults::Injection::magnitude`]); the attempt's cycles
+    /// are charged to the session, the failure is recorded, and set-up is
+    /// retried — or, once the region is quarantined, its fallback copy
+    /// (when the artifact has one) serves the entry.
+    fn begin_setup(&mut self, region: u16, key: Vec<u64>, setup_pc: u32, fallback_pc: Option<u32>) {
+        let mut attempt = 0u32;
+        while let Some(fuel) = self.fire(FaultPoint::SetupVmTrap, region) {
+            let mut fork = self.vm.clone();
+            fork.pc = setup_pc;
+            fork.cycles = 0;
+            fork.fuel = fuel.max(1);
+            let msg = match fork.run() {
+                Err(e) => format!("injected VM trap during set-up: {e}"),
+                Ok(_) => "injected VM trap during set-up (probe exhausted)".to_string(),
+            };
+            self.vm.cycles += fork.cycles;
+            self.record_failure(region, FailureKind::Setup, true, msg);
+            if self.recovery.is_quarantined(region) {
+                if let Some(fb) = fallback_pc {
+                    self.run_fallback(region, fb);
+                    return;
+                }
+            }
+            attempt += 1;
+            if attempt > self.recovery.policy().max_retries {
+                break;
+            }
+            self.charge_retry(region, attempt);
+        }
+        let st = &mut self.regions[region as usize];
+        st.pending_key = Some(key);
+        st.setup_start = self.vm.cycles;
+        self.vm.pc = setup_pc;
+        self.tr(EventKind::SetupStart { region });
     }
 
     /// Tiered mode, cold entry: install a finished background stitch, run
@@ -425,10 +588,21 @@ impl<P: Borrow<Program>> Session<P> {
         setup_pc: u32,
     ) -> Result<(), Error> {
         let now = self.vm.cycles;
-        let tiered = self.tiered.as_mut().expect("tiered configured");
-        let dispatch = tiered.options().dispatch_cycles;
-        let (decision, enqueued) = tiered.decide(&self.vm, region, &key, &self.options.stitch, now);
+        let (decision, enqueued, dispatch) = {
+            let tiered = self.tiered.as_mut().expect("tiered configured");
+            let dispatch = tiered.options().dispatch_cycles;
+            let (decision, enqueued) = tiered.decide(
+                &self.vm,
+                region,
+                &key,
+                &self.options.stitch,
+                now,
+                self.faults.as_deref_mut(),
+            );
+            (decision, enqueued, dispatch)
+        };
         self.vm.cycles += enqueued * dispatch;
+        self.drain_injected();
         self.relay_tiered_events();
         for _ in 0..enqueued {
             self.tr(EventKind::TierDispatch { region });
@@ -440,10 +614,58 @@ impl<P: Borrow<Program>> Session<P> {
                 stitch_cycles,
                 speculative,
             } => {
+                // Injected arena exhaustion: back off deterministically
+                // (the simulated arena grows) before installing.
+                let mut attempt = 0u32;
+                while self.fire(FaultPoint::CodeArenaExhausted, region).is_some() {
+                    self.record_failure(
+                        region,
+                        FailureKind::Install,
+                        true,
+                        "injected code-arena exhaustion installing background stitch".to_string(),
+                    );
+                    attempt += 1;
+                    if attempt > self.recovery.policy().max_retries {
+                        break;
+                    }
+                    self.charge_retry(region, attempt);
+                }
                 // Same bulk copy + relocation (and per-word charge) as a
-                // shared-cache install.
+                // shared-cache install. A relocation failure or a verifier
+                // reject consumes the job and degrades this entry to the
+                // fallback copy; the next entry re-enqueues.
                 let base = self.vm.code.len() as u32;
-                let (code, _lin_addr) = stitched.relocate(base, &mut self.vm.mem)?;
+                let code = match stitched.relocate(base, &mut self.vm.mem) {
+                    Ok((code, _lin_addr)) => match verify_code(&code, base) {
+                        Ok(()) => code,
+                        Err(e) => {
+                            self.tr(EventKind::VerifyReject { region });
+                            self.record_failure(
+                                region,
+                                FailureKind::Verify,
+                                false,
+                                format!(
+                                    "background instance rejected by pre-install \
+                                     verification: {e}"
+                                ),
+                            );
+                            self.run_fallback(region, fallback_pc);
+                            self.speculate_after(region, &key);
+                            return Ok(());
+                        }
+                    },
+                    Err(e) => {
+                        self.record_failure(
+                            region,
+                            FailureKind::Install,
+                            false,
+                            format!("background instance failed to relocate: {e}"),
+                        );
+                        self.run_fallback(region, fallback_pc);
+                        self.speculate_after(region, &key);
+                        return Ok(());
+                    }
+                };
                 self.vm.cycles += self.options.shared_install_cycles_per_word * code.len() as u64;
                 self.vm.append_code(&code);
                 let st = &mut self.regions[region as usize];
@@ -504,38 +726,56 @@ impl<P: Borrow<Program>> Session<P> {
     /// job. No-op when tiering or speculation is off, or the region is
     /// unkeyed.
     fn speculate_after(&mut self, region: u16, key: &[u64]) {
-        let Some(tiered) = self.tiered.as_mut() else {
-            return;
-        };
-        if key.is_empty() {
+        if self.tiered.is_none() || key.is_empty() {
             return;
         }
-        let dispatch = tiered.options().dispatch_cycles;
         let now = self.vm.cycles;
-        let cache = &self.regions[region as usize].cache;
-        let is_cached = |k: &[u64]| cache.contains_key(k);
-        let enqueued = tiered.observe_and_speculate(
-            &self.vm,
-            region,
-            key,
-            &is_cached,
-            &self.options.stitch,
-            now,
-        );
+        let (enqueued, dispatch) = {
+            let tiered = self.tiered.as_mut().expect("checked above");
+            let dispatch = tiered.options().dispatch_cycles;
+            let cache = &self.regions[region as usize].cache;
+            let is_cached = |k: &[u64]| cache.contains_key(k);
+            let enqueued = tiered.observe_and_speculate(
+                &self.vm,
+                region,
+                key,
+                &is_cached,
+                &self.options.stitch,
+                now,
+                self.faults.as_deref_mut(),
+            );
+            (enqueued, dispatch)
+        };
         self.vm.cycles += enqueued * dispatch;
+        self.drain_injected();
         for _ in 0..enqueued {
             self.tr(EventKind::SpeculateIssue { region });
         }
     }
 
     /// Probe the shared cache (when configured), charging the probe cost.
+    /// An injected poisoned shard abandons the probe: the charge is paid
+    /// and the entry proceeds as a miss.
     fn shared_lookup(
         &mut self,
         region: u16,
         key: &[u64],
     ) -> Option<Arc<dyncomp_stitcher::Stitched>> {
-        let cache = self.options.shared_cache.as_ref()?;
+        let cache = Arc::clone(self.options.shared_cache.as_ref()?);
         self.vm.cycles += self.options.shared_lookup_cycles;
+        if self
+            .fire(FaultPoint::SharedCachePoisonedShard, region)
+            .is_some()
+        {
+            self.record_failure(
+                region,
+                FailureKind::SharedCache,
+                true,
+                "injected poisoned shared-cache shard: probe abandoned".to_string(),
+            );
+            self.tr(EventKind::CacheLookup { region, hit: false });
+            return None;
+        }
         let hit = cache.lookup(&SharedKey {
             program: self.program.borrow().id(),
             region,
@@ -550,15 +790,48 @@ impl<P: Borrow<Program>> Session<P> {
 
     /// Install another session's stitched instance: bulk copy + base and
     /// linearized-table relocation, charged per word. No set-up code runs
-    /// and no stitch is performed.
+    /// and no stitch is performed. Returns `Ok(false)` when the install
+    /// degraded (injected failure, failed relocation, or a verifier
+    /// reject): the failure is recorded and the caller falls through to
+    /// the session's own set-up + stitch path.
     fn install_shared(
         &mut self,
         region: u16,
         key: Vec<u64>,
         stitched: &dyncomp_stitcher::Stitched,
-    ) -> Result<(), Error> {
+    ) -> Result<bool, Error> {
+        if self.fire(FaultPoint::SharedCacheInstall, region).is_some() {
+            self.record_failure(
+                region,
+                FailureKind::SharedCache,
+                true,
+                "injected shared-cache install failure".to_string(),
+            );
+            return Ok(false);
+        }
         let base = self.vm.code.len() as u32;
-        let (code, _lin_addr) = stitched.relocate(base, &mut self.vm.mem)?;
+        let code = match stitched.relocate(base, &mut self.vm.mem) {
+            Ok((code, _lin_addr)) => code,
+            Err(e) => {
+                self.record_failure(
+                    region,
+                    FailureKind::SharedCache,
+                    false,
+                    format!("shared-cache instance failed to relocate: {e}"),
+                );
+                return Ok(false);
+            }
+        };
+        if let Err(e) = verify_code(&code, base) {
+            self.tr(EventKind::VerifyReject { region });
+            self.record_failure(
+                region,
+                FailureKind::Verify,
+                false,
+                format!("shared-cache instance rejected by pre-install verification: {e}"),
+            );
+            return Ok(false);
+        }
         self.vm.cycles += self.options.shared_install_cycles_per_word * code.len() as u64;
         self.vm.append_code(&code);
         self.regions[region as usize].shared_hits += 1;
@@ -567,35 +840,124 @@ impl<P: Borrow<Program>> Session<P> {
             words: code.len() as u32,
         });
         self.index_instance(region, key, base, code.len() as u32)?;
-        Ok(())
+        Ok(true)
     }
 
-    fn end_setup(&mut self, region: u16) -> Result<(), Error> {
-        let table = self.vm.reg(CTP);
-        let base = self.vm.code.len() as u32;
-        let setup_delta = self.vm.cycles - self.regions[region as usize].setup_start;
-        self.tr(EventKind::SetupEnd {
-            region,
-            cycles: setup_delta,
-        });
-        self.tr(EventKind::StitchStart { region });
+    /// One stitch attempt for `region` at code address `base`: consult
+    /// the fault plan (injected bad template, post-stitch corruption),
+    /// degrade to interpretive stitching when the budget ladder or
+    /// quarantine demands it, and run the pre-install verifier over the
+    /// result. Never installs anything.
+    fn stitch_once(
+        &mut self,
+        region: u16,
+        table: u64,
+        base: u32,
+    ) -> Result<dyncomp_stitcher::Stitched, StitchFailure> {
+        if self.fire(FaultPoint::StitchBadTemplate, region).is_some() {
+            return Err(StitchFailure::Retryable(
+                FailureKind::Stitch,
+                true,
+                "injected stitch failure: malformed template".to_string(),
+            ));
+        }
         // Recording plan patches is host-side bookkeeping only (no stats,
-        // no cycles); request it only when there is a trace to feed.
-        let stitch_opts = if self.trace.is_some() && !self.options.stitch.record_patches {
+        // no cycles); request it only when there is a trace to feed. The
+        // degradation ladder's first step (and quarantine without a
+        // fallback copy) turns copy-and-patch plans off — interpretive
+        // stitching, bit-identical output, no plan bookkeeping.
+        let record = self.trace.is_some() && !self.options.stitch.record_patches;
+        let degrade_plans = self.options.stitch.plans
+            && (self.recovery.level() >= 1 || self.recovery.is_quarantined(region));
+        let stitch_opts = if record || degrade_plans {
             let mut o = self.options.stitch.clone();
-            o.record_patches = true;
+            o.record_patches = o.record_patches || record;
+            o.plans = o.plans && !degrade_plans;
             Some(o)
         } else {
             None
         };
         let rc = &self.program.borrow().compiled.regions[region as usize];
-        let stitched = dyncomp_stitcher::stitch(
+        let mut stitched = dyncomp_stitcher::stitch(
             rc,
             table,
             &mut self.vm.mem,
             base,
             stitch_opts.as_ref().unwrap_or(&self.options.stitch),
-        )?;
+        )
+        .map_err(StitchFailure::Fatal)?;
+        let corrupted =
+            self.fire(FaultPoint::CodeCorruption, region).is_some() && !stitched.code.is_empty();
+        if corrupted {
+            // Flip an instruction-start word (never an `Ldiw` payload,
+            // which no decoder could fault on) to a value nothing
+            // decodes: the pre-install verifier must catch it.
+            let starts = instruction_starts(&stitched.code);
+            let f = self.faults.as_mut().expect("a fault just fired");
+            let pick = f.draw_below(starts.len() as u64) as usize;
+            stitched.code[starts[pick]] = 0xFF00_0000;
+        }
+        if let Err(e) = verify_code(&stitched.code, base) {
+            self.tr(EventKind::VerifyReject { region });
+            return Err(StitchFailure::Retryable(
+                FailureKind::Verify,
+                corrupted,
+                format!("pre-install verification rejected instance: {e}"),
+            ));
+        }
+        Ok(stitched)
+    }
+
+    fn end_setup(&mut self, region: u16) -> Result<(), Error> {
+        let table = self.vm.reg(CTP);
+        let setup_delta = self.vm.cycles - self.regions[region as usize].setup_start;
+        self.tr(EventKind::SetupEnd {
+            region,
+            cycles: setup_delta,
+        });
+        // Stitch under the recovery policy: injected stitch failures and
+        // verifier rejects (corrupted instances) are retried with a
+        // deterministic backoff up to the policy cap; a genuine stitcher
+        // error propagates unchanged, exactly as before this layer
+        // existed.
+        let mut attempt = 0u32;
+        let (stitched, base) = loop {
+            self.tr(EventKind::StitchStart { region });
+            let base = self.vm.code.len() as u32;
+            match self.stitch_once(region, table, base) {
+                Ok(s) => break (s, base),
+                Err(StitchFailure::Fatal(e)) => {
+                    self.record_failure(region, FailureKind::Stitch, false, e.to_string());
+                    return Err(Error::Stitch(e));
+                }
+                Err(StitchFailure::Retryable(kind, injected, msg)) => {
+                    self.record_failure(region, kind, injected, msg.clone());
+                    attempt += 1;
+                    if attempt > self.recovery.policy().max_retries {
+                        return Err(Error::Stitch(dyncomp_stitcher::StitchError::BadTemplate(
+                            msg,
+                        )));
+                    }
+                    self.charge_retry(region, attempt);
+                }
+            }
+        };
+        // Injected arena exhaustion: back off deterministically (the
+        // simulated arena grows) before installing.
+        let mut attempt = 0u32;
+        while self.fire(FaultPoint::CodeArenaExhausted, region).is_some() {
+            self.record_failure(
+                region,
+                FailureKind::Install,
+                true,
+                "injected code-arena exhaustion during install".to_string(),
+            );
+            attempt += 1;
+            if attempt > self.recovery.policy().max_retries {
+                break;
+            }
+            self.charge_retry(region, attempt);
+        }
         self.vm.append_code(&stitched.code);
         let code_len = stitched.code.len() as u32;
 
@@ -663,6 +1025,12 @@ impl<P: Borrow<Program>> Session<P> {
         base: u32,
         len: u32,
     ) -> Result<(), Error> {
+        // Account the installed bytes against the session's code budget;
+        // crossing a ladder step is a trace event (the step itself takes
+        // effect at the next stitch / entry).
+        if let Some(level) = self.recovery.add_bytes(4 * u64::from(len)) {
+            self.tr(EventKind::BudgetDegrade { region, level });
+        }
         let rc = &self.program.borrow().compiled.regions[region as usize];
         let (keyed, enter_pc) = (!rc.key_locs.is_empty(), rc.enter_pc);
         let st = &mut self.regions[region as usize];
@@ -730,6 +1098,8 @@ impl<P: Borrow<Program>> Session<P> {
             spec_installs: st.spec_installs,
             bg_setup_cycles: st.bg_setup_cycles,
             bg_stitch_cycles: st.bg_stitch_cycles,
+            faults_injected: st.faults_injected,
+            retries: st.retries,
         }
     }
 
@@ -750,11 +1120,23 @@ impl<P: Borrow<Program>> Session<P> {
         self.tiered.as_ref().is_some_and(|t| t.is_pinned(region))
     }
 
+    /// A snapshot of the session's robustness state: the bounded failure
+    /// log, quarantined regions, injected-fault and retry counts, and the
+    /// degradation-ladder level. Cheap; safe to poll.
+    pub fn health(&self) -> HealthReport {
+        self.recovery.report()
+    }
+
     /// Message from the most recent background stitch failure (error or
-    /// panic), for diagnostics. `None` without tiered execution or when
-    /// no background job has failed.
+    /// panic), for diagnostics. `None` when no background job has failed
+    /// (or its record aged out of the bounded log — see
+    /// [`Session::health`] for the full picture).
     pub fn last_background_failure(&self) -> Option<&str> {
-        self.tiered.as_ref().and_then(|t| t.last_failure())
+        self.recovery
+            .failures()
+            .rev()
+            .find(|r| matches!(r.kind, FailureKind::Background { .. }))
+            .map(|r| r.message.as_str())
     }
 
     /// Per-region trace aggregates ([`RegionProfile`]), when tracing.
@@ -836,6 +1218,31 @@ impl<P: Borrow<Program>> Session<P> {
             })
             .collect()
     }
+}
+
+/// A failed stitch attempt: retryable under the recovery policy, or a
+/// genuine stitcher error propagated unchanged.
+enum StitchFailure {
+    /// `(kind, injected, message)` — retried with backoff up to the cap.
+    Retryable(FailureKind, bool, String),
+    /// A real [`dyncomp_stitcher::StitchError`]: deterministic, so
+    /// retrying cannot help; the caller propagates it as-is.
+    Fatal(dyncomp_stitcher::StitchError),
+}
+
+/// Word positions in `code` that begin an instruction (never an `Ldiw`
+/// payload word — corrupting a payload is invisible to any decoder).
+fn instruction_starts(code: &[u32]) -> Vec<usize> {
+    let mut starts = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        starts.push(i);
+        let wide = decode(code[i], code.get(i + 1).copied())
+            .map(|inst| inst.is_wide())
+            .unwrap_or(false);
+        i += if wide { 2 } else { 1 };
+    }
+    starts
 }
 
 fn accumulate(into: &mut StitchStats, s: &StitchStats) {

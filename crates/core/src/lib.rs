@@ -80,6 +80,7 @@
 pub mod advisor;
 pub mod cache;
 pub mod engine;
+pub mod faults;
 pub mod measure;
 pub mod tiered;
 pub mod trace;
@@ -87,6 +88,9 @@ pub mod trace;
 pub use advisor::{advise, FunctionAdvice, Hypothesis};
 pub use cache::{SharedCacheStats, SharedCodeCache, SharedKey};
 pub use engine::{Engine, EngineOptions, RegionReport, Session};
+pub use faults::{
+    FailureKind, FailureRecord, FaultPlan, FaultPoint, HealthReport, Injection, RecoveryPolicy,
+};
 pub use measure::{
     measure_kernel, measure_kernel_full, measure_kernel_with, run_session, run_session_profiled,
     run_session_trace, KernelMeasurement, KernelSetup, OptProfile, ProfiledSession, SessionOutcome,

@@ -50,6 +50,7 @@
 //! constants, which are taken from the forked snapshot) fully determines
 //! the stitched code.
 
+use crate::faults::{FaultPoint, FaultState};
 use crate::trace::{ClockDomain, EventKind, TraceEvent};
 use dyncomp_ir::fxhash::FxHashMap;
 use dyncomp_machine::isa::{CTP, SP};
@@ -81,12 +82,6 @@ pub struct TieredOptions {
     /// Instruction budget for each background fork (a runaway set-up loop
     /// fails the job instead of hanging a worker).
     pub job_fuel: u64,
-    /// Fault injection for tests: background jobs for this region index
-    /// panic inside the worker, exercising the panic-hardening path
-    /// (`catch_unwind` → `BgFailed` → region pinned to its fallback).
-    /// Always `None` in real use.
-    #[doc(hidden)]
-    pub inject_panic_region: Option<u16>,
 }
 
 impl Default for TieredOptions {
@@ -98,7 +93,6 @@ impl Default for TieredOptions {
             max_inflight: 8,
             dispatch_cycles: 25,
             job_fuel: 2_000_000_000,
-            inject_panic_region: None,
         }
     }
 }
@@ -209,7 +203,8 @@ struct JobRequest {
     /// locations before running set-up (the reverse of `read_key`).
     key_override: Option<Vec<u64>>,
     job_fuel: u64,
-    /// Fault injection (tests only): panic at the top of the job body.
+    /// Fault injection ([`FaultPoint::WorkerPanic`]): panic at the top
+    /// of the job body, exercising the `catch_unwind` hardening path.
     inject_panic: bool,
     reply: mpsc::Sender<JobReply>,
 }
@@ -225,7 +220,7 @@ fn run_job(req: JobRequest) -> Result<JobOutput, String> {
         ..
     } = req;
     if inject_panic {
-        panic!("injected background stitch panic (test)");
+        panic!("injected background stitch panic (fault plan)");
     }
     if let Some(key) = &key_override {
         for (loc, &v) in rc.key_locs.iter().zip(key.iter()) {
@@ -357,7 +352,22 @@ struct QueuedJob {
     key: Vec<u64>,
     enqueue_cycles: u64,
     speculative: bool,
+    /// Whether the fault plan armed a worker panic for this job (so a
+    /// resulting failure is recorded as injected, not genuine).
+    injected_panic: bool,
     rx: Mutex<mpsc::Receiver<JobReply>>,
+}
+
+/// A background failure drained by the session into its health log.
+pub(crate) struct BgFailure {
+    /// The region whose job failed.
+    pub(crate) region: u16,
+    /// Whether the worker panicked (vs. an ordinary error).
+    pub(crate) panicked: bool,
+    /// Whether the failure was injected by the fault plan.
+    pub(crate) injected: bool,
+    /// Diagnostic message.
+    pub(crate) message: String,
 }
 
 /// Result of asking the tiered state how to handle a cold keyed entry.
@@ -399,9 +409,9 @@ pub(crate) struct TieredState {
     /// Regions whose background path panicked: permanently served by the
     /// static fallback copy, never re-enqueued.
     pinned: Vec<bool>,
-    /// Message from the most recent background failure (error or panic),
-    /// for diagnostics; the session exposes it read-only.
-    last_failure: Option<String>,
+    /// Background failures since the session last drained them into its
+    /// bounded health log.
+    failures: Vec<BgFailure>,
     /// Trace events produced at resolution points (BgReady/BgFailed are
     /// stamped on virtual clocks the engine cannot see); drained by the
     /// session after each decision. Empty unless `collect` is set.
@@ -422,7 +432,7 @@ impl TieredState {
             predictors: regions.iter().map(|_| KeyPredictor::default()).collect(),
             spec_inflight: 0,
             pinned: vec![false; regions.len()],
-            last_failure: None,
+            failures: Vec::new(),
             events: Vec::new(),
             collect: collect_events,
         }
@@ -440,9 +450,10 @@ impl TieredState {
         self.pinned[region as usize]
     }
 
-    /// Message from the most recent background failure, if any.
-    pub(crate) fn last_failure(&self) -> Option<&str> {
-        self.last_failure.as_deref()
+    /// Drain background failures recorded since the last call (the
+    /// session folds them into its bounded health log).
+    pub(crate) fn take_failures(&mut self) -> Vec<BgFailure> {
+        std::mem::take(&mut self.failures)
     }
 
     pub(crate) fn options(&self) -> &TieredOptions {
@@ -456,7 +467,10 @@ impl TieredState {
 
     /// Enqueue a stitch job on a fork of `vm`. `key_override` is `Some`
     /// for speculative keys. `now` is the session cycle counter *after*
-    /// the dispatch charge.
+    /// the dispatch charge. The fault plan is consulted for
+    /// [`FaultPoint::WorkerPanic`] at enqueue time — deterministic, since
+    /// enqueue order is part of the simulated schedule.
+    #[allow(clippy::too_many_arguments)]
     fn enqueue(
         &mut self,
         vm: &Vm,
@@ -465,7 +479,10 @@ impl TieredState {
         speculative: bool,
         stitch_opts: &StitchOptions,
         now: u64,
+        faults: Option<&mut FaultState>,
     ) {
+        let inject_panic =
+            faults.is_some_and(|f| f.fire(FaultPoint::WorkerPanic, region).is_some());
         let (tx, rx) = mpsc::channel();
         self.pool.submit(JobRequest {
             fork: Box::new(vm.clone()),
@@ -473,7 +490,7 @@ impl TieredState {
             stitch_opts: stitch_opts.clone(),
             key_override: speculative.then(|| key.clone()),
             job_fuel: self.opts.job_fuel,
-            inject_panic: self.opts.inject_panic_region == Some(region),
+            inject_panic,
             reply: tx,
         });
         self.queue.push_back(QueuedJob {
@@ -481,6 +498,7 @@ impl TieredState {
             key: key.clone(),
             enqueue_cycles: now,
             speculative,
+            injected_panic: inject_panic,
             rx: Mutex::new(rx),
         });
         self.jobs.insert((region, key), JobState::Pending);
@@ -491,8 +509,10 @@ impl TieredState {
 
     /// Resolve unresolved jobs, in enqueue order, up to and including the
     /// job for `(region, key)`. Blocks on host completion (wall clock
-    /// only); virtual completion times come from the worker clocks.
-    fn resolve_until(&mut self, region: u16, key: &[u64]) {
+    /// only); virtual completion times come from the worker clocks. The
+    /// fault plan is consulted for [`FaultPoint::WorkerSlow`] per
+    /// resolved job, delaying its virtual `ready_at`.
+    fn resolve_until(&mut self, region: u16, key: &[u64], mut faults: Option<&mut FaultState>) {
         while let Some(front) = self.queue.front() {
             let target = front.region == region && front.key == key;
             let job = self.queue.pop_front().expect("front exists");
@@ -527,8 +547,14 @@ impl TieredState {
                     let w = (0..self.clocks.len())
                         .min_by_key(|&i| self.clocks[i])
                         .expect("at least one worker");
-                    let ready_at =
+                    let mut ready_at =
                         self.clocks[w].max(job.enqueue_cycles) + out.setup_cycles + stitch_cycles;
+                    if let Some(delay) = faults
+                        .as_deref_mut()
+                        .and_then(|f| f.fire(FaultPoint::WorkerSlow, job.region))
+                    {
+                        ready_at += delay;
+                    }
                     self.clocks[w] = ready_at;
                     if self.collect {
                         self.events.push(TraceEvent {
@@ -550,8 +576,13 @@ impl TieredState {
                 }
                 Err(failure) => {
                     let panicked = matches!(failure, JobFailure::Panic(_));
-                    self.last_failure = Some(match failure {
-                        JobFailure::Error(m) | JobFailure::Panic(m) => m,
+                    self.failures.push(BgFailure {
+                        region: job.region,
+                        panicked,
+                        injected: job.injected_panic && panicked,
+                        message: match failure {
+                            JobFailure::Error(m) | JobFailure::Panic(m) => m,
+                        },
                     });
                     if panicked {
                         // A panicking job body means the background path
@@ -590,6 +621,7 @@ impl TieredState {
         key: &[u64],
         stitch_opts: &StitchOptions,
         now: u64,
+        faults: Option<&mut FaultState>,
     ) -> (TierDecision, u64) {
         if self.pinned[region as usize] {
             return (TierDecision::Fallback, 0);
@@ -597,7 +629,7 @@ impl TieredState {
         let mut enqueued = 0u64;
         if !self.has_job(region, key) {
             let at = now + self.opts.dispatch_cycles;
-            self.enqueue(vm, region, key.to_vec(), false, stitch_opts, at);
+            self.enqueue(vm, region, key.to_vec(), false, stitch_opts, at, faults);
             enqueued = 1;
             return (TierDecision::Fallback, enqueued);
         }
@@ -605,7 +637,7 @@ impl TieredState {
             self.jobs.get(&(region, key.to_vec())),
             Some(JobState::Pending)
         ) {
-            self.resolve_until(region, key);
+            self.resolve_until(region, key, faults);
         }
         let decision = match self.jobs.get(&(region, key.to_vec())) {
             Some(JobState::Ready { ready_at, .. }) if *ready_at <= now => {
@@ -646,6 +678,7 @@ impl TieredState {
     /// (`is_cached`) nor already jobbed, up to the in-flight cap. Returns
     /// the number of jobs enqueued (the caller charges dispatch cycles for
     /// each).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn observe_and_speculate(
         &mut self,
         vm: &Vm,
@@ -654,6 +687,7 @@ impl TieredState {
         is_cached: &dyn Fn(&[u64]) -> bool,
         stitch_opts: &StitchOptions,
         now: u64,
+        mut faults: Option<&mut FaultState>,
     ) -> u64 {
         if key.is_empty() || self.pinned[region as usize] {
             return 0;
@@ -671,7 +705,7 @@ impl TieredState {
                 continue;
             }
             let at = now + (enqueued + 1) * self.opts.dispatch_cycles;
-            self.enqueue(vm, region, pk, true, stitch_opts, at);
+            self.enqueue(vm, region, pk, true, stitch_opts, at, faults.as_deref_mut());
             enqueued += 1;
         }
         enqueued

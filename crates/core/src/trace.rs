@@ -4,7 +4,9 @@
 //! region-lifecycle transition as a typed [`TraceEvent`] — region entry,
 //! set-up, stitching (with per-category hole/branch/unroll counts), plan
 //! patches, shared-cache traffic, tier dispatch/fallback/install,
-//! speculation, keyed-cache lookups and evictions — into a bounded
+//! speculation, keyed-cache lookups and evictions, plus the robustness
+//! lifecycle (fault injections, recovery retries, quarantines, verifier
+//! rejections, budget degradations) — into a bounded
 //! per-session ring buffer, while a never-dropping [`RegionProfile`]
 //! aggregator accumulates per-region totals, cycle histograms and ratios.
 //!
@@ -35,6 +37,7 @@
 //! exactly — any drift between the scattered accounting sites (engine,
 //! shared cache, tiered pool) and the event stream is an error.
 
+use crate::faults::FaultPoint;
 use crate::RegionReport;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -228,6 +231,45 @@ pub enum EventKind {
         /// Issued-but-never-installed speculative jobs so far.
         wasted: u64,
     },
+    /// The fault plan injected a fault ([`crate::FaultPlan`]).
+    FaultInjected {
+        /// Region number.
+        region: u16,
+        /// Which fault point fired.
+        point: FaultPoint,
+    },
+    /// A failed operation is being retried after a virtual-cycle backoff
+    /// (stamped after the backoff charge).
+    RecoveryRetry {
+        /// Region number.
+        region: u16,
+        /// Attempt number (1-based).
+        attempt: u32,
+        /// Backoff cycles charged for this attempt.
+        backoff: u64,
+    },
+    /// The region crossed [`crate::RecoveryPolicy::quarantine_after`]
+    /// failures and is quarantined: served by its static fallback copy
+    /// when the artifact has one, otherwise degraded to interpretive
+    /// stitching.
+    Quarantined {
+        /// Region number.
+        region: u16,
+    },
+    /// The pre-install verifier rejected a stitched instance; nothing
+    /// was installed.
+    VerifyReject {
+        /// Region number.
+        region: u16,
+    },
+    /// Installed code crossed a step of the byte-budget degradation
+    /// ladder ([`crate::RecoveryPolicy::code_budget_bytes`]).
+    BudgetDegrade {
+        /// Region whose installation crossed the step.
+        region: u16,
+        /// The new ladder level (1 = plans off, 2 = fallback only).
+        level: u8,
+    },
 }
 
 impl EventKind {
@@ -252,7 +294,12 @@ impl EventKind {
             | EventKind::BgInstall { region, .. }
             | EventKind::SpeculateIssue { region }
             | EventKind::SpeculateHit { region }
-            | EventKind::SpeculateWaste { region, .. } => region,
+            | EventKind::SpeculateWaste { region, .. }
+            | EventKind::FaultInjected { region, .. }
+            | EventKind::RecoveryRetry { region, .. }
+            | EventKind::Quarantined { region }
+            | EventKind::VerifyReject { region }
+            | EventKind::BudgetDegrade { region, .. } => region,
         }
     }
 
@@ -278,6 +325,11 @@ impl EventKind {
             EventKind::SpeculateIssue { .. } => "SpeculateIssue",
             EventKind::SpeculateHit { .. } => "SpeculateHit",
             EventKind::SpeculateWaste { .. } => "SpeculateWaste",
+            EventKind::FaultInjected { .. } => "FaultInjected",
+            EventKind::RecoveryRetry { .. } => "RecoveryRetry",
+            EventKind::Quarantined { .. } => "Quarantined",
+            EventKind::VerifyReject { .. } => "VerifyReject",
+            EventKind::BudgetDegrade { .. } => "BudgetDegrade",
         }
     }
 }
@@ -377,6 +429,16 @@ pub struct RegionProfile {
     pub spec_issued: u64,
     /// Speculative instances installed on demand.
     pub spec_installs: u64,
+    /// Faults injected by the fault plan.
+    pub faults_injected: u64,
+    /// Retries performed after failures.
+    pub retries: u64,
+    /// Times this region was quarantined (0 or 1 per session).
+    pub quarantines: u64,
+    /// Instances the pre-install verifier rejected.
+    pub verify_rejects: u64,
+    /// Byte-budget ladder steps this region's installs crossed.
+    pub budget_degrades: u64,
     /// First session-cycle stamp at which stitched code for this region
     /// became available to run (first install or first keyed hit): the
     /// crossing point after which every entry proceeds at the asymptotic
@@ -517,6 +579,11 @@ impl TraceState {
             EventKind::SpeculateIssue { .. } => p.spec_issued += 1,
             EventKind::SpeculateHit { .. } => {}
             EventKind::SpeculateWaste { .. } => {}
+            EventKind::FaultInjected { .. } => p.faults_injected += 1,
+            EventKind::RecoveryRetry { .. } => p.retries += 1,
+            EventKind::Quarantined { .. } => p.quarantines += 1,
+            EventKind::VerifyReject { .. } => p.verify_rejects += 1,
+            EventKind::BudgetDegrade { .. } => p.budget_degrades += 1,
         }
     }
 
@@ -573,7 +640,7 @@ impl TraceState {
             ));
         }
         for (i, (r, p)) in reports.iter().zip(self.profiles.iter()).enumerate() {
-            let checks: [(&str, u64, u64); 12] = [
+            let checks: [(&str, u64, u64); 14] = [
                 ("invocations", r.invocations, p.invocations),
                 ("stitches", u64::from(r.stitches), p.stitches),
                 (
@@ -590,6 +657,8 @@ impl TraceState {
                 ("spec_installs", r.spec_installs, p.spec_installs),
                 ("bg_setup_cycles", r.bg_setup_cycles, p.bg_setup_cycles),
                 ("bg_stitch_cycles", r.bg_stitch_cycles, p.bg_stitch_cycles),
+                ("faults_injected", r.faults_injected, p.faults_injected),
+                ("retries", r.retries, p.retries),
             ];
             for (name, reported, traced) in checks {
                 if reported != traced {
@@ -737,6 +806,23 @@ fn event_fields(kind: &EventKind, out: &mut String) {
         ),
         EventKind::SpeculateWaste { region, wasted } => {
             write!(out, ",\"region\":{region},\"wasted\":{wasted}")
+        }
+        EventKind::FaultInjected { region, point } => {
+            write!(out, ",\"region\":{region},\"point\":\"{}\"", point.name())
+        }
+        EventKind::RecoveryRetry {
+            region,
+            attempt,
+            backoff,
+        } => write!(
+            out,
+            ",\"region\":{region},\"attempt\":{attempt},\"backoff\":{backoff}"
+        ),
+        EventKind::Quarantined { region } | EventKind::VerifyReject { region } => {
+            write!(out, ",\"region\":{region}")
+        }
+        EventKind::BudgetDegrade { region, level } => {
+            write!(out, ",\"region\":{region},\"level\":{level}")
         }
     };
 }

@@ -18,6 +18,9 @@
 //! * [`template`] — the machine-code template and stitcher-directive data
 //!   model of the paper's Table 1, shared between the static compiler
 //!   (`dyncomp-codegen`) and the run-time stitcher (`dyncomp-stitcher`);
+//! * [`verify`] — install-time verification of patched code: every word
+//!   of a stitched instance is decoded and range-checked before it may
+//!   join the code space;
 //! * [`heap`] — host-side helpers for building C-like data structures in
 //!   VM memory;
 //! * [`disasm`] — a disassembler for inspection and debugging.
@@ -52,10 +55,12 @@ pub mod disasm;
 pub mod heap;
 pub mod isa;
 pub mod template;
+pub mod verify;
 pub mod vm;
 
 pub use asm::{Assembled, Assembler, Label};
 pub use heap::HeapBuilder;
 pub use isa::{Inst, Op, Operand, Reg};
 pub use template::{RegionCode, Template};
+pub use verify::{verify_code, CodeVerifyError};
 pub use vm::{CycleModel, Stop, Vm, VmError};

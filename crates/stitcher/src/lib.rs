@@ -171,6 +171,13 @@ pub struct Stitched {
 }
 
 impl Stitched {
+    /// Bytes this instance occupies when installed: code words plus the
+    /// linearized large-constants table it rebuilds at relocation. The
+    /// unit byte-budgeted caches account in.
+    pub fn footprint_bytes(&self) -> u64 {
+        4 * self.code.len() as u64 + 8 * self.lin_words.len() as u64
+    }
+
     /// Re-create this instance for installation at `new_base`, with a
     /// fresh linearized constants table allocated and filled in `mem`:
     /// returns the patched code words and the new table address. This is
