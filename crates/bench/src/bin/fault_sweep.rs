@@ -120,6 +120,12 @@ fn options_for(point: FaultPoint, warmed: &Arc<SharedCodeCache>) -> EngineOption
         FaultPoint::SharedCacheInstall | FaultPoint::SharedCachePoisonedShard => {
             options.shared_cache = Some(Arc::clone(warmed));
         }
+        // The native arena can only be exhausted with the native backend
+        // requested; the fault fires before the availability check, so
+        // this row is exercised on every host.
+        FaultPoint::NativeArenaExhausted => {
+            options.native = true;
+        }
         _ => {}
     }
     options

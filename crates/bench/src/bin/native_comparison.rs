@@ -1,0 +1,363 @@
+//! Host wall-clock comparison of the three execution backends over the
+//! Table 2 kernels: the statically compiled baseline on the VM
+//! (`interp`), dynamic compilation executed on the VM (`vm_stitched`),
+//! and dynamic compilation executed through the host-native
+//! copy-and-patch backend (`native_stitched`), plus the native
+//! translation cost per SimAlpha instruction.
+//!
+//! Everything *simulated* is asserted bit-identical across the three
+//! runs — checksums must agree, and the two dynamic runs must agree on
+//! simulated cycles ([`dyncomp::run_session_differential`] enforces
+//! both). Only host nanoseconds differ; each configuration is run
+//! `--repeat` times (default 3) and the minimum wall-clock is reported,
+//! the standard way to suppress scheduler noise in a determinism-pinned
+//! workload.
+//!
+//! Usage: `cargo run --release -p dyncomp-bench --bin native_comparison
+//! [--smoke] [--repeat N] [--json <path>] [--check <path>]`
+//!
+//! The rendered document is validated with the in-tree JSON checker
+//! before it is written. `--check <path>` compares the *deterministic*
+//! fields (kernel, config, iterations, checksum, checksums_match)
+//! against a committed reference — wall-clock fields are host noise and
+//! are exempt from the drift gate. On hosts without the native backend
+//! the native half runs on the VM, `native_active` is false, and the
+//! wall-clock columns simply coincide; checksums still gate.
+
+use dyncomp::{run_session_differential, run_session_timed, Compiler, EngineOptions, KernelSetup};
+use dyncomp_bench::kernels::{calculator, dispatch, smatmul, sorter, spmv};
+use dyncomp_bench::{json_str, jsonv};
+use std::sync::Arc;
+
+struct Workload {
+    kernel: &'static str,
+    config: String,
+    setup: KernelSetup<'static>,
+}
+
+fn workloads(smoke: bool) -> Vec<Workload> {
+    let w = |kernel, config: String, setup| Workload {
+        kernel,
+        config,
+        setup,
+    };
+    if smoke {
+        vec![
+            w(
+                "calculator",
+                "80 interpretations".into(),
+                calculator::setup(80),
+            ),
+            w(
+                "smatmul",
+                "8x16, scalars 1..8".into(),
+                smatmul::setup(8, 16, 8),
+            ),
+            w("spmv", "12x12, 3/row".into(), spmv::setup(12, 3, 20)),
+            w("spmv", "8x8, 2/row".into(), spmv::setup(8, 2, 20)),
+            w(
+                "dispatch",
+                "10 guards, 60 events".into(),
+                dispatch::setup(10, 60),
+            ),
+            w(
+                "sorter",
+                "4 keys, 40 records".into(),
+                sorter::setup(40, 4, 5),
+            ),
+            w(
+                "sorter",
+                "12 keys, 40 records".into(),
+                sorter::setup(40, 12, 5),
+            ),
+        ]
+    } else {
+        vec![
+            w(
+                "calculator",
+                "2000 interpretations".into(),
+                calculator::setup(2000),
+            ),
+            w(
+                "smatmul",
+                "100x800, scalars 1..100".into(),
+                smatmul::setup(100, 800, 100),
+            ),
+            w("spmv", "200x200, 10/row".into(), spmv::setup(200, 10, 300)),
+            w("spmv", "96x96, 5/row".into(), spmv::setup(96, 5, 300)),
+            w(
+                "dispatch",
+                "10 guards, 2000 events".into(),
+                dispatch::setup(10, 2000),
+            ),
+            w(
+                "sorter",
+                "4 keys, 500 records".into(),
+                sorter::setup(500, 4, 20),
+            ),
+            w(
+                "sorter",
+                "12 keys, 500 records".into(),
+                sorter::setup(500, 12, 20),
+            ),
+        ]
+    }
+}
+
+struct Row {
+    kernel: &'static str,
+    config: String,
+    iterations: u64,
+    checksum: u64,
+    checksums_match: bool,
+    interp_ns: u64,
+    vm_stitched_ns: u64,
+    native_stitched_ns: u64,
+    native_speedup_vs_vm: f64,
+    translate_ns: u64,
+    translated_instructions: u64,
+    covered_instructions: u64,
+    translate_ns_per_instruction: f64,
+    native_installs: u64,
+    native_entries: u64,
+    native_declined: u64,
+    native_bytes: u64,
+    native_active: bool,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"kernel\": {}, \"config\": {}, \"iterations\": {}, ",
+                "\"checksum\": {}, \"checksums_match\": {}, ",
+                "\"interp_ns\": {}, \"vm_stitched_ns\": {}, ",
+                "\"native_stitched_ns\": {}, \"native_speedup_vs_vm\": {:.4}, ",
+                "\"translate_ns\": {}, \"translated_instructions\": {}, ",
+                "\"covered_instructions\": {}, ",
+                "\"translate_ns_per_instruction\": {:.4}, ",
+                "\"native_installs\": {}, \"native_entries\": {}, ",
+                "\"native_declined\": {}, \"native_bytes\": {}, ",
+                "\"native_active\": {}}}"
+            ),
+            json_str(self.kernel),
+            json_str(&self.config),
+            self.iterations,
+            self.checksum,
+            self.checksums_match,
+            self.interp_ns,
+            self.vm_stitched_ns,
+            self.native_stitched_ns,
+            self.native_speedup_vs_vm,
+            self.translate_ns,
+            self.translated_instructions,
+            self.covered_instructions,
+            self.translate_ns_per_instruction,
+            self.native_installs,
+            self.native_entries,
+            self.native_declined,
+            self.native_bytes,
+            self.native_active,
+        )
+    }
+
+    /// The deterministic prefix the drift gate compares (wall-clock
+    /// fields are host noise). Matches the rendered object's field
+    /// order: everything before `interp_ns`.
+    fn deterministic_key(&self) -> String {
+        format!(
+            "{{\"kernel\": {}, \"config\": {}, \"iterations\": {}, \
+             \"checksum\": {}, \"checksums_match\": {}",
+            json_str(self.kernel),
+            json_str(&self.config),
+            self.iterations,
+            self.checksum,
+            self.checksums_match
+        )
+    }
+}
+
+/// Extract each row's drift-gated prefix (everything before the first
+/// wall-clock field) from a rendered document, in row order.
+fn deterministic_keys(doc: &str) -> Vec<String> {
+    doc.split("{\"kernel\"")
+        .skip(1)
+        .map(|part| {
+            let obj = format!("{{\"kernel\"{part}");
+            let end = obj
+                .find(", \"interp_ns\"")
+                .expect("row carries the wall-clock fields");
+            obj[..end].to_string()
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let repeat: u32 = match args.iter().position(|a| a == "--repeat") {
+        Some(p) => args
+            .get(p + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("native_comparison: --repeat needs a positive integer");
+                std::process::exit(2);
+            }),
+        None => 3,
+    };
+    let repeat = repeat.max(1);
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(p) => args.get(p + 1).cloned().unwrap_or_else(|| {
+            eprintln!("native_comparison: --json needs a path");
+            std::process::exit(2);
+        }),
+        None => "BENCH_native.json".to_string(),
+    };
+
+    let scale = if smoke { "Smoke" } else { "Paper" };
+    println!("Backend wall-clock comparison ({scale} scale, best of {repeat})");
+    println!(
+        "{:<12} | {:<28} | {:>12} | {:>12} | {:>12} | {:>7} | {:>9} | match",
+        "kernel", "config", "interp ns", "vm ns", "native ns", "nat/vm", "ns/instr",
+    );
+    println!("{}", "-".repeat(116));
+
+    let mut rows = Vec::new();
+    let mut bad = 0u32;
+    for w in workloads(smoke) {
+        let static_prog = Arc::new(
+            Compiler::static_baseline()
+                .compile(w.setup.src)
+                .unwrap_or_else(|e| panic!("{} compiles statically: {e}", w.kernel)),
+        );
+        let dynamic_prog = Arc::new(
+            Compiler::new()
+                .compile(w.setup.src)
+                .unwrap_or_else(|e| panic!("{} compiles: {e}", w.kernel)),
+        );
+
+        let mut interp_ns = u64::MAX;
+        let mut vm_ns = u64::MAX;
+        let mut native_ns = u64::MAX;
+        let mut checksum = 0u64;
+        let mut matches = true;
+        let mut native = dyncomp::NativeReport::default();
+        for _ in 0..repeat {
+            let interp = run_session_timed(&static_prog, &w.setup, EngineOptions::default())
+                .unwrap_or_else(|e| panic!("{} interp run: {e}", w.kernel));
+            // The differential asserts vm/native checksum and simulated-
+            // cycle equality internally; a divergence aborts the bench.
+            let d = run_session_differential(&dynamic_prog, &w.setup, EngineOptions::default())
+                .unwrap_or_else(|e| panic!("{} differential: {e}", w.kernel));
+            interp_ns = interp_ns.min(interp.wall_ns);
+            vm_ns = vm_ns.min(d.vm.wall_ns);
+            native_ns = native_ns.min(d.native.wall_ns);
+            checksum = d.native.outcome.checksum;
+            matches &= interp.outcome.checksum == d.native.outcome.checksum;
+            native = d.native.native;
+        }
+        if !matches {
+            bad += 1;
+            eprintln!(
+                "native_comparison: {} checksum diverged between backends",
+                w.kernel
+            );
+        }
+        let per_instr = if native.translated_instructions > 0 {
+            native.translate_ns as f64 / native.translated_instructions as f64
+        } else {
+            0.0
+        };
+        let speedup = if native_ns > 0 {
+            vm_ns as f64 / native_ns as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<12} | {:<28} | {:>12} | {:>12} | {:>12} | {:>6.2}x | {:>9.1} | {}",
+            w.kernel,
+            w.config,
+            interp_ns,
+            vm_ns,
+            native_ns,
+            speedup,
+            per_instr,
+            if matches { "ok" } else { "DRIFT" },
+        );
+        rows.push(Row {
+            kernel: w.kernel,
+            config: w.config,
+            iterations: w.setup.iterations,
+            checksum,
+            checksums_match: matches,
+            interp_ns,
+            vm_stitched_ns: vm_ns,
+            native_stitched_ns: native_ns,
+            native_speedup_vs_vm: speedup,
+            translate_ns: native.translate_ns,
+            translated_instructions: native.translated_instructions,
+            covered_instructions: native.covered_instructions,
+            translate_ns_per_instruction: per_instr,
+            native_installs: native.installs,
+            native_entries: native.entries,
+            native_declined: native.declined,
+            native_bytes: native.bytes,
+            native_active: native.active,
+        });
+    }
+
+    let mut rendered = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        rendered.push_str("  ");
+        rendered.push_str(&row.json());
+        if i + 1 < rows.len() {
+            rendered.push(',');
+        }
+        rendered.push('\n');
+    }
+    rendered.push_str("]\n");
+
+    if let Err(e) = jsonv::validate(&rendered) {
+        eprintln!("native_comparison: rendered document is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    match std::fs::write(&json_path, &rendered) {
+        Ok(()) => println!("\nwrote {json_path} (schema validated)"),
+        Err(e) => {
+            eprintln!("native_comparison: cannot write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(p) = args.iter().position(|a| a == "--check") {
+        let reference_path = args.get(p + 1).cloned().unwrap_or_else(|| {
+            eprintln!("native_comparison: --check needs a path");
+            std::process::exit(2);
+        });
+        let reference = std::fs::read_to_string(&reference_path).unwrap_or_else(|e| {
+            eprintln!("native_comparison: cannot read reference {reference_path}: {e}");
+            std::process::exit(2);
+        });
+        let want = deterministic_keys(&reference);
+        let got: Vec<String> = rows.iter().map(Row::deterministic_key).collect();
+        if want == got {
+            println!("check: deterministic fields match {reference_path}");
+        } else {
+            eprintln!("native_comparison: deterministic fields drifted from {reference_path}:");
+            for (w, g) in want.iter().zip(got.iter()) {
+                if w != g {
+                    eprintln!("  - {w}");
+                    eprintln!("  + {g}");
+                }
+            }
+            if want.len() != got.len() {
+                eprintln!("  (row count {} vs reference {})", got.len(), want.len());
+            }
+            std::process::exit(1);
+        }
+    }
+
+    if bad > 0 {
+        std::process::exit(1);
+    }
+}

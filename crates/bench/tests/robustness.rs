@@ -224,3 +224,114 @@ fn shared_cache_byte_budget_evicts_under_pressure() {
     );
     assert_eq!(reader.region_report(0).stitches, 0);
 }
+
+#[test]
+fn native_arena_exhaustion_degrades_to_vm_backend() {
+    let (clean, _) = run(EngineOptions::default(), 8);
+
+    // Two injected arena exhaustions: those installs are declined with a
+    // `backend-unavailable` health entry, the instances run on the VM,
+    // and every result is bit-identical. The fault fires before the
+    // availability check, so this holds on every host architecture.
+    let options = EngineOptions {
+        native: true,
+        faults: Some(FaultPlan::single(FaultPoint::NativeArenaExhausted, 2)),
+        ..EngineOptions::default()
+    };
+    let (checksum, session) = run(options, 8);
+    assert_eq!(checksum, clean, "exhausted arena changes no result");
+
+    let health = session.health();
+    assert_eq!(health.faults_injected, 2, "both injections fired");
+    let recorded: Vec<_> = health
+        .failures
+        .iter()
+        .filter(|f| f.kind == FailureKind::BackendUnavailable)
+        .collect();
+    assert_eq!(recorded.len(), 2, "one health entry per declined install");
+    assert!(recorded
+        .iter()
+        .all(|f| f.injected && f.message.contains("native-arena exhaustion")));
+
+    // The backend itself is not disabled: after the injections run out,
+    // later installs proceed (on hosts that support the backend).
+    let report = session.native_report();
+    assert!(report.enabled);
+    if cfg!(all(target_arch = "x86_64", target_os = "linux")) {
+        assert!(
+            report.active,
+            "arena exhaustion must not disable the backend"
+        );
+        assert!(report.installs > 0, "post-injection installs proceed");
+    }
+}
+
+#[test]
+fn byte_budget_accounts_native_stub_bytes() {
+    let (clean, vm_session) = run(EngineOptions::default(), 12);
+    let vm_bytes = vm_session.health().code_bytes_installed;
+
+    let native_options = EngineOptions {
+        native: true,
+        ..EngineOptions::default()
+    };
+    let (checksum, native_session) = run(native_options, 12);
+    assert_eq!(checksum, clean, "native backend changes no result");
+    let native_bytes = native_session.health().code_bytes_installed;
+
+    if cfg!(all(target_arch = "x86_64", target_os = "linux")) {
+        // Installed stub bytes count against the same budget as the
+        // stitched code words — exactly, not approximately.
+        assert!(native_bytes > vm_bytes, "{native_bytes} vs {vm_bytes}");
+        assert_eq!(
+            native_bytes - vm_bytes,
+            native_session.native_report().bytes,
+            "the surplus is exactly the installed stub bytes"
+        );
+
+        // A budget sized for the VM-only footprint therefore exhausts
+        // early under the native backend: the ladder sheds installs and
+        // past-budget keys run the fallback, results unchanged.
+        let options = EngineOptions {
+            native: true,
+            recovery: RecoveryPolicy {
+                code_budget_bytes: Some(vm_bytes),
+                ..RecoveryPolicy::default()
+            },
+            ..EngineOptions::default()
+        };
+        let (budgeted, budget_session) = run(options, 12);
+        assert_eq!(budgeted, clean, "degraded session computes the same");
+        assert_eq!(budget_session.health().degradation_level, 2);
+        let report = budget_session.region_report(0);
+        assert!(
+            report.stitches < 12,
+            "budget stopped installs early ({} of 12)",
+            report.stitches
+        );
+        assert!(report.fallback_runs > 0);
+
+        // Published instances carry their native footprint, so byte-
+        // budgeted shared-cache shards govern both backends.
+        let program = Arc::new(Compiler::tiered().compile(POLY).expect("compiles"));
+        let resident = |native: bool| {
+            let cache = Arc::new(SharedCodeCache::new(1, 64));
+            let mut s = Session::with_options(
+                Arc::clone(&program),
+                EngineOptions {
+                    native,
+                    shared_cache: Some(Arc::clone(&cache)),
+                    ..EngineOptions::default()
+                },
+            );
+            drive(&mut s, 4);
+            cache.bytes()
+        };
+        assert!(
+            resident(true) > resident(false),
+            "published footprints include native stub bytes"
+        );
+    } else {
+        assert_eq!(native_bytes, vm_bytes, "no backend, no extra bytes");
+    }
+}

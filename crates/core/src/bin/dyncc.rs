@@ -3,7 +3,7 @@
 //! ```text
 //! dyncc <file.mc> [--ir] [--templates] [--disasm] [--regions]
 //!                 [--static] [--run <func> [args…]] [--report] [--stitched]
-//!                 [--sessions N] [--threads T] [--shared-cache]
+//!                 [--sessions N] [--threads T] [--shared-cache] [--native]
 //!                 [--tiered] [--stitch-workers N] [--speculate]
 //! ```
 //!
@@ -45,6 +45,12 @@
 //!   bytes: past ¾ budget new stitches drop copy-and-patch plans, past
 //!   the budget regions with a static fallback copy stop installing
 //!   code entirely
+//! * `--native`    with `--run`, execute stitched instances through the
+//!   host-native copy-and-patch backend (x86-64 stubs in a W^X arena;
+//!   see DESIGN.md). Results and simulated cycles are bit-identical to
+//!   the VM backend — the VM remains the cycle oracle — and a backend
+//!   summary is printed afterwards. On unsupported hosts the session
+//!   degrades to the VM with one `backend-unavailable` health entry.
 
 use dyncomp::{
     Compiler, Engine, EngineOptions, FaultPlan, RecoveryPolicy, Session, SharedCodeCache,
@@ -300,6 +306,7 @@ fn main() {
             eprintln!("dyncc: --trace-format must be `jsonl` or `chrome`, got `{trace_format}`");
             exit(2);
         }
+        let native = flag("--native");
         if sessions > 1 || flag("--shared-cache") {
             if trace_out.is_some() {
                 eprintln!(
@@ -317,6 +324,7 @@ fn main() {
                 tiered_options,
                 fault_seed.map(FaultPlan::seeded),
                 recovery,
+                native,
             );
             return;
         }
@@ -328,6 +336,7 @@ fn main() {
                 trace: trace_out.as_ref().map(|_| TraceOptions::default()),
                 faults: fault_seed.map(FaultPlan::seeded),
                 recovery,
+                native,
                 ..EngineOptions::default()
             },
         );
@@ -348,6 +357,26 @@ fn main() {
             Err(e) => {
                 eprintln!("dyncc: run failed: {e}");
                 exit(1);
+            }
+        }
+        if native {
+            let n = engine.native_report();
+            if n.active {
+                println!(
+                    "\nnative backend: {} instance(s) installed ({} bytes), {} declined, \
+                     {} dispatch(es); {}/{} instruction(s) covered, translated in {} ns",
+                    n.installs,
+                    n.bytes,
+                    n.declined,
+                    n.entries,
+                    n.covered_instructions,
+                    n.translated_instructions,
+                    n.translate_ns
+                );
+            } else {
+                println!(
+                    "\nnative backend: unavailable on this host; the session ran on the VM backend"
+                );
             }
         }
         if fault_seed.is_some() || code_budget.is_some() {
@@ -523,6 +552,7 @@ fn run_multi_session(
     tiered: Option<TieredOptions>,
     faults: Option<FaultPlan>,
     recovery: RecoveryPolicy,
+    native: bool,
 ) {
     let cache = shared.then(|| Arc::new(SharedCodeCache::default()));
     let mut rows: Vec<Option<Result<SessionRow, dyncomp::Error>>> = (0..n).map(|_| None).collect();
@@ -540,6 +570,7 @@ fn run_multi_session(
                         tiered: tiered.clone(),
                         faults: faults.clone(),
                         recovery: recovery.clone(),
+                        native,
                         ..EngineOptions::default()
                     };
                     let mut session = Session::with_options(Arc::clone(program), options);

@@ -358,6 +358,7 @@ mod tests {
             exit_patches: Vec::new(),
             plan_patches: Vec::new(),
             stats: Default::default(),
+            native_bytes: 0,
         })
     }
 

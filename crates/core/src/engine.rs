@@ -34,15 +34,17 @@ use crate::faults::{
 use crate::tiered::{TierDecision, TieredOptions, TieredState};
 use crate::trace::{ClockDomain, EventKind, RegionProfile, TraceOptions, TraceState};
 use crate::{Error, Program};
+use dyncomp_ir::eval::EvalError;
 use dyncomp_ir::fxhash::FxHashMap;
 use dyncomp_machine::heap::HeapBuilder;
 use dyncomp_machine::isa::{decode, encode, Inst, Op, CTP, SP};
 use dyncomp_machine::template::ValueLoc;
 use dyncomp_machine::verify::verify_code;
-use dyncomp_machine::vm::{Stop, Vm};
+use dyncomp_machine::vm::{Stop, Vm, VmError};
 use dyncomp_stitcher::{StitchOptions, StitchStats};
 use std::borrow::Borrow;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Session configuration.
 #[derive(Clone, Debug)]
@@ -108,6 +110,17 @@ pub struct EngineOptions {
     /// degradation ladder. Always present; with no failures and no byte
     /// budget it charges nothing.
     pub recovery: RecoveryPolicy,
+    /// Host-native copy-and-patch backend: translate every installed
+    /// instance to pre-assembled x86-64 stubs in an executable arena and
+    /// dispatch region entries there, falling back to the VM for
+    /// unsupported instructions (see `crates/native`). The VM remains the
+    /// cycle oracle: native execution charges the *identical* simulated
+    /// cycles and fuel, so checksums and cycle counts are bit-identical
+    /// with this on or off — only host wall-clock changes. On hosts
+    /// without the backend (non-x86-64, W^X mapping refused) the session
+    /// records one `backend-unavailable` health entry and runs entirely
+    /// on the VM. Off by default.
+    pub native: bool,
 }
 
 impl Default for EngineOptions {
@@ -126,8 +139,78 @@ impl Default for EngineOptions {
             trace: None,
             faults: None,
             recovery: RecoveryPolicy::default(),
+            native: false,
         }
     }
+}
+
+/// Per-session state of the host-native backend (`Some` iff
+/// [`EngineOptions::native`] was set). All counters are host-side
+/// bookkeeping: nothing here charges simulated cycles.
+struct NativeState {
+    /// Installed instances and their executable arena.
+    backend: dyncomp_native::Backend,
+    /// Set after an install-layer failure (unsupported host, mapping
+    /// refused): no further installs are attempted this session.
+    disabled: bool,
+    /// Whether the `backend-unavailable` health entry was recorded (it
+    /// is recorded at most once per session).
+    reported: bool,
+    /// Artifact pre-translated by `end_setup` (so the published
+    /// [`dyncomp_stitcher::Stitched`] carries its native footprint),
+    /// keyed by install base and consumed by `index_instance`.
+    pending: Option<(u32, dyncomp_native::Artifact)>,
+    installs: u64,
+    declined: u64,
+    entries: u64,
+    translate_ns: u64,
+    translated_instructions: u64,
+    covered_instructions: u64,
+}
+
+impl NativeState {
+    fn new() -> Self {
+        NativeState {
+            backend: dyncomp_native::Backend::new(),
+            disabled: false,
+            reported: false,
+            pending: None,
+            installs: 0,
+            declined: 0,
+            entries: 0,
+            translate_ns: 0,
+            translated_instructions: 0,
+            covered_instructions: 0,
+        }
+    }
+}
+
+/// Host-native backend counters ([`Session::native_report`]). All
+/// wall-clock figures are host-side measurements; the simulated cycle
+/// accounting is byte-identical with the backend on or off.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NativeReport {
+    /// Whether the backend was requested ([`EngineOptions::native`]).
+    pub enabled: bool,
+    /// Whether it is serving dispatches (requested, host-supported, and
+    /// not disabled by an install failure).
+    pub active: bool,
+    /// Instances installed into the executable arena.
+    pub installs: u64,
+    /// Instances declined because their entry instruction does not lower
+    /// natively (they stay on the VM backend).
+    pub declined: u64,
+    /// Native dispatches served ([`Stop::Native`] handled).
+    pub entries: u64,
+    /// Host bytes currently installed in the arena.
+    pub bytes: u64,
+    /// Host nanoseconds spent translating instances.
+    pub translate_ns: u64,
+    /// SimAlpha instructions translated.
+    pub translated_instructions: u64,
+    /// Of those, how many lowered to native stubs (the rest route to the
+    /// VM at run time).
+    pub covered_instructions: u64,
 }
 
 /// A keyed-cache entry: where the instance was installed and which LRU
@@ -265,6 +348,9 @@ pub struct Session<P: Borrow<Program> = Arc<Program>> {
     /// Recovery bookkeeping: the bounded failure ring, per-region
     /// quarantine, the byte-budget ladder.
     recovery: RecoveryState,
+    /// Host-native backend state; `Some` iff [`EngineOptions::native`]
+    /// was set. Boxed: the default VM-only path carries one pointer.
+    native: Option<Box<NativeState>>,
 }
 
 /// Single-owner compatibility alias: a [`Session`] borrowing the program.
@@ -300,6 +386,7 @@ impl<P: Borrow<Program>> Session<P> {
             .as_ref()
             .map(|plan| Box::new(FaultState::new(plan)));
         let recovery = RecoveryState::new(options.recovery.clone(), p.compiled.regions.len());
+        let native = options.native.then(|| Box::new(NativeState::new()));
         Session {
             program,
             vm,
@@ -309,6 +396,7 @@ impl<P: Borrow<Program>> Session<P> {
             trace,
             faults,
             recovery,
+            native,
         }
     }
 
@@ -354,6 +442,130 @@ impl<P: Borrow<Program>> Session<P> {
                 Stop::Halted => return Ok(()),
                 Stop::EnterRegion { region, at } => self.enter_region(region, at)?,
                 Stop::EndSetup { region } => self.end_setup(region)?,
+                Stop::Native { at } => self.native_dispatch(at)?,
+            }
+        }
+    }
+
+    /// Serve a [`Stop::Native`] dispatch: run the installed host
+    /// instance, then resume the VM at the native exit pc (or surface
+    /// the identical `VmError` the interpreter would have produced).
+    ///
+    /// A bail-out that made no progress — fuel too low to charge the
+    /// first block, or an entry the translator could not cover — hands
+    /// the pc back to the interpreter exactly once
+    /// ([`Vm::skip_native_once`]), so execution always advances.
+    fn native_dispatch(&mut self, at: u32) -> Result<(), Error> {
+        let Some(ns) = self.native.as_mut() else {
+            // A stale mark with no backend (cannot happen through the
+            // public API): retire it and interpret.
+            self.vm.unmark_native(at);
+            return Ok(());
+        };
+        ns.entries += 1;
+        match ns.backend.run(at, &mut self.vm) {
+            dyncomp_native::RunOutcome::Exit { pc } => {
+                if pc == at {
+                    self.vm.skip_native_once(at);
+                }
+                self.vm.pc = pc;
+                Ok(())
+            }
+            dyncomp_native::RunOutcome::MemFault { addr } => {
+                Err(Error::Vm(VmError::Mem(EvalError::OutOfBounds { addr })))
+            }
+            dyncomp_native::RunOutcome::DivFault { pc } => {
+                Err(Error::Vm(VmError::DivideByZero { pc }))
+            }
+            dyncomp_native::RunOutcome::Missing => {
+                self.vm.unmark_native(at);
+                Ok(())
+            }
+        }
+    }
+
+    /// Translate the `len` code words installed at `base` for the native
+    /// backend, folding host wall-clock and coverage into the session
+    /// counters. Callers must have checked `self.native.is_some()`.
+    fn translate_native(&mut self, base: u32, len: u32) -> dyncomp_native::Artifact {
+        let start = Instant::now();
+        let code = &self.vm.code[base as usize..(base as usize + len as usize)];
+        let artifact = dyncomp_native::translate(code, base, &self.vm.model);
+        let ns = self.native.as_mut().expect("caller checked native state");
+        ns.translate_ns += start.elapsed().as_nanos() as u64;
+        ns.translated_instructions += u64::from(artifact.instructions);
+        ns.covered_instructions += u64::from(artifact.covered);
+        artifact
+    }
+
+    /// Attempt a native install for the instance at `base` (all three
+    /// install paths funnel through [`Session::index_instance`], which
+    /// calls this). Returns the host bytes actually installed, so the
+    /// caller can fold them into the byte-budget ladder. Never fails the
+    /// session: every degradation leaves the instance running on the VM
+    /// backend, recorded as a `backend-unavailable` health entry.
+    fn maybe_install_native(&mut self, region: u16, base: u32, len: u32) -> u64 {
+        if self.native.is_none() {
+            return 0;
+        }
+        // Consult the fault plan before the availability checks, so an
+        // injected arena exhaustion is exercised (and counted) even on
+        // hosts where the real backend cannot run.
+        if self
+            .fire(FaultPoint::NativeArenaExhausted, region)
+            .is_some()
+        {
+            self.record_failure(
+                region,
+                FailureKind::BackendUnavailable,
+                true,
+                "injected native-arena exhaustion: instance stays on the VM backend".to_string(),
+            );
+            return 0;
+        }
+        let ns = self.native.as_mut().expect("checked above");
+        if ns.disabled {
+            return 0;
+        }
+        let pending = ns.pending.take();
+        if !dyncomp_native::available() {
+            ns.disabled = true;
+            if !std::mem::replace(&mut ns.reported, true) {
+                self.record_failure(
+                    region,
+                    FailureKind::BackendUnavailable,
+                    false,
+                    "native backend unsupported on this host: session runs on the VM backend"
+                        .to_string(),
+                );
+            }
+            return 0;
+        }
+        let artifact = match pending {
+            Some((b, a)) if b == base => a,
+            _ => self.translate_native(base, len),
+        };
+        if !artifact.entry_supported {
+            self.native.as_mut().expect("checked above").declined += 1;
+            return 0;
+        }
+        let bytes = artifact.bytes.len() as u64;
+        let ns = self.native.as_mut().expect("checked above");
+        match ns.backend.install(base, &artifact) {
+            Ok(()) => {
+                ns.installs += 1;
+                self.vm.mark_native(base);
+                bytes
+            }
+            Err(e) => {
+                ns.disabled = true;
+                self.record_failure(
+                    region,
+                    FailureKind::BackendUnavailable,
+                    false,
+                    format!("native install failed: {e}; session runs on the VM backend"),
+                );
+                0
             }
         }
     }
@@ -547,6 +759,8 @@ impl<P: Borrow<Program>> Session<P> {
         let mut attempt = 0u32;
         while let Some(fuel) = self.fire(FaultPoint::SetupVmTrap, region) {
             let mut fork = self.vm.clone();
+            // The probe fork has no native dispatcher; let it interpret.
+            fork.clear_native_marks();
             fork.pc = setup_pc;
             fork.cycles = 0;
             fork.fuel = fuel.max(1);
@@ -921,7 +1135,7 @@ impl<P: Borrow<Program>> Session<P> {
         // error propagates unchanged, exactly as before this layer
         // existed.
         let mut attempt = 0u32;
-        let (stitched, base) = loop {
+        let (mut stitched, base) = loop {
             self.tr(EventKind::StitchStart { region });
             let base = self.vm.code.len() as u32;
             match self.stitch_once(region, table, base) {
@@ -960,6 +1174,20 @@ impl<P: Borrow<Program>> Session<P> {
         }
         self.vm.append_code(&stitched.code);
         let code_len = stitched.code.len() as u32;
+
+        // Pre-translate for the native backend so the instance published
+        // to the shared cache carries its native footprint (byte-budgeted
+        // shards then govern both backends). The artifact is stashed for
+        // `index_instance`, which performs the actual install.
+        if self.native.is_some() {
+            let artifact = self.translate_native(base, code_len);
+            stitched.native_bytes = if artifact.entry_supported {
+                artifact.bytes.len() as u64
+            } else {
+                0
+            };
+            self.native.as_mut().expect("checked above").pending = Some((base, artifact));
+        }
 
         let st = &mut self.regions[region as usize];
         st.setup_cycles += setup_delta;
@@ -1025,10 +1253,15 @@ impl<P: Borrow<Program>> Session<P> {
         base: u32,
         len: u32,
     ) -> Result<(), Error> {
+        // Offer the instance to the native backend first: the host bytes
+        // it actually installs count against the same byte budget as the
+        // stitched code words, so `with_byte_budget` and the degradation
+        // ladder govern both backends.
+        let native_bytes = self.maybe_install_native(region, base, len);
         // Account the installed bytes against the session's code budget;
         // crossing a ladder step is a trace event (the step itself takes
         // effect at the next stitch / entry).
-        if let Some(level) = self.recovery.add_bytes(4 * u64::from(len)) {
+        if let Some(level) = self.recovery.add_bytes(4 * u64::from(len) + native_bytes) {
             self.tr(EventKind::BudgetDegrade { region, level });
         }
         let rc = &self.program.borrow().compiled.regions[region as usize];
@@ -1125,6 +1358,25 @@ impl<P: Borrow<Program>> Session<P> {
     /// degradation-ladder level. Cheap; safe to poll.
     pub fn health(&self) -> HealthReport {
         self.recovery.report()
+    }
+
+    /// Host-native backend counters. All-zero (with `enabled: false`)
+    /// when [`EngineOptions::native`] was not set.
+    pub fn native_report(&self) -> NativeReport {
+        match self.native.as_deref() {
+            None => NativeReport::default(),
+            Some(ns) => NativeReport {
+                enabled: true,
+                active: !ns.disabled && dyncomp_native::available(),
+                installs: ns.installs,
+                declined: ns.declined,
+                entries: ns.entries,
+                bytes: ns.backend.bytes(),
+                translate_ns: ns.translate_ns,
+                translated_instructions: ns.translated_instructions,
+                covered_instructions: ns.covered_instructions,
+            },
+        }
     }
 
     /// Message from the most recent background stitch failure (error or

@@ -70,12 +70,17 @@ pub enum FaultPoint {
     /// [`Injection::DEFAULT_TRAP_FUEL`], on a probe fork); the attempt's
     /// cycles are charged and set-up is retried.
     SetupVmTrap,
+    /// The native backend's executable arena cannot be mapped (mmap /
+    /// mprotect failure): the install is declined, a
+    /// [`FailureKind::BackendUnavailable`] record is logged once, and
+    /// the region keeps running on the VM backend.
+    NativeArenaExhausted,
 }
 
 impl FaultPoint {
     /// Every fault point, in a stable order (the `fault_sweep` bench
     /// enumerates these).
-    pub const ALL: [FaultPoint; 8] = [
+    pub const ALL: [FaultPoint; 9] = [
         FaultPoint::StitchBadTemplate,
         FaultPoint::CodeArenaExhausted,
         FaultPoint::CodeCorruption,
@@ -84,6 +89,7 @@ impl FaultPoint {
         FaultPoint::WorkerPanic,
         FaultPoint::WorkerSlow,
         FaultPoint::SetupVmTrap,
+        FaultPoint::NativeArenaExhausted,
     ];
 
     /// Stable name (trace events, `BENCH_fault_sweep.json` rows).
@@ -97,6 +103,7 @@ impl FaultPoint {
             FaultPoint::WorkerPanic => "WorkerPanic",
             FaultPoint::WorkerSlow => "WorkerSlow",
             FaultPoint::SetupVmTrap => "SetupVmTrap",
+            FaultPoint::NativeArenaExhausted => "NativeArenaExhausted",
         }
     }
 }
@@ -338,6 +345,9 @@ pub enum FailureKind {
         /// Whether the worker panicked (vs. an ordinary error).
         panicked: bool,
     },
+    /// The native backend declined (unsupported host, or the W^X arena
+    /// could not be mapped); the session continues on the VM backend.
+    BackendUnavailable,
 }
 
 impl FailureKind {
@@ -351,6 +361,7 @@ impl FailureKind {
             FailureKind::Setup => "setup",
             FailureKind::Background { panicked: true } => "background-panic",
             FailureKind::Background { panicked: false } => "background-error",
+            FailureKind::BackendUnavailable => "backend-unavailable",
         }
     }
 }

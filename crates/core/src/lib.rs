@@ -87,14 +87,15 @@ pub mod trace;
 
 pub use advisor::{advise, FunctionAdvice, Hypothesis};
 pub use cache::{SharedCacheStats, SharedCodeCache, SharedKey};
-pub use engine::{Engine, EngineOptions, RegionReport, Session};
+pub use engine::{Engine, EngineOptions, NativeReport, RegionReport, Session};
 pub use faults::{
     FailureKind, FailureRecord, FaultPlan, FaultPoint, HealthReport, Injection, RecoveryPolicy,
 };
 pub use measure::{
-    measure_kernel, measure_kernel_full, measure_kernel_with, run_session, run_session_profiled,
-    run_session_trace, KernelMeasurement, KernelSetup, OptProfile, ProfiledSession, SessionOutcome,
-    SessionTrace,
+    measure_kernel, measure_kernel_full, measure_kernel_with, run_session,
+    run_session_differential, run_session_profiled, run_session_timed, run_session_trace,
+    BackendRun, DifferentialOutcome, KernelMeasurement, KernelSetup, OptProfile, ProfiledSession,
+    SessionOutcome, SessionTrace,
 };
 pub use tiered::{KeyPredictor, TieredOptions};
 pub use trace::{
@@ -128,6 +129,10 @@ pub enum Error {
     /// Trace self-check failure: cycle attribution summed over trace
     /// events disagrees with the [`RegionReport`] counters.
     Trace(String),
+    /// Backend-differential failure: a native-backend run diverged from
+    /// the VM oracle (checksum or cycle mismatch — see
+    /// [`measure::run_session_differential`]).
+    Differential(String),
 }
 
 impl fmt::Display for Error {
@@ -141,6 +146,7 @@ impl fmt::Display for Error {
             Error::Vm(e) => e.fmt(f),
             Error::NoSuchFunction(n) => write!(f, "no function named `{n}`"),
             Error::Trace(m) => write!(f, "trace self-check failed: {m}"),
+            Error::Differential(m) => write!(f, "backend differential failed: {m}"),
         }
     }
 }

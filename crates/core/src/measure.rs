@@ -406,3 +406,113 @@ pub fn run_session(
         reports,
     })
 }
+
+/// One backend's half of a [`run_session_differential`] run: the usual
+/// session outcome plus host wall-clock and the native-backend counters
+/// (all-zero for the VM half).
+#[derive(Clone, Debug)]
+pub struct BackendRun {
+    /// Checksums, simulated cycles, region reports.
+    pub outcome: SessionOutcome,
+    /// Host nanoseconds spent inside the measured calls (excludes data
+    /// preparation).
+    pub wall_ns: u64,
+    /// Native-backend counters ([`Session::native_report`]).
+    pub native: crate::NativeReport,
+}
+
+/// A VM-oracle vs native-backend differential run
+/// ([`run_session_differential`]). Published only when the two halves
+/// agree bit-for-bit on checksum and simulated cycles.
+#[derive(Clone, Debug)]
+pub struct DifferentialOutcome {
+    /// The VM-backend (oracle) half.
+    pub vm: BackendRun,
+    /// The native-backend half.
+    pub native: BackendRun,
+}
+
+/// Run a kernel workload like [`run_session`], additionally timing the
+/// measured calls in host nanoseconds and collecting the session's
+/// native-backend counters.
+///
+/// # Errors
+/// Execution failure (VM fault, stitch failure, unknown function).
+pub fn run_session_timed(
+    program: &Arc<Program>,
+    setup: &KernelSetup<'_>,
+    options: EngineOptions,
+) -> Result<BackendRun, Error> {
+    let mut session = Session::with_options(Arc::clone(program), options);
+    let prepared = (setup.prepare)(&mut session);
+    let mut checksum = 0u64;
+    let mut total = 0u64;
+    let start = std::time::Instant::now();
+    for i in 0..setup.iterations {
+        let args = (setup.args)(i, &prepared);
+        let before = session.cycles();
+        let r = session.call(setup.func, &args)?;
+        total += session.cycles() - before;
+        checksum = checksum.wrapping_mul(1099511628211).wrapping_add(r);
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let reports = (0..program.region_count())
+        .map(|i| session.region_report(i))
+        .collect();
+    Ok(BackendRun {
+        outcome: SessionOutcome {
+            checksum,
+            call_cycles: total,
+            total_cycles: session.cycles(),
+            reports,
+        },
+        wall_ns,
+        native: session.native_report(),
+    })
+}
+
+/// Run the same kernel workload on both backends — once with
+/// [`EngineOptions::native`] off (the VM cycle oracle) and once with it
+/// on — over identical key streams, and assert the results are
+/// bit-identical: same per-invocation checksum, same simulated call and
+/// total cycles. The native backend only changes *host* wall-clock;
+/// every simulated quantity must match the oracle exactly.
+///
+/// On hosts without the native backend the second half runs on the VM
+/// too (recording one `backend-unavailable` health entry), so the
+/// comparison degenerates to a trivially-equal self-check and the suite
+/// still passes.
+///
+/// # Errors
+/// Execution failure from either half, or [`Error::Differential`] when
+/// the halves disagree.
+pub fn run_session_differential(
+    program: &Arc<Program>,
+    setup: &KernelSetup<'_>,
+    options: EngineOptions,
+) -> Result<DifferentialOutcome, Error> {
+    let mut vm_opts = options.clone();
+    vm_opts.native = false;
+    let mut native_opts = options;
+    native_opts.native = true;
+    let vm = run_session_timed(program, setup, vm_opts)?;
+    let native = run_session_timed(program, setup, native_opts)?;
+    if vm.outcome.checksum != native.outcome.checksum {
+        return Err(Error::Differential(format!(
+            "checksum mismatch: vm {:#x} vs native {:#x}",
+            vm.outcome.checksum, native.outcome.checksum
+        )));
+    }
+    if vm.outcome.call_cycles != native.outcome.call_cycles
+        || vm.outcome.total_cycles != native.outcome.total_cycles
+    {
+        return Err(Error::Differential(format!(
+            "cycle mismatch: vm {}/{} vs native {}/{} (call/total)",
+            vm.outcome.call_cycles,
+            vm.outcome.total_cycles,
+            native.outcome.call_cycles,
+            native.outcome.total_cycles
+        )));
+    }
+    Ok(DifferentialOutcome { vm, native })
+}

@@ -484,8 +484,12 @@ impl TieredState {
         let inject_panic =
             faults.is_some_and(|f| f.fire(FaultPoint::WorkerPanic, region).is_some());
         let (tx, rx) = mpsc::channel();
+        let mut fork = vm.clone();
+        // Background workers interpret only; native dispatch marks belong to
+        // the foreground session.
+        fork.clear_native_marks();
         self.pool.submit(JobRequest {
-            fork: Box::new(vm.clone()),
+            fork: Box::new(fork),
             rc: Arc::clone(&self.rcs[region as usize]),
             stitch_opts: stitch_opts.clone(),
             key_override: speculative.then(|| key.clone()),

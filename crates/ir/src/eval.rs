@@ -129,6 +129,14 @@ impl Memory {
         self.bytes.len()
     }
 
+    /// Direct mutable view of the backing bytes, for backends that
+    /// execute against the memory image in place. Callers must apply
+    /// the same bounds discipline as [`Memory::check`] (address 0 is
+    /// reserved, accesses must not cross `capacity()`).
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
     /// The current bump-allocation frontier.
     pub fn brk(&self) -> u64 {
         self.brk

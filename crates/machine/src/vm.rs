@@ -112,6 +112,14 @@ pub enum Stop {
         /// Region number from the instruction.
         region: u16,
     },
+    /// Execution reached a code address marked for a native backend
+    /// (see [`Vm::mark_native`]); the instruction at `at` has **not**
+    /// been fetched, charged, or executed. The runtime dispatches the
+    /// translated code and resumes the VM at the pc it reports.
+    Native {
+        /// The marked code address.
+        at: u32,
+    },
 }
 
 /// VM runtime error.
@@ -207,6 +215,15 @@ pub struct Vm {
     /// Remaining instruction budget.
     pub fuel: u64,
     halt_stub: Option<u32>,
+    /// Code addresses where [`Vm::run`] yields [`Stop::Native`] instead
+    /// of interpreting. Empty (the default) costs one branch per run
+    /// loop. Cloned VMs inherit marks; forks that run without a native
+    /// dispatcher must call [`Vm::clear_native_marks`].
+    native_marks: Vec<bool>,
+    /// One-shot suppression of the mark at this pc, so a native bail-out
+    /// that made no progress (fuel too low, unsupported entry) can hand
+    /// the address to the interpreter exactly once without bouncing.
+    native_skip: Option<u32>,
 }
 
 impl Vm {
@@ -227,7 +244,41 @@ impl Vm {
             model: CycleModel::default(),
             fuel: 2_000_000_000,
             halt_stub: None,
+            native_marks: Vec::new(),
+            native_skip: None,
         }
+    }
+
+    /// Mark `at` as a native dispatch point: when the run loop reaches
+    /// it, [`Vm::run`] returns [`Stop::Native`] without fetching the
+    /// instruction there.
+    pub fn mark_native(&mut self, at: u32) {
+        if self.native_marks.len() <= at as usize {
+            self.native_marks.resize(at as usize + 1, false);
+        }
+        self.native_marks[at as usize] = true;
+    }
+
+    /// Remove the native dispatch mark at `at`, if any.
+    pub fn unmark_native(&mut self, at: u32) {
+        if let Some(m) = self.native_marks.get_mut(at as usize) {
+            *m = false;
+        }
+    }
+
+    /// Drop every native dispatch mark (and any pending skip). Forked
+    /// VMs that run without a native dispatcher must call this, or the
+    /// run loop would surface [`Stop::Native`] nobody handles.
+    pub fn clear_native_marks(&mut self) {
+        self.native_marks = Vec::new();
+        self.native_skip = None;
+    }
+
+    /// Suppress the native mark at `at` for the next arrival only. Used
+    /// after a native bail-out at its own entry pc, letting the
+    /// interpreter make progress before native dispatch re-arms.
+    pub fn skip_native_once(&mut self, at: u32) {
+        self.native_skip = Some(at);
     }
 
     /// Append raw code words, returning the address of the first.
@@ -261,6 +312,8 @@ impl Vm {
         if at > 0 {
             self.decoded[at as usize - 1] = None;
         }
+        // A patched word no longer matches any translated code.
+        self.unmark_native(at);
         Ok(())
     }
 
@@ -375,6 +428,14 @@ impl Vm {
     /// faulting instruction for inspection.
     pub fn run(&mut self) -> Result<Stop, VmError> {
         loop {
+            if !self.native_marks.is_empty() {
+                let pc = self.pc;
+                if self.native_skip == Some(pc) {
+                    self.native_skip = None;
+                } else if self.native_marks.get(pc as usize) == Some(&true) {
+                    return Ok(Stop::Native { at: pc });
+                }
+            }
             if self.fuel == 0 {
                 return Err(VmError::OutOfFuel);
             }

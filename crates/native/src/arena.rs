@@ -1,0 +1,114 @@
+//! Executable code arena: W^X mmap-backed pages.
+//!
+//! Each installed artifact gets its own mapping, created read-write,
+//! filled by a single `memcpy`, then flipped to read-execute with
+//! `mprotect` — writable and executable are never held simultaneously
+//! (W^X). The mapping is unmapped on drop.
+//!
+//! Only compiled on x86-64 Linux: the stubs are x86-64 encodings and
+//! the allocation path speaks raw `mmap(2)`/`mprotect(2)` (declared
+//! here directly so the crate adds no dependencies). Other targets use
+//! [`crate::available`] to decline the backend before reaching this
+//! module.
+
+#![allow(unsafe_code)]
+
+use core::ffi::{c_int, c_void};
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn mprotect(addr: *mut c_void, len: usize, prot: c_int) -> c_int;
+    fn munmap(addr: *mut c_void, len: usize) -> c_int;
+}
+
+const PROT_READ: c_int = 0x1;
+const PROT_WRITE: c_int = 0x2;
+const PROT_EXEC: c_int = 0x4;
+const MAP_PRIVATE: c_int = 0x02;
+const MAP_ANONYMOUS: c_int = 0x20;
+const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+/// One executable mapping holding a translated instance.
+pub struct ExecMap {
+    base: *mut u8,
+    len: usize,
+}
+
+// The mapping is plain memory owned by this handle; execution takes
+// `&self` and the pages are immutable once sealed.
+unsafe impl Send for ExecMap {}
+unsafe impl Sync for ExecMap {}
+
+impl ExecMap {
+    /// Map `bytes` into fresh pages and seal them read-execute.
+    /// Returns `None` if the kernel refuses the mapping or the protect
+    /// flip (exhausted address space, W^X policy, locked-down seccomp).
+    pub fn new(bytes: &[u8]) -> Option<ExecMap> {
+        if bytes.is_empty() {
+            return None;
+        }
+        let len = bytes.len();
+        // SAFETY: anonymous private mapping with no requested address;
+        // the kernel either returns fresh pages or MAP_FAILED.
+        let base = unsafe {
+            mmap(
+                core::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if base == MAP_FAILED || base.is_null() {
+            return None;
+        }
+        let base = base.cast::<u8>();
+        // SAFETY: `base..base+len` is exactly the RW mapping above.
+        unsafe {
+            core::ptr::copy_nonoverlapping(bytes.as_ptr(), base, len);
+        }
+        // SAFETY: same mapping; on failure we unmap and report None.
+        let sealed = unsafe { mprotect(base.cast(), len, PROT_READ | PROT_EXEC) };
+        if sealed != 0 {
+            // SAFETY: we own the mapping.
+            unsafe {
+                munmap(base.cast(), len);
+            }
+            return None;
+        }
+        Some(ExecMap { base, len })
+    }
+
+    /// Entry point of the sealed code (offset 0).
+    pub fn entry(&self) -> *const u8 {
+        self.base
+    }
+
+    /// Mapping length in bytes (page-rounded by the kernel, reported
+    /// as requested).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never true for a live handle).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for ExecMap {
+    fn drop(&mut self) {
+        // SAFETY: the handle uniquely owns the mapping.
+        unsafe {
+            munmap(self.base.cast(), self.len);
+        }
+    }
+}

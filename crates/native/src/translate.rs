@@ -1,0 +1,687 @@
+//! SimAlpha → x86-64 translation: block discovery, micro-stub chains,
+//! and the rel32 fix-up pass.
+//!
+//! The input is a *verified* stitched instance (every word decodes,
+//! branch targets are range-checked) installed at word address `base` of
+//! the VM code space. Translation is pure byte generation — it runs on
+//! any host; only installing the result into an executable arena is
+//! architecture-gated (see [`crate::backend`]).
+//!
+//! ## Execution model
+//!
+//! The instance is split into basic blocks at branch targets and after
+//! terminators. Each block's prologue charges the whole block's fuel and
+//! cycles up front against the context block:
+//!
+//! * if remaining fuel is short, the block *bails out* before charging
+//!   anything, returning to the VM at the block's own pc — the
+//!   interpreter then re-executes from an identical machine state and
+//!   produces the exact out-of-fuel error the oracle expects;
+//! * conditional-branch cycle costs are charged as untaken; the taken
+//!   path routes through a per-target thunk that adds the
+//!   taken − untaken difference before jumping.
+//!
+//! On a fault-free run the native cycle and fuel accounting is therefore
+//! **bit-identical** to the interpreter's. After a memory or divide
+//! fault the counts may differ (the VM charges per instruction, native
+//! per block); the session surfaces the same `VmError` either way, and
+//! errors abort checksum streams in both backends.
+//!
+//! Unsupported operations (`Jmp`, `Jsr`, `Alloc`, `Halt`, and float
+//! operates with a literal operand, which the VM defines as faults) end
+//! their block and return to the VM at their own pc, uncharged: the
+//! interpreter executes them with full fidelity and re-enters native
+//! code at the next marked dispatch point.
+
+use crate::stubs::{self as s, Asm, Cc};
+use crate::{
+    CTX_CYCLES, CTX_EXIT_PC, CTX_FAULT_PC, CTX_FDISCARD, CTX_FREGS, CTX_FUEL, CTX_IDISCARD,
+    CTX_MEM_LEN, CTX_MEM_PTR, CTX_REGS, CTX_STATUS,
+};
+use dyncomp_machine::isa::{decode, Format, Inst, Op, Operand, Reg};
+use dyncomp_machine::vm::CycleModel;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A translated instance: host bytes plus coverage counters. Produced by
+/// [`translate`]; executable only after [`crate::Backend::install`].
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// Position-independent host code (entry at offset 0).
+    pub bytes: Vec<u8>,
+    /// Whether the instance's first instruction lowered natively. When
+    /// false, installing would bounce every dispatch straight back to
+    /// the VM, so callers should decline the install.
+    pub entry_supported: bool,
+    /// SimAlpha instructions in the instance.
+    pub instructions: u32,
+    /// Of those, how many lowered to native stubs.
+    pub covered: u32,
+    /// Basic blocks emitted.
+    pub blocks: u32,
+}
+
+/// Context-slot displacement holding integer register `r` for *reads*
+/// (`r31` reads the real slot, which the discard convention keeps 0).
+fn rslot(r: Reg) -> u32 {
+    CTX_REGS + 8 * u32::from(r)
+}
+
+/// Context-slot displacement for *writes* of integer register `r`
+/// (writes to `r31` are discarded, as in the VM).
+fn wslot(r: Reg) -> u32 {
+    if r == 31 {
+        CTX_IDISCARD
+    } else {
+        CTX_REGS + 8 * u32::from(r)
+    }
+}
+
+/// Read slot for float register `r`.
+fn frslot(r: Reg) -> u32 {
+    CTX_FREGS + 8 * u32::from(r)
+}
+
+/// Write slot for float register `r` (`f31` writes are discarded).
+fn fwslot(r: Reg) -> u32 {
+    if r == 31 {
+        CTX_FDISCARD
+    } else {
+        CTX_FREGS + 8 * u32::from(r)
+    }
+}
+
+/// Whether `inst` lowers to native stubs. Float operates with a literal
+/// operand are VM-defined faults (`BadInstruction`), so they route to
+/// the interpreter for the authoritative error.
+fn supported(inst: &Inst) -> bool {
+    use Op::*;
+    match inst.op {
+        Jmp | Jsr | Alloc | Halt | EnterRegion | EndSetup => false,
+        Addt | Subt | Mult | Divt | Cmpteq | Cmptlt | Cmptle | Sqrtt | Fmov | Fneg | Fcmovne => {
+            matches!(inst.rb, Operand::Reg(_))
+        }
+        _ => true,
+    }
+}
+
+/// Pending rel32 destinations, resolved once every block, thunk, and
+/// blob has an offset.
+enum Fix {
+    /// A basic block of this instance, by SimAlpha pc.
+    Block(u32),
+    /// A taken-branch thunk, by target pc.
+    Thunk(u32),
+    /// Clean exit to the VM, resuming at this pc.
+    Exit(u32),
+    /// The shared memory-fault blob (`rax` holds the address).
+    MemFault,
+    /// A divide-fault blob for this pc.
+    DivFault(u32),
+}
+
+struct DInst {
+    pc: u32,
+    inst: Inst,
+    len: u32,
+}
+
+/// Emit a jump to the clean-exit blob for `pc`, registering the blob.
+fn exit_jump(a: &mut Asm, fixups: &mut Vec<(usize, Fix)>, exit_pcs: &mut BTreeSet<u32>, pc: u32) {
+    exit_pcs.insert(pc);
+    let h = a.jmp();
+    fixups.push((h, Fix::Exit(pc)));
+}
+
+/// Translate a verified instance installed at word address `base`.
+/// Deterministic: the same `(code, base, model)` always yields the same
+/// bytes, so artifact sizes can be accounted before any install.
+pub fn translate(code: &[u32], base: u32, model: &CycleModel) -> Artifact {
+    let end = base + code.len() as u32;
+
+    // Decode pass. `verify_code` ran before install, so decode failures
+    // cannot occur on engine inputs; treat one defensively as an
+    // unsupported terminator.
+    let mut insts: Vec<DInst> = Vec::with_capacity(code.len());
+    let mut idx_of: Vec<Option<usize>> = vec![None; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        let pc = base + i as u32;
+        match decode(code[i], code.get(i + 1).copied()) {
+            Ok(inst) => {
+                let len = if inst.is_wide() { 2 } else { 1 };
+                idx_of[i] = Some(insts.len());
+                insts.push(DInst { pc, inst, len });
+                i += len as usize;
+            }
+            Err(_) => {
+                idx_of[i] = Some(insts.len());
+                insts.push(DInst {
+                    pc,
+                    inst: Inst {
+                        op: Op::Halt,
+                        ra: 0,
+                        rb: Operand::Reg(31),
+                        rc: 0,
+                        imm: 0,
+                    },
+                    len: 1,
+                });
+                i += 1;
+            }
+        }
+    }
+    let is_start =
+        |pc: u32| -> bool { pc >= base && pc < end && idx_of[(pc - base) as usize].is_some() };
+
+    // Leaders: the entry, every in-instance branch target, and the
+    // instruction after every terminator.
+    let mut leaders: BTreeSet<u32> = BTreeSet::new();
+    leaders.insert(base);
+    for d in &insts {
+        let next = d.pc + d.len;
+        let branch = d.inst.op.format() == Format::Branch;
+        if branch {
+            let t = next.wrapping_add_signed(d.inst.imm);
+            if is_start(t) {
+                leaders.insert(t);
+            }
+        }
+        if (branch || !supported(&d.inst)) && next < end {
+            leaders.insert(next);
+        }
+    }
+
+    let mut a = Asm::default();
+    let mut fixups: Vec<(usize, Fix)> = Vec::new();
+    let mut block_off: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut thunk_targets: BTreeSet<u32> = BTreeSet::new();
+    let mut exit_pcs: BTreeSet<u32> = BTreeSet::new();
+    let mut div_pcs: BTreeSet<u32> = BTreeSet::new();
+    let mut mem_fault = false;
+    let mut covered = 0u32;
+
+    // Entry shim: save callee-saved scratch, cache the context pointer
+    // and the simulated-memory window.
+    a.copy(s::PROLOGUE_PUSHES);
+    a.patch(s::LD_R13_SLOT, CTX_MEM_PTR);
+    a.patch(s::LD_R12_SLOT, CTX_MEM_LEN);
+
+    let leader_list: Vec<u32> = leaders.iter().copied().collect();
+    for &bpc in &leader_list {
+        block_off.insert(bpc, a.here());
+        let mut j = idx_of[(bpc - base) as usize].expect("leaders are instruction starts");
+
+        // Scan the block: instructions up to (and including) a
+        // terminator, or up to the next leader.
+        let start_j = j;
+        let mut body_end = insts.len();
+        let mut term: Option<usize> = None;
+        while j < insts.len() {
+            let d = &insts[j];
+            if j != start_j && leaders.contains(&d.pc) {
+                body_end = j;
+                break;
+            }
+            if d.inst.op.format() == Format::Branch || !supported(&d.inst) {
+                term = Some(j);
+                body_end = j + 1;
+                break;
+            }
+            j += 1;
+            body_end = j;
+        }
+
+        // Fuel and cycles for the whole block, charged up front.
+        // Unsupported terminators are excluded: the VM executes them.
+        let charged: Vec<usize> = (start_j..body_end)
+            .filter(|&k| supported(&insts[k].inst))
+            .collect();
+        let n = charged.len() as u32;
+        let cycles: u64 = charged
+            .iter()
+            .map(|&k| model.cost(insts[k].inst.op, false))
+            .sum();
+        if n > 0 {
+            a.cmp_slot_imm32(CTX_FUEL, n);
+            exit_pcs.insert(bpc);
+            let h = a.jcc(Cc::B);
+            fixups.push((h, Fix::Exit(bpc)));
+            a.sub_slot_imm32(CTX_FUEL, n);
+            if cycles > 0 {
+                a.add_slot_imm32(
+                    CTX_CYCLES,
+                    u32::try_from(cycles).expect("block cost fits u32"),
+                );
+            }
+        }
+
+        for (k, d) in insts.iter().enumerate().take(body_end).skip(start_j) {
+            if !supported(&d.inst) {
+                exit_jump(&mut a, &mut fixups, &mut exit_pcs, d.pc);
+                continue;
+            }
+            covered += 1;
+            if Some(k) == term {
+                lower_branch(
+                    &mut a,
+                    &mut fixups,
+                    d,
+                    end,
+                    &leaders,
+                    &mut thunk_targets,
+                    &mut exit_pcs,
+                );
+            } else {
+                lower(&mut a, &mut fixups, d, &mut mem_fault, &mut div_pcs);
+            }
+        }
+
+        // A block that ran off the end of the instance (no terminator,
+        // no following leader) resumes interpretation there.
+        if term.is_none() && body_end == insts.len() {
+            exit_jump(&mut a, &mut fixups, &mut exit_pcs, end);
+        }
+    }
+
+    // Taken-branch thunks: charge the taken-minus-untaken difference,
+    // then jump on (in-instance) or exit (region exits).
+    let extra = model.branch_taken.saturating_sub(model.branch_untaken);
+    let mut thunk_off: BTreeMap<u32, usize> = BTreeMap::new();
+    for &t in &thunk_targets {
+        thunk_off.insert(t, a.here());
+        if extra > 0 {
+            a.add_slot_imm32(CTX_CYCLES, u32::try_from(extra).expect("cost fits u32"));
+        }
+        let h = a.jmp();
+        if leaders.contains(&t) {
+            fixups.push((h, Fix::Block(t)));
+        } else {
+            exit_pcs.insert(t);
+            fixups.push((h, Fix::Exit(t)));
+        }
+    }
+
+    // Exit blobs: status 0, resume pc for the VM.
+    let mut exit_off: BTreeMap<u32, usize> = BTreeMap::new();
+    for &pc in &exit_pcs {
+        exit_off.insert(pc, a.here());
+        a.mov_slot_imm32(CTX_EXIT_PC, pc);
+        a.mov_slot_imm32(CTX_STATUS, 0);
+        a.copy(s::EPILOGUE);
+    }
+
+    // Fault blobs.
+    let mem_fault_off = if mem_fault {
+        let off = a.here();
+        a.patch(s::ST_RAX_FAULT_ADDR_HOLE, crate::CTX_FAULT_ADDR);
+        a.mov_slot_imm32(CTX_STATUS, 2);
+        a.copy(s::EPILOGUE);
+        Some(off)
+    } else {
+        None
+    };
+    let mut div_off: BTreeMap<u32, usize> = BTreeMap::new();
+    for &pc in &div_pcs {
+        div_off.insert(pc, a.here());
+        a.mov_slot_imm32(CTX_FAULT_PC, pc);
+        a.mov_slot_imm32(CTX_STATUS, 3);
+        a.copy(s::EPILOGUE);
+    }
+
+    // Fix-up pass: every recorded rel32 lands on its block, thunk, or
+    // blob.
+    for (hole, fix) in fixups {
+        let target = match fix {
+            Fix::Block(pc) => block_off[&pc],
+            Fix::Thunk(pc) => thunk_off[&pc],
+            Fix::Exit(pc) => exit_off[&pc],
+            Fix::MemFault => mem_fault_off.expect("mem fault blob emitted"),
+            Fix::DivFault(pc) => div_off[&pc],
+        };
+        a.resolve(hole, target);
+    }
+
+    let entry_supported = insts.first().map(|d| supported(&d.inst)).unwrap_or(false);
+    Artifact {
+        bytes: a.finish(),
+        entry_supported,
+        instructions: insts.len() as u32,
+        covered,
+        blocks: leader_list.len() as u32,
+    }
+}
+
+/// Lower a block terminator that is a branch (conditional or
+/// unconditional).
+fn lower_branch(
+    a: &mut Asm,
+    fixups: &mut Vec<(usize, Fix)>,
+    d: &DInst,
+    end: u32,
+    leaders: &BTreeSet<u32>,
+    thunk_targets: &mut BTreeSet<u32>,
+    exit_pcs: &mut BTreeSet<u32>,
+) {
+    use Op::*;
+    let next = d.pc + d.len;
+    let target = next.wrapping_add_signed(d.inst.imm);
+    match d.inst.op {
+        Br | Bsr => {
+            // Link register, then jump (cost already charged as taken).
+            a.patch(s::MOV_EAX_IMM, next);
+            a.patch(s::ST_RAX_SLOT, wslot(d.inst.ra));
+            if leaders.contains(&target) {
+                let h = a.jmp();
+                fixups.push((h, Fix::Block(target)));
+            } else {
+                exit_jump(a, fixups, exit_pcs, target);
+            }
+        }
+        Beq | Bne | Blt | Ble | Bgt | Bge => {
+            a.patch(s::LD_SLOT_RAX, rslot(d.inst.ra));
+            a.copy(s::TEST_RAX_RAX);
+            let cc = match d.inst.op {
+                Beq => Cc::Z,
+                Bne => Cc::Nz,
+                Blt => Cc::S,
+                Bge => Cc::Ns,
+                Ble => Cc::Le,
+                Bgt => Cc::G,
+                _ => unreachable!(),
+            };
+            thunk_targets.insert(target);
+            let h = a.jcc(cc);
+            fixups.push((h, Fix::Thunk(target)));
+            // Fall through to the next block (emitted immediately after)
+            // or exit if the branch was the instance's last instruction.
+            if next >= end {
+                exit_jump(a, fixups, exit_pcs, next);
+            }
+        }
+        _ => unreachable!("terminator is a branch"),
+    }
+}
+
+/// Lower one straight-line instruction into its micro-stub chain.
+fn lower(
+    a: &mut Asm,
+    fixups: &mut Vec<(usize, Fix)>,
+    d: &DInst,
+    mem_fault: &mut bool,
+    div_pcs: &mut BTreeSet<u32>,
+) {
+    use Op::*;
+    let Inst {
+        op,
+        ra,
+        rb,
+        rc,
+        imm,
+    } = d.inst;
+
+    // b-operand into rcx (integer forms).
+    let b_rcx = |a: &mut Asm| match rb {
+        Operand::Reg(r) => a.patch(s::LD_SLOT_RCX, rslot(r)),
+        Operand::Lit(l) => a.patch(s::MOV_ECX_IMM, u32::from(l)),
+    };
+    // Memory base register (memory formats always decode a register).
+    let base_reg = || match rb {
+        Operand::Reg(r) => r,
+        Operand::Lit(_) => unreachable!("memory formats have no literal base"),
+    };
+    // rax = base + disp, bounds-checked for `size` bytes; faults carry
+    // the address in rax.
+    let addr_check =
+        |a: &mut Asm, fixups: &mut Vec<(usize, Fix)>, mem_fault: &mut bool, size: u8| {
+            a.patch(s::LD_SLOT_RAX, rslot(base_reg()));
+            if imm != 0 {
+                a.patch(s::ADD_RAX_IMM32S, imm as u32);
+            }
+            *mem_fault = true;
+            a.copy(s::TEST_RAX_RAX);
+            fixups.push((a.jcc(Cc::Z), Fix::MemFault));
+            // rdx as scratch: stores stage their value in rcx.
+            a.copy(s::MOV_RDX_RAX);
+            a.add_rdx_imm8(size);
+            fixups.push((a.jcc(Cc::B), Fix::MemFault));
+            a.copy(s::CMP_RDX_R12);
+            fixups.push((a.jcc(Cc::A), Fix::MemFault));
+        };
+
+    match op {
+        // ---- integer operate ----
+        Addq | Subq | Mulq | And | Bis | Xor | Ornot | Sll | Srl | Sra => {
+            a.patch(s::LD_SLOT_RAX, rslot(ra));
+            b_rcx(a);
+            match op {
+                Addq => a.copy(s::ADD_RAX_RCX),
+                Subq => a.copy(s::SUB_RAX_RCX),
+                Mulq => a.copy(s::IMUL_RAX_RCX),
+                And => a.copy(s::AND_RAX_RCX),
+                Bis => a.copy(s::OR_RAX_RCX),
+                Xor => a.copy(s::XOR_RAX_RCX),
+                Ornot => {
+                    a.copy(s::NOT_RCX);
+                    a.copy(s::OR_RAX_RCX);
+                }
+                Sll => a.copy(s::SHL_RAX_CL),
+                Srl => a.copy(s::SHR_RAX_CL),
+                Sra => a.copy(s::SAR_RAX_CL),
+                _ => unreachable!(),
+            }
+            a.patch(s::ST_RAX_SLOT, wslot(rc));
+        }
+        Cmpeq | Cmpne | Cmplt | Cmple | Cmpult | Cmpule => {
+            a.patch(s::LD_SLOT_RAX, rslot(ra));
+            b_rcx(a);
+            a.copy(s::CMP_RAX_RCX);
+            a.copy(match op {
+                Cmpeq => s::SETE_AL,
+                Cmpne => s::SETNE_AL,
+                Cmplt => s::SETL_AL,
+                Cmple => s::SETLE_AL,
+                Cmpult => s::SETB_AL,
+                Cmpule => s::SETBE_AL,
+                _ => unreachable!(),
+            });
+            a.copy(s::MOVZX_EAX_AL);
+            a.patch(s::ST_RAX_SLOT, wslot(rc));
+        }
+        Sextb | Sextw | Sextl | Zextb | Zextw | Zextl => {
+            a.patch(s::LD_SLOT_RAX, rslot(ra));
+            a.copy(match op {
+                Sextb => s::MOVSX_RAX_AL,
+                Sextw => s::MOVSX_RAX_AX,
+                Sextl => s::MOVSXD_RAX_EAX,
+                Zextb => s::MOVZX_EAX_AL,
+                Zextw => s::MOVZX_EAX_AX,
+                Zextl => s::MOV_EAX_EAX,
+                _ => unreachable!(),
+            });
+            a.patch(s::ST_RAX_SLOT, wslot(rc));
+        }
+        Cmoveq | Cmovne => {
+            a.patch(s::LD_SLOT_RAX, rslot(ra));
+            b_rcx(a);
+            a.patch(s::LD_SLOT_RDX, rslot(rc));
+            a.copy(s::TEST_RAX_RAX);
+            a.copy(if op == Cmoveq {
+                s::CMOVZ_RDX_RCX
+            } else {
+                s::CMOVNZ_RDX_RCX
+            });
+            a.patch(s::ST_RDX_SLOT, wslot(rc));
+        }
+        Divq | Remq => {
+            a.patch(s::LD_SLOT_RAX, rslot(ra));
+            b_rcx(a);
+            div_pcs.insert(d.pc);
+            a.copy(s::TEST_RCX_RCX);
+            fixups.push((a.jcc(Cc::Z), Fix::DivFault(d.pc)));
+            fixups.push((a.patch_rel(s::DIV_MIN_CHECK), Fix::DivFault(d.pc)));
+            a.copy(s::CQO);
+            a.copy(s::IDIV_RCX);
+            if op == Divq {
+                a.patch(s::ST_RAX_SLOT, wslot(rc));
+            } else {
+                a.patch(s::ST_RDX_SLOT, wslot(rc));
+            }
+        }
+        Divqu | Remqu => {
+            a.patch(s::LD_SLOT_RAX, rslot(ra));
+            b_rcx(a);
+            div_pcs.insert(d.pc);
+            a.copy(s::TEST_RCX_RCX);
+            fixups.push((a.jcc(Cc::Z), Fix::DivFault(d.pc)));
+            a.copy(s::XOR_EDX_EDX);
+            a.copy(s::DIV_RCX);
+            if op == Divqu {
+                a.patch(s::ST_RAX_SLOT, wslot(rc));
+            } else {
+                a.patch(s::ST_RDX_SLOT, wslot(rc));
+            }
+        }
+        // ---- memory ----
+        Lda => {
+            a.patch(s::LD_SLOT_RAX, rslot(base_reg()));
+            if imm != 0 {
+                a.patch(s::ADD_RAX_IMM32S, imm as u32);
+            }
+            a.patch(s::ST_RAX_SLOT, wslot(ra));
+        }
+        Ldbu | Ldb | Ldwu | Ldw | Ldlu | Ldl | Ldq => {
+            let size = match op {
+                Ldbu | Ldb => 1,
+                Ldwu | Ldw => 2,
+                Ldlu | Ldl => 4,
+                Ldq => 8,
+                _ => unreachable!(),
+            };
+            addr_check(a, fixups, mem_fault, size);
+            a.copy(match op {
+                Ldbu => s::LDBU_CORE,
+                Ldb => s::LDB_CORE,
+                Ldwu => s::LDWU_CORE,
+                Ldw => s::LDW_CORE,
+                Ldlu => s::LDLU_CORE,
+                Ldl => s::LDL_CORE,
+                Ldq => s::LDQ_CORE,
+                _ => unreachable!(),
+            });
+            a.patch(s::ST_RAX_SLOT, wslot(ra));
+        }
+        Stb | Stw | Stl | Stq => {
+            a.patch(s::LD_SLOT_RCX, rslot(ra));
+            let size = match op {
+                Stb => 1,
+                Stw => 2,
+                Stl => 4,
+                Stq => 8,
+                _ => unreachable!(),
+            };
+            addr_check(a, fixups, mem_fault, size);
+            a.copy(match op {
+                Stb => s::STB_CORE,
+                Stw => s::STW_CORE,
+                Stl => s::STL_CORE,
+                Stq => s::STQ_CORE,
+                _ => unreachable!(),
+            });
+        }
+        Ldt => {
+            addr_check(a, fixups, mem_fault, 8);
+            a.copy(s::LDQ_CORE);
+            a.patch(s::ST_RAX_SLOT, fwslot(ra));
+        }
+        Stt => {
+            a.patch(s::LD_SLOT_RCX, frslot(ra));
+            addr_check(a, fixups, mem_fault, 8);
+            a.copy(s::STQ_CORE);
+        }
+        // ---- float operate ----
+        Addt | Subt | Mult | Divt => {
+            let Operand::Reg(b) = rb else { unreachable!() };
+            a.patch(s::MOVSD_X0_SLOT, frslot(ra));
+            a.patch(s::MOVSD_X1_SLOT, frslot(b));
+            a.copy(match op {
+                Addt => s::ADDSD_X0_X1,
+                Subt => s::SUBSD_X0_X1,
+                Mult => s::MULSD_X0_X1,
+                Divt => s::DIVSD_X0_X1,
+                _ => unreachable!(),
+            });
+            a.patch(s::MOVSD_SLOT_X0, fwslot(rc));
+        }
+        Cmpteq => {
+            let Operand::Reg(b) = rb else { unreachable!() };
+            a.patch(s::MOVSD_X0_SLOT, frslot(ra));
+            a.patch(s::MOVSD_X1_SLOT, frslot(b));
+            a.copy(s::XOR_EAX_EAX);
+            a.copy(s::UCOMISD_X0_X1);
+            a.copy(s::JP_SKIP_SETCC); // unordered: result stays 0
+            a.copy(s::SETE_AL);
+            a.patch(s::ST_RAX_SLOT, wslot(rc));
+        }
+        Cmptlt | Cmptle => {
+            let Operand::Reg(b) = rb else { unreachable!() };
+            a.patch(s::MOVSD_X0_SLOT, frslot(ra));
+            a.patch(s::MOVSD_X1_SLOT, frslot(b));
+            a.copy(s::XOR_EAX_EAX);
+            // Reversed compare: a < b  ⇔  b above a; unordered clears.
+            a.copy(s::UCOMISD_X1_X0);
+            a.copy(if op == Cmptlt {
+                s::SETA_AL
+            } else {
+                s::SETAE_AL
+            });
+            a.patch(s::ST_RAX_SLOT, wslot(rc));
+        }
+        Sqrtt => {
+            let Operand::Reg(b) = rb else { unreachable!() };
+            a.patch(s::MOVSD_X0_SLOT, frslot(b));
+            a.copy(s::SQRTSD_X0_X0);
+            a.patch(s::MOVSD_SLOT_X0, fwslot(rc));
+        }
+        Cvtqt => {
+            a.patch(s::LD_SLOT_RAX, rslot(ra));
+            a.copy(s::CVTSI2SD_X0_RAX);
+            a.patch(s::MOVSD_SLOT_X0, fwslot(rc));
+        }
+        Cvttq => {
+            a.patch(s::MOVSD_X0_SLOT, frslot(ra));
+            a.copy(s::CVTTQ_CORE);
+            a.patch(s::ST_RAX_SLOT, wslot(rc));
+        }
+        Fmov => {
+            let Operand::Reg(b) = rb else { unreachable!() };
+            a.patch(s::LD_SLOT_RAX, frslot(b));
+            a.patch(s::ST_RAX_SLOT, fwslot(rc));
+        }
+        Fneg => {
+            let Operand::Reg(b) = rb else { unreachable!() };
+            a.patch(s::LD_SLOT_RAX, frslot(b));
+            a.copy(s::FNEG_CORE);
+            a.patch(s::ST_RAX_SLOT, fwslot(rc));
+        }
+        Fcmovne => {
+            let Operand::Reg(b) = rb else { unreachable!() };
+            a.patch(s::LD_SLOT_RAX, rslot(ra));
+            a.patch(s::LD_SLOT_RCX, frslot(b));
+            a.patch(s::LD_SLOT_RDX, frslot(rc));
+            a.copy(s::TEST_RAX_RAX);
+            a.copy(s::CMOVNZ_RDX_RCX);
+            a.patch(s::ST_RDX_SLOT, fwslot(rc));
+        }
+        // ---- specials ----
+        Ldiw => {
+            a.patch(s::MOV_RAX_IMM32S, imm as u32);
+            a.patch(s::ST_RAX_SLOT, wslot(rc));
+        }
+        Br | Bsr | Beq | Bne | Blt | Ble | Bgt | Bge => {
+            unreachable!("branches are block terminators")
+        }
+        Jmp | Jsr | Alloc | Halt | EnterRegion | EndSetup => {
+            unreachable!("unsupported ops never reach lower()")
+        }
+    }
+}

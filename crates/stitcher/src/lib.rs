@@ -168,14 +168,19 @@ pub struct Stitched {
     /// Plan patches applied, in application order (empty unless
     /// [`StitchOptions::record_patches`] was set).
     pub plan_patches: Vec<PlanPatchRecord>,
+    /// Host-native machine-code bytes translated from this instance
+    /// (0 when no native backend translated it). Set by the engine so
+    /// byte-budgeted caches govern both backends with one number.
+    pub native_bytes: u64,
 }
 
 impl Stitched {
-    /// Bytes this instance occupies when installed: code words plus the
-    /// linearized large-constants table it rebuilds at relocation. The
-    /// unit byte-budgeted caches account in.
+    /// Bytes this instance occupies when installed: code words, the
+    /// linearized large-constants table it rebuilds at relocation, and
+    /// any host-native translation of the instance. The unit
+    /// byte-budgeted caches account in.
     pub fn footprint_bytes(&self) -> u64 {
-        4 * self.code.len() as u64 + 8 * self.lin_words.len() as u64
+        4 * self.code.len() as u64 + 8 * self.lin_words.len() as u64 + self.native_bytes
     }
 
     /// Re-create this instance for installation at `new_base`, with a
@@ -390,6 +395,7 @@ pub fn stitch(
         exit_patches: st.exit_patches,
         stats: st.stats,
         plan_patches: st.plan_patch_log,
+        native_bytes: 0,
     })
 }
 

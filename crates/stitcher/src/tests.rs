@@ -584,6 +584,7 @@ fn bare_stitched(code: Vec<u32>) -> crate::Stitched {
         exit_patches: vec![],
         plan_patches: vec![],
         stats: crate::StitchStats::default(),
+        native_bytes: 0,
     }
 }
 

@@ -166,3 +166,18 @@ fn advise_ranks_annotation_candidates() {
     assert!(out.contains("1/1 loop(s) unroll"), "{out}");
     assert!(out.contains("recommendation: annotate arg 0"), "{out}");
 }
+
+#[test]
+fn native_flag_runs_and_summarizes() {
+    let p = write_temp("power_native.mc", POWER);
+    let (out, _, ok) = dyncc(&[p.to_str().unwrap(), "--run", "power", "5", "3", "--native"]);
+    assert!(ok, "{out}");
+    // The result is bit-identical to the VM backend.
+    assert!(out.contains("power(5, 3) = 243"), "{out}");
+    assert!(out.contains("native backend:"), "{out}");
+    if cfg!(all(target_arch = "x86_64", target_os = "linux")) {
+        assert!(out.contains("instance(s) installed"), "{out}");
+    } else {
+        assert!(out.contains("unavailable on this host"), "{out}");
+    }
+}
