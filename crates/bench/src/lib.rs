@@ -14,9 +14,12 @@
 #![forbid(unsafe_code)]
 
 pub mod kernels {
-    //! The paper's five benchmark kernels.
+    //! The paper's five benchmark kernels, plus the two cross-function
+    //! workloads exercising demand-driven inlining.
     pub mod calculator;
     pub mod dispatch;
+    pub mod protomsg;
+    pub mod queryexec;
     pub mod smatmul;
     pub mod sorter;
     pub mod spmv;

@@ -28,6 +28,12 @@ pub struct EmittedFunc {
     pub words: Vec<u32>,
     /// Call relocations: `(word index of the Ldiw immediate, callee)`.
     pub call_relocs: Vec<(u32, dyncomp_ir::FuncId)>,
+    /// Template-call relocations: `(region, word index of the Ldiw
+    /// immediate *within that region's template code*, callee)`. Patched
+    /// by the module driver once every function entry is known; the
+    /// immediate is an absolute callee entry, so stitched copies stay
+    /// position-independent.
+    pub tmpl_relocs: Vec<(dyncomp_ir::RegionId, u32, dyncomp_ir::FuncId)>,
     /// Region metadata with function-local addresses (rebased later).
     pub regions: Vec<(dyncomp_ir::RegionId, RegionCode)>,
     /// Float literals referenced (pool offsets were pre-assigned).
@@ -57,6 +63,7 @@ struct Emitter<'a> {
     save_area: Vec<(Reg, bool, i32)>, // (reg, is_float, offset)
     ra_off: Option<i32>,
     ret_float: bool,
+    template_callable: &'a [bool],
     // Template state (set while emitting template blocks).
     tmpl: Option<TemplateBuf>,
     hole_folds: HashMap<InstId, (InstId, u8)>, // hole -> (user, operand pos)
@@ -72,6 +79,7 @@ struct TemplateBuf {
     label_of: HashMap<BlockId, u32>,
     cur_holes: Vec<Hole>,
     cur_branches: Vec<BranchFixup>,
+    call_relocs: Vec<(u32, dyncomp_ir::FuncId)>, // (word of Ldiw immediate, callee)
 }
 
 impl TemplateBuf {
@@ -81,10 +89,16 @@ impl TemplateBuf {
 }
 
 /// Emit one function.
+///
+/// `template_callable[fid]` says whether a call to that function may be
+/// emitted inside template code: only callees that are transitively free
+/// of dynamic regions qualify (a callee that re-enters the dynamic
+/// compiler would clobber the stitched code's linkage registers).
 pub fn emit_function(
     f: &Function,
     specs: &[&RegionSpec],
     region_base_index: u16,
+    template_callable: &[bool],
     mcx: &mut ModuleCtx,
 ) -> Result<EmittedFunc, CodegenError> {
     // ---- block order: main (RPO), then per region setup + template ----
@@ -155,6 +169,7 @@ pub fn emit_function(
         save_area,
         ra_off,
         ret_float: f.ret_ty == Ty::Float,
+        template_callable,
         tmpl: None,
         hole_folds: HashMap::new(),
         float_pool_used: false,
@@ -184,6 +199,7 @@ pub fn emit_function(
 
     // ---- template blocks (per region, into separate buffers) ----
     let mut templates: HashMap<dyncomp_ir::RegionId, Template> = HashMap::new();
+    let mut tmpl_relocs: Vec<(dyncomp_ir::RegionId, u32, dyncomp_ir::FuncId)> = Vec::new();
     for s in specs {
         let mut buf = TemplateBuf {
             code: Vec::new(),
@@ -191,6 +207,7 @@ pub fn emit_function(
             label_of: HashMap::new(),
             cur_holes: Vec::new(),
             cur_branches: Vec::new(),
+            call_relocs: Vec::new(),
         };
         for (li, &b) in s.template_blocks.iter().enumerate() {
             buf.label_of.insert(b, li as u32);
@@ -201,12 +218,17 @@ pub fn emit_function(
         }
         let buf = em.tmpl.take().expect("template buffer present");
         let entry = buf.label_of[&s.template_entry];
+        for (w, callee) in buf.call_relocs {
+            tmpl_relocs.push((s.region, w, callee));
+        }
         let mut template = Template {
             code: buf.code,
             blocks: buf.blocks,
             entry,
         };
         // Lower value-independent blocks to copy-and-patch stitch plans.
+        // Plans *copy* the code words, so the module driver re-runs this
+        // after patching any template-call relocations.
         dyncomp_machine::template::precompile_plans(&mut template);
         templates.insert(s.region, template);
     }
@@ -259,6 +281,7 @@ pub fn emit_function(
     Ok(EmittedFunc {
         words: out.words,
         call_relocs,
+        tmpl_relocs,
         regions,
         float_pool_used: em.float_pool_used,
     })
@@ -865,9 +888,18 @@ impl Emitter<'_> {
         if args.len() > 6 {
             return Err(CodegenError::TooManyArgs(self.f.name.clone()));
         }
-        if self.in_template() {
-            // Calls inside templates would need relocations into the
-            // template buffer; not needed by the paper's kernels.
+        if self.in_template()
+            && !self
+                .template_callable
+                .get(callee.index())
+                .copied()
+                .unwrap_or(false)
+        {
+            // A callee that (transitively) contains a dynamic region would
+            // re-enter the dynamic compiler mid-template, clobbering the
+            // stitched code's linkage registers (LIN/CTP) for good. The
+            // demand-driven inliner is expected to have removed every
+            // benign call; refuse the rest.
             return Err(CodegenError::CallInTemplate(self.f.name.clone()));
         }
         for (n, &a) in args.iter().enumerate() {
@@ -880,9 +912,18 @@ impl Emitter<'_> {
             }
         }
         let sc = INT_SCRATCH[1];
-        let item = self.asm.push(Inst::ldiw(sc, 0));
-        // The immediate is the SECOND word of the Ldiw.
-        self.call_relocs.push((item, callee));
+        if let Some(t) = self.tmpl.as_mut() {
+            // Template call: load the callee's absolute entry (patched at
+            // module link time) and jump through it. `Jsr` is position-
+            // independent, so stitched copies relocate freely.
+            let at = t.at();
+            t.call_relocs.push((at + 1, callee)); // immediate = 2nd Ldiw word
+            self.push(Inst::ldiw(sc, 0));
+        } else {
+            let item = self.asm.push(Inst::ldiw(sc, 0));
+            // The immediate is the SECOND word of the Ldiw.
+            self.call_relocs.push((item, callee));
+        }
         self.push(Inst::jump(Op::Jsr, RA, sc));
         let e = Entity::Val(i);
         if self.f.ty(i) == Ty::Float {

@@ -34,7 +34,9 @@ pub enum CodegenError {
     Asm(AsmError),
     /// More than six call arguments.
     TooManyArgs(String),
-    /// A call inside template code (not supported).
+    /// A call inside template code to a callee that transitively contains
+    /// dynamic regions (re-entering the dynamic compiler mid-template
+    /// would clobber the stitched code's linkage registers).
     CallInTemplate(String),
     /// Internal invariant violation.
     Internal(String),
@@ -50,7 +52,8 @@ impl fmt::Display for CodegenError {
             CodegenError::CallInTemplate(n) => {
                 write!(
                     f,
-                    "function `{n}`: calls inside dynamic regions are not supported"
+                    "function `{n}`: call inside a dynamic region to a callee that \
+                     itself contains dynamic regions"
                 )
             }
             CodegenError::Internal(m) => write!(f, "internal codegen error: {m}"),
@@ -108,6 +111,43 @@ pub fn layout_globals(m: &Module) -> (Vec<u64>, u64) {
     (addrs, (brk + 7) & !7)
 }
 
+/// Per-function flag: may this function be called from template code?
+///
+/// True iff the function is transitively free of dynamic regions: neither
+/// it nor anything it (transitively) calls contains a region. Computed as
+/// a taint fixpoint over the placed call graph.
+pub fn template_callable(m: &Module) -> Vec<bool> {
+    let n = m.funcs.len();
+    // callers[g] = functions with a placed call to g.
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut tainted = vec![false; n];
+    let mut work: Vec<usize> = Vec::new();
+    for (fid, f) in m.funcs.iter_enumerated() {
+        if !f.regions.is_empty() {
+            tainted[fid.index()] = true;
+            work.push(fid.index());
+        }
+        for blk in f.blocks.iter() {
+            for &i in &blk.insts {
+                if let dyncomp_ir::InstKind::Call { callee, .. } = f.kind(i) {
+                    if callee.index() < n {
+                        callers[callee.index()].push(fid.index());
+                    }
+                }
+            }
+        }
+    }
+    while let Some(g) = work.pop() {
+        for &c in &callers[g] {
+            if !tainted[c] {
+                tainted[c] = true;
+                work.push(c);
+            }
+        }
+    }
+    tainted.iter().map(|&t| !t).collect()
+}
+
 /// Compile a module (post-specialization, still SSA) to machine code.
 ///
 /// Destructs SSA in place. `specs` carries the [`RegionSpec`] of every
@@ -135,10 +175,18 @@ pub fn compile_module(
         float_pool_addr,
     };
 
+    // Which functions may be called from inside template code: only those
+    // transitively free of dynamic regions. A tainted callee would
+    // re-enter the dynamic compiler from stitched code, clobbering the
+    // linkage registers the stitcher established for the current instance.
+    let template_callable = template_callable(m);
+
     let mut code: Vec<u32> = Vec::new();
     let mut funcs = Vec::new();
     let mut regions: Vec<RegionCode> = Vec::new();
     let mut relocs: Vec<(u32, FuncId)> = Vec::new();
+    // (global region index, word offset in that template, callee)
+    let mut tmpl_relocs: Vec<(usize, u32, FuncId)> = Vec::new();
 
     let fids: Vec<FuncId> = m.funcs.ids().collect();
     for fid in fids {
@@ -148,9 +196,16 @@ pub fn compile_module(
             .map(|(_, s)| s)
             .collect();
         let f = &m.funcs[fid];
-        let emitted = emit::emit_function(f, &fspecs, regions.len() as u16, &mut mcx)?;
+        let emitted = emit::emit_function(
+            f,
+            &fspecs,
+            regions.len() as u16,
+            &template_callable,
+            &mut mcx,
+        )?;
         let base = code.len() as u32;
-        for (_, mut rc) in emitted.regions {
+        let mut gidx_of = HashMap::new();
+        for (rid, mut rc) in emitted.regions {
             rc.enter_pc += base;
             rc.setup_pc += base;
             if let Some(p) = rc.fallback_pc.as_mut() {
@@ -159,10 +214,14 @@ pub fn compile_module(
             for pc in rc.exit_pcs.iter_mut() {
                 *pc += base;
             }
+            gidx_of.insert(rid, regions.len());
             regions.push(rc);
         }
         for (w, callee) in emitted.call_relocs {
             relocs.push((base + w, callee));
+        }
+        for (rid, w, callee) in emitted.tmpl_relocs {
+            tmpl_relocs.push((gidx_of[&rid], w, callee));
         }
         funcs.push(CompiledFunc {
             entry: base,
@@ -175,6 +234,20 @@ pub fn compile_module(
     // instruction word.
     for (w, callee) in relocs {
         code[w as usize + 1] = funcs[callee.index()].entry;
+    }
+
+    // Patch template-call relocations with absolute callee entries, then
+    // rebuild the affected copy-and-patch plans (plans copy code words, so
+    // they would otherwise embed the unpatched immediate).
+    let mut patched: Vec<usize> = Vec::new();
+    for (g, w, callee) in tmpl_relocs {
+        regions[g].template.code[w as usize] = funcs[callee.index()].entry;
+        patched.push(g);
+    }
+    patched.sort_unstable();
+    patched.dedup();
+    for g in patched {
+        dyncomp_machine::template::precompile_plans(&mut regions[g].template);
     }
 
     let mut float_pool: Vec<(u64, u64)> = mcx

@@ -229,7 +229,9 @@ pub fn allocate(f: &Function, order: &[BlockId]) -> Allocation {
             crosses_call: call_positions.iter().any(|&c| start < c && c < end),
         })
         .collect();
-    intervals.sort_by_key(|iv| (iv.start, iv.end));
+    // The entity tie-breaker makes the scan order — and hence register
+    // assignment — independent of `ivals`'s hash iteration order.
+    intervals.sort_by_key(|iv| (iv.start, iv.end, iv.ent));
 
     // ---- linear scan ----
     struct Active {

@@ -30,6 +30,10 @@
 //!   the fallback while a worker stitches off-thread (deterministic
 //!   virtual-clock overlap model)
 //! * `--stitch-workers N` background workers for `--tiered` (default 1)
+//! * `--inline-depth N` demand-driven inlining: pull region-free callees
+//!   whose call sites have at least one run-time-constant argument into
+//!   the region, to `N` rounds of nesting (default 0 = off); prints the
+//!   inlined sites after compilation
 //! * `--speculate` with `--tiered`, pre-stitch keys predicted by the
 //!   per-region stride/frequency predictor
 //! * `--trace-out FILE` with `--run`, record the deterministic event
@@ -53,8 +57,8 @@
 //!   degrades to the VM with one `backend-unavailable` health entry.
 
 use dyncomp::{
-    Compiler, Engine, EngineOptions, FaultPlan, RecoveryPolicy, Session, SharedCodeCache,
-    TieredOptions, TraceOptions,
+    CompileOptions, Compiler, Engine, EngineOptions, FaultPlan, InlineOptions, RecoveryPolicy,
+    Session, SharedCodeCache, TieredOptions, TraceOptions,
 };
 use dyncomp_machine::disasm::disassemble;
 use dyncomp_machine::template::{HoleField, LoopMarker, TmplExit};
@@ -124,13 +128,22 @@ fn main() {
     }
 
     let tiered = flag("--tiered");
-    let compiler = if flag("--static") {
-        Compiler::static_baseline()
-    } else if tiered {
-        Compiler::tiered()
-    } else {
-        Compiler::new()
+    let inline_depth: u32 = match args.iter().position(|a| a == "--inline-depth") {
+        Some(p) => args
+            .get(p + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("dyncc: --inline-depth needs a non-negative integer");
+                exit(2);
+            }),
+        None => 0,
     };
+    let compiler = Compiler::with_options(CompileOptions {
+        dynamic: !flag("--static"),
+        tiered_fallback: tiered,
+        inline: InlineOptions::at_depth(inline_depth),
+        ..CompileOptions::default()
+    });
     let program = match compiler.compile(&src) {
         Ok(p) => Arc::new(p),
         Err(e) => {
@@ -145,6 +158,21 @@ fn main() {
         program.region_count(),
         program.compiled.code.len()
     );
+    if inline_depth > 0 {
+        for s in &program.inline_sites {
+            println!(
+                "inlined `{}` into region {} of `{}` (round {}, {} instruction(s))",
+                s.callee_name,
+                s.region_index,
+                program.module.funcs[s.func].name,
+                s.depth,
+                s.cloned_insts
+            );
+        }
+        if program.inline_sites.is_empty() {
+            println!("inlining enabled (depth {inline_depth}): no demanded call sites");
+        }
+    }
 
     if flag("--ir") {
         for f in program.module.funcs.iter() {

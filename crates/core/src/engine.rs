@@ -279,6 +279,9 @@ struct RegionState {
     faults_injected: u64,
     /// Recovery retries charged against this region.
     retries: u64,
+    /// Compile-time inline sites replayed by this session's synchronous
+    /// stitches (one per site per stitch).
+    inlined_calls: u64,
 }
 
 /// Per-region measurement report (feeds Table 2 / Table 3).
@@ -319,6 +322,9 @@ pub struct RegionReport {
     pub faults_injected: u64,
     /// Recovery retries charged against this region.
     pub retries: u64,
+    /// Compile-time inline sites replayed by this session's synchronous
+    /// stitches ([`crate::Program::inline_sites`] × stitches).
+    pub inlined_calls: u64,
 }
 
 /// One execution session over a shared, immutable [`Program`].
@@ -1214,6 +1220,23 @@ impl<P: Borrow<Program>> Session<P> {
                 value: p.value,
             });
         }
+        // Replay the compile-time inline sites this instance benefits
+        // from: one event per site per synchronous stitch, mirrored in
+        // the report counter so `trace_self_check` covers the pass.
+        let inlined: Vec<(u32, u32)> = self
+            .program
+            .borrow()
+            .inline_sites_for(region)
+            .map(|s| (s.callee.index() as u32, s.depth))
+            .collect();
+        for (callee, depth) in inlined {
+            self.regions[region as usize].inlined_calls += 1;
+            self.tr(EventKind::Inlined {
+                region,
+                callee,
+                depth,
+            });
+        }
 
         // Publish to the process-wide cache so other sessions can skip
         // set-up and stitching for this (region, key).
@@ -1333,6 +1356,7 @@ impl<P: Borrow<Program>> Session<P> {
             bg_stitch_cycles: st.bg_stitch_cycles,
             faults_injected: st.faults_injected,
             retries: st.retries,
+            inlined_calls: st.inlined_calls,
         }
     }
 

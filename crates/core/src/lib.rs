@@ -169,6 +169,69 @@ from_err!(Codegen, dyncomp_codegen::CodegenError);
 from_err!(Stitch, dyncomp_stitcher::StitchError);
 from_err!(Vm, dyncomp_machine::VmError);
 
+/// Demand-driven inlining configuration (ROADMAP item 4; Way & Pollock).
+///
+/// With `depth == 0` (the default) the pass is off and the pipeline is
+/// bit-identical to earlier releases: calls inside dynamic regions are
+/// compiled as template calls (or rejected if the callee itself contains
+/// regions). With `depth > 0`, after the per-function prep passes the
+/// compiler repeatedly re-runs the run-time-constants analysis over every
+/// region and inlines any call whose arguments include a run-time
+/// constant — the *demand* — so specialization flows through the callee
+/// body. Each round only considers calls that existed before the round,
+/// so `depth` bounds the transitive inlining depth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InlineOptions {
+    /// Maximum inlining depth (rounds of the demand-driven fixpoint).
+    /// `0` disables the pass.
+    pub depth: u32,
+    /// Refuse to inline callees with more placed instructions than this.
+    pub max_callee_insts: usize,
+    /// Stop inlining into a function once this many instructions have
+    /// been cloned into it (growth budget).
+    pub max_growth: usize,
+}
+
+impl Default for InlineOptions {
+    fn default() -> Self {
+        InlineOptions {
+            depth: 0,
+            max_callee_insts: 512,
+            max_growth: 4096,
+        }
+    }
+}
+
+impl InlineOptions {
+    /// Enabled at `depth`, with default budgets.
+    pub fn at_depth(depth: u32) -> Self {
+        InlineOptions {
+            depth,
+            ..Default::default()
+        }
+    }
+}
+
+/// One call site the demand-driven inliner expanded (recorded on the
+/// [`Program`] artifact for observability: the engine replays these as
+/// `Inlined` trace events when the region's set-up code runs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InlineSite {
+    /// Function the call site lived in.
+    pub func: FuncId,
+    /// Global region index (as used by [`Session::region_report`]).
+    pub region_index: u16,
+    /// The inlined callee.
+    pub callee: FuncId,
+    /// Callee name, for rendering.
+    pub callee_name: String,
+    /// Fixpoint round that expanded the site (1-based; bounded by
+    /// [`InlineOptions::depth`]).
+    pub depth: u32,
+    /// Number of instructions cloned into the caller.
+    pub cloned_insts: usize,
+}
+
 /// Static-compiler configuration.
 #[derive(Clone, Debug)]
 pub struct CompileOptions {
@@ -186,6 +249,8 @@ pub struct CompileOptions {
     /// background worker ([`TieredOptions`]). Off by default: the default
     /// artifact stays bit-identical to the untiered compiler's output.
     pub tiered_fallback: bool,
+    /// Demand-driven inlining through dynamic regions (off by default).
+    pub inline: InlineOptions,
 }
 
 impl Default for CompileOptions {
@@ -195,6 +260,7 @@ impl Default for CompileOptions {
             optimize: true,
             analysis: AnalysisConfig::default(),
             tiered_fallback: false,
+            inline: InlineOptions::default(),
         }
     }
 }
@@ -235,6 +301,15 @@ impl Compiler {
         })
     }
 
+    /// A compiler with demand-driven inlining enabled at `depth`
+    /// (otherwise default options).
+    pub fn with_inline_depth(depth: u32) -> Self {
+        Compiler::with_options(CompileOptions {
+            inline: InlineOptions::at_depth(depth),
+            ..Default::default()
+        })
+    }
+
     /// Compile MiniC source through the full static pipeline.
     ///
     /// # Errors
@@ -251,22 +326,24 @@ impl Compiler {
         let mut module = lowered.module;
         let mut specs: Vec<(FuncId, RegionSpec)> = Vec::new();
 
+        // Phase 1: per-function prep (SSA, global optimization, CFG
+        // invariants). Region-independent, so it runs for every function
+        // before any cross-function work.
+        for fid in module.funcs.ids().collect::<Vec<_>>() {
+            self.prep_function(&mut module.funcs[fid])?;
+        }
+
+        // Phase 2: demand-driven inlining through dynamic regions (off at
+        // depth 0, leaving phases 1+3 exactly the historical pipeline).
+        let inline_sites = if self.options.dynamic && self.options.inline.depth > 0 {
+            self.inline_fixpoint(&mut module)?
+        } else {
+            Vec::new()
+        };
+
+        // Phase 3: per-region specialization and post-split optimization.
         for fid in module.funcs.ids().collect::<Vec<_>>() {
             let f = &mut module.funcs[fid];
-            dyncomp_ir::ssa::construct_ssa(f);
-            if self.options.optimize {
-                dyncomp_opt::optimize(
-                    f,
-                    &dyncomp_opt::OptOptions {
-                        cfg_simplify: true,
-                        hole_scope: None,
-                    },
-                );
-            }
-            dyncomp_ir::cfg::split_critical_edges(f);
-            f.canonicalize_region_roots();
-            dyncomp_ir::verify::verify(f)?;
-
             let mut template_scope = dyncomp_ir::IdSet::new();
             for rid in f.regions.ids().collect::<Vec<_>>() {
                 let mut analysis = dyncomp_analysis::analyze_region(f, rid, &self.options.analysis);
@@ -307,7 +384,160 @@ impl Compiler {
             types: lowered.types,
             compiled,
             spec_stats,
+            inline_sites,
         })
+    }
+
+    /// Phase-1 prep for one function: into SSA, optimize, restore the
+    /// split-critical-edges invariant, canonicalize region roots, verify.
+    /// Also used to re-establish the invariants after each inline step.
+    fn prep_function(&self, f: &mut dyncomp_ir::Function) -> Result<(), Error> {
+        if !f.is_ssa {
+            dyncomp_ir::ssa::construct_ssa(f);
+        }
+        if self.options.optimize {
+            dyncomp_opt::optimize(
+                f,
+                &dyncomp_opt::OptOptions {
+                    cfg_simplify: true,
+                    hole_scope: None,
+                },
+            );
+        }
+        dyncomp_ir::cfg::split_critical_edges(f);
+        f.canonicalize_region_roots();
+        dyncomp_ir::verify::verify(f)?;
+        Ok(())
+    }
+
+    /// Phase 2: the demand-driven inlining fixpoint.
+    ///
+    /// Per round, for every function with dynamic regions, re-run the
+    /// run-time-constants analysis and inline any region call site whose
+    /// arguments include a run-time constant (the *demand*: specialization
+    /// is blocked at that call and would profit from seeing the callee).
+    /// Only call sites that existed before the round are eligible, so
+    /// [`InlineOptions::depth`] bounds transitive depth; budgets bound
+    /// callee size and total growth. After every step the prep invariants
+    /// are re-established and the verifier runs, so a buggy clone fails
+    /// compile-time, not stitch-time.
+    fn inline_fixpoint(&self, module: &mut Module) -> Result<Vec<InlineSite>, Error> {
+        let opts = &self.options.inline;
+        let mut sites: Vec<InlineSite> = Vec::new();
+        let mut grown: std::collections::HashMap<FuncId, usize> = std::collections::HashMap::new();
+        // Global region index = regions of earlier functions + local index
+        // (the same fid-order numbering `compile_module` uses).
+        let region_base: Vec<u16> = {
+            let mut base = 0u16;
+            module
+                .funcs
+                .iter()
+                .map(|f| {
+                    let b = base;
+                    base += f.regions.len() as u16;
+                    b
+                })
+                .collect()
+        };
+
+        for round in 1..=opts.depth {
+            let mut any = false;
+            for fid in module.funcs.ids().collect::<Vec<_>>() {
+                if module.funcs[fid].regions.is_empty() {
+                    continue;
+                }
+                // Snapshot: only calls that exist now are eligible this
+                // round (clones introduced below wait for the next round).
+                let eligible_max = module.funcs[fid].insts.len();
+                let mut rejected: Vec<dyncomp_ir::InstId> = Vec::new();
+                loop {
+                    if grown.get(&fid).copied().unwrap_or(0) >= opts.max_growth {
+                        break;
+                    }
+                    let Some((rid, block, call, callee)) =
+                        self.find_demand(module, fid, eligible_max, &rejected)
+                    else {
+                        break;
+                    };
+                    let callee_fn = module.funcs[callee].clone();
+                    match dyncomp_ir::inline_call(&mut module.funcs[fid], block, call, &callee_fn) {
+                        Ok(done) => {
+                            *grown.entry(fid).or_insert(0) += done.cloned_insts;
+                            sites.push(InlineSite {
+                                func: fid,
+                                region_index: region_base[fid.index()] + rid.index() as u16,
+                                callee,
+                                callee_name: callee_fn.name.clone(),
+                                depth: round,
+                                cloned_insts: done.cloned_insts,
+                            });
+                            self.prep_function(&mut module.funcs[fid])?;
+                            any = true;
+                        }
+                        Err(_refused) => {
+                            // Refusals leave the caller untouched; remember
+                            // the site so the search moves past it.
+                            rejected.push(call);
+                        }
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        dyncomp_ir::verify::verify_module(module)?;
+        Ok(sites)
+    }
+
+    /// Find one call site the region analysis demands inlined: a call
+    /// placed in a region block, at least one argument a run-time constant,
+    /// callee small enough, not the function itself, not already rejected.
+    fn find_demand(
+        &self,
+        module: &Module,
+        fid: FuncId,
+        eligible_max: usize,
+        rejected: &[dyncomp_ir::InstId],
+    ) -> Option<(
+        dyncomp_ir::RegionId,
+        dyncomp_ir::BlockId,
+        dyncomp_ir::InstId,
+        FuncId,
+    )> {
+        let f = &module.funcs[fid];
+        for rid in f.regions.ids() {
+            let analysis = dyncomp_analysis::analyze_region(f, rid, &self.options.analysis);
+            let r = &f.regions[rid];
+            for b in r.blocks.iter() {
+                for &i in &f.blocks[b].insts {
+                    if i.index() >= eligible_max || rejected.contains(&i) {
+                        continue;
+                    }
+                    let dyncomp_ir::InstKind::Call { callee, args } = f.kind(i) else {
+                        continue;
+                    };
+                    if *callee == fid {
+                        continue; // no self-inlining
+                    }
+                    let Some(target) = module.funcs.get(*callee) else {
+                        continue;
+                    };
+                    if !target.regions.is_empty()
+                        || target.placed_inst_count() > self.options.inline.max_callee_insts
+                    {
+                        continue;
+                    }
+                    let demanded = args
+                        .iter()
+                        .any(|&a| analysis.is_const(a) || r.const_roots.contains(&a));
+                    if demanded {
+                        return Some((rid, b, i, *callee));
+                    }
+                }
+            }
+        }
+        None
     }
 }
 
@@ -332,6 +562,9 @@ pub struct Program {
     pub compiled: CompiledModule,
     /// Per-region planned-optimization counters (Table 3's static half).
     pub spec_stats: Vec<(FuncId, SpecStats)>,
+    /// Call sites expanded by the demand-driven inliner (empty unless
+    /// [`InlineOptions::depth`] > 0).
+    pub inline_sites: Vec<InlineSite>,
 }
 
 impl Program {
@@ -349,6 +582,13 @@ impl Program {
     /// cached by sessions of one program is never served to another.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Inline sites recorded for one global region index.
+    pub fn inline_sites_for(&self, region_index: u16) -> impl Iterator<Item = &InlineSite> {
+        self.inline_sites
+            .iter()
+            .filter(move |s| s.region_index == region_index)
     }
 }
 

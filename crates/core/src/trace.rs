@@ -141,6 +141,18 @@ pub enum EventKind {
         /// Plan attempts that fell back to the interpretive path.
         plan_misses: u32,
     },
+    /// A call site inside the region was inlined at compile time by the
+    /// demand-driven pass; replayed once per synchronous stitch so the
+    /// trace shows which cross-function specialization each instance
+    /// benefited from.
+    Inlined {
+        /// Region number.
+        region: u16,
+        /// Function id of the inlined callee.
+        callee: u32,
+        /// Inlining round that pulled the callee in (1-based).
+        depth: u32,
+    },
     /// One copy-and-patch plan patch was applied (recorded by the
     /// stitcher when tracing is on).
     PlanPatch {
@@ -283,6 +295,7 @@ impl EventKind {
             | EventKind::SetupEnd { region, .. }
             | EventKind::StitchStart { region }
             | EventKind::StitchEnd { region, .. }
+            | EventKind::Inlined { region, .. }
             | EventKind::PlanPatch { region, .. }
             | EventKind::CacheLookup { region, .. }
             | EventKind::CacheInstall { region, .. }
@@ -313,6 +326,7 @@ impl EventKind {
             EventKind::SetupEnd { .. } => "SetupEnd",
             EventKind::StitchStart { .. } => "StitchStart",
             EventKind::StitchEnd { .. } => "StitchEnd",
+            EventKind::Inlined { .. } => "Inlined",
             EventKind::PlanPatch { .. } => "PlanPatch",
             EventKind::CacheLookup { .. } => "CacheLookup",
             EventKind::CacheInstall { .. } => "CacheInstall",
@@ -400,6 +414,9 @@ pub struct RegionProfile {
     pub instructions_stitched: u64,
     /// Histogram of per-stitch cycles.
     pub stitch_hist: CycleHistogram,
+    /// Inlined-call replays (sum over `Inlined`: one per compile-time
+    /// inline site per synchronous stitch).
+    pub inlined_calls: u64,
     /// Plan patches recorded.
     pub plan_patches: u64,
     /// Shared-cache probes.
@@ -546,6 +563,7 @@ impl TraceState {
                 p.stitch_hist.record(cycles);
                 p.first_stitched_at.get_or_insert(at);
             }
+            EventKind::Inlined { .. } => p.inlined_calls += 1,
             EventKind::PlanPatch { .. } => p.plan_patches += 1,
             EventKind::CacheLookup { hit, .. } => {
                 p.shared_lookups += 1;
@@ -640,7 +658,7 @@ impl TraceState {
             ));
         }
         for (i, (r, p)) in reports.iter().zip(self.profiles.iter()).enumerate() {
-            let checks: [(&str, u64, u64); 14] = [
+            let checks: [(&str, u64, u64); 15] = [
                 ("invocations", r.invocations, p.invocations),
                 ("stitches", u64::from(r.stitches), p.stitches),
                 (
@@ -659,6 +677,7 @@ impl TraceState {
                 ("bg_stitch_cycles", r.bg_stitch_cycles, p.bg_stitch_cycles),
                 ("faults_injected", r.faults_injected, p.faults_injected),
                 ("retries", r.retries, p.retries),
+                ("inlined_calls", r.inlined_calls, p.inlined_calls),
             ];
             for (name, reported, traced) in checks {
                 if reported != traced {
@@ -768,6 +787,14 @@ fn event_fields(kind: &EventKind, out: &mut String) {
              \"holes_inline\":{holes_inline},\"holes_big\":{holes_big},\
              \"const_branches\":{const_branches},\"loop_iterations\":{loop_iterations},\
              \"plan_hits\":{plan_hits},\"plan_misses\":{plan_misses}"
+        ),
+        EventKind::Inlined {
+            region,
+            callee,
+            depth,
+        } => write!(
+            out,
+            ",\"region\":{region},\"callee\":{callee},\"depth\":{depth}"
         ),
         EventKind::PlanPatch {
             region,

@@ -49,12 +49,55 @@ impl Default for LowerOptions {
 }
 
 /// Lowering failure.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LowerError(pub String);
+///
+/// The call-path failures are typed so callers (and tests) can match on
+/// them rather than scrape message strings; everything else is collected
+/// under [`LowerError::Other`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// A call names a function that is defined nowhere in the program
+    /// (and is not an intrinsic).
+    UndefinedFunction {
+        /// Function being lowered when the call was found.
+        func: String,
+        /// The undefined callee's name.
+        name: String,
+    },
+    /// A call passes the wrong number of arguments for its callee's
+    /// declared signature.
+    ArityMismatch {
+        /// Function being lowered when the call was found.
+        func: String,
+        /// The callee's name.
+        name: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Argument count at the call site.
+        got: usize,
+    },
+    /// Any other lowering failure (type errors, unknown identifiers,
+    /// malformed annotations, unsupported constructs).
+    Other(String),
+}
 
 impl fmt::Display for LowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lowering error: {}", self.0)
+        match self {
+            LowerError::UndefinedFunction { func, name } => write!(
+                f,
+                "lowering error: in `{func}`: call to undefined function `{name}`"
+            ),
+            LowerError::ArityMismatch {
+                func,
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "lowering error: in `{func}`: `{name}` expects {expected} arguments, got {got}"
+            ),
+            LowerError::Other(m) => write!(f, "lowering error: {m}"),
+        }
     }
 }
 
@@ -62,7 +105,7 @@ impl std::error::Error for LowerError {}
 
 impl From<crate::types::TypeError> for LowerError {
     fn from(e: crate::types::TypeError) -> Self {
-        LowerError(e.0)
+        LowerError::Other(e.0)
     }
 }
 
@@ -123,7 +166,9 @@ pub fn lower(prog: &Program, opts: &LowerOptions) -> Result<Lowered, LowerError>
                     bytes.extend_from_slice(&v.to_le_bytes()[..esize]);
                 }
                 if bytes.len() as u64 > size {
-                    return Err(LowerError(format!("too many initializers for `{name}`")));
+                    return Err(LowerError::Other(format!(
+                        "too many initializers for `{name}`"
+                    )));
                 }
                 let gid = module.globals.push(Global {
                     name: name.clone(),
@@ -132,7 +177,7 @@ pub fn lower(prog: &Program, opts: &LowerOptions) -> Result<Lowered, LowerError>
                     align,
                 });
                 if globals.insert(name.clone(), (gid, cty)).is_some() {
-                    return Err(LowerError(format!("duplicate global `{name}`")));
+                    return Err(LowerError::Other(format!("duplicate global `{name}`")));
                 }
             }
             Top::Func {
@@ -145,7 +190,7 @@ pub fn lower(prog: &Program, opts: &LowerOptions) -> Result<Lowered, LowerError>
                     .collect::<Result<_, _>>()?;
                 for p in &ptys {
                     if matches!(p, CType::Struct(_) | CType::Array(..)) {
-                        return Err(LowerError(format!(
+                        return Err(LowerError::Other(format!(
                             "function `{name}`: struct/array parameters by value are not supported"
                         )));
                     }
@@ -160,7 +205,7 @@ pub fn lower(prog: &Program, opts: &LowerOptions) -> Result<Lowered, LowerError>
                     },
                 ));
                 if funcs.insert(name.clone(), (fid, rty, ptys)).is_some() {
-                    return Err(LowerError(format!("duplicate function `{name}`")));
+                    return Err(LowerError::Other(format!("duplicate function `{name}`")));
                 }
             }
         }
@@ -234,7 +279,7 @@ fn const_expr(e: &Expr, ty: &CType) -> Result<u64, LowerError> {
             }
         }
         _ => {
-            return Err(LowerError(
+            return Err(LowerError::Other(
                 "global initializers must be literal constants".into(),
             ))
         }
@@ -256,7 +301,7 @@ fn mem_size(types: &TypeTable, t: &CType) -> Result<MemSize, LowerError> {
         4 => MemSize::B4,
         8 => MemSize::B8,
         n => {
-            return Err(LowerError(format!(
+            return Err(LowerError::Other(format!(
                 "cannot load/store {n}-byte object directly"
             )))
         }
@@ -358,7 +403,11 @@ impl FnLowerer<'_> {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, LowerError> {
-        Err(LowerError(format!("in `{}`: {}", self.f.name, msg.into())))
+        Err(LowerError::Other(format!(
+            "in `{}`: {}",
+            self.f.name,
+            msg.into()
+        )))
     }
 
     // ---- setup ----
@@ -501,7 +550,7 @@ impl FnLowerer<'_> {
         }
         for l in self.labels.keys() {
             if !self.defined_labels.contains(l) {
-                return Err(LowerError(format!("undefined label `{l}`")));
+                return Err(LowerError::Other(format!("undefined label `{l}`")));
             }
         }
         Ok(())
@@ -1162,14 +1211,18 @@ impl FnLowerer<'_> {
             ));
         }
         let Some((fid, rty, ptys)) = self.funcs.get(name).cloned() else {
-            return self.err(format!("call to undefined function `{name}`"));
+            return Err(LowerError::UndefinedFunction {
+                func: self.f.name.clone(),
+                name: name.to_string(),
+            });
         };
         if args.len() != ptys.len() {
-            return self.err(format!(
-                "`{name}` expects {} arguments, got {}",
-                ptys.len(),
-                args.len()
-            ));
+            return Err(LowerError::ArityMismatch {
+                func: self.f.name.clone(),
+                name: name.to_string(),
+                expected: ptys.len(),
+                got: args.len(),
+            });
         }
         let mut vals = Vec::new();
         for (a, pty) in args.iter().zip(&ptys) {

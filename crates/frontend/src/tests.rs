@@ -417,6 +417,72 @@ fn semantic_errors() {
 }
 
 #[test]
+fn call_error_paths_are_typed() {
+    use crate::lower::LowerError;
+    use crate::FrontendError;
+
+    // Undefined callee: a typed error naming both ends of the edge.
+    let e = compile("int f() { return g(7); }", &LowerOptions::default()).unwrap_err();
+    match e {
+        FrontendError::Lower(LowerError::UndefinedFunction { func, name }) => {
+            assert_eq!(func, "f");
+            assert_eq!(name, "g");
+        }
+        other => panic!("expected UndefinedFunction, got {other:?}"),
+    }
+    // Display keeps the historical message shape.
+    let e = compile("int f() { return g(7); }", &LowerOptions::default()).unwrap_err();
+    assert!(
+        e.to_string().contains("call to undefined function `g`"),
+        "{e}"
+    );
+
+    // Arity mismatch (forward reference, so the signature comes from the
+    // pre-pass that `retype_calls()` later relies on).
+    let e = compile(
+        "int f(int a) { return h(a, a, a); } int h(int x, int y) { return x + y; }",
+        &LowerOptions::default(),
+    )
+    .unwrap_err();
+    match e {
+        FrontendError::Lower(LowerError::ArityMismatch {
+            func,
+            name,
+            expected,
+            got,
+        }) => {
+            assert_eq!((func.as_str(), name.as_str()), ("f", "h"));
+            assert_eq!((expected, got), (2, 3));
+        }
+        other => panic!("expected ArityMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn retype_calls_is_consistent_after_lowering() {
+    // Forward references force the lowerer to retype calls after all
+    // functions exist; `verify_module` checks exactly that consistency.
+    let src = r#"
+        double f(int n) { return half(n) + 1.0; }
+        double half(int d) { return d / 2.0; }
+        int g() { return count(3); }
+        int count(int n) { return n; }
+    "#;
+    let lowered = compile(src, &LowerOptions::default()).unwrap();
+    dyncomp_ir::verify::verify_module(&lowered.module).unwrap();
+    // A deliberately staled call type must be rejected.
+    let mut m = lowered.module;
+    let fid = m.func_by_name("f").unwrap();
+    let f = &mut m.funcs[fid];
+    for i in f.insts.ids().collect::<Vec<_>>() {
+        if matches!(f.kind(i), dyncomp_ir::InstKind::Call { .. }) {
+            f.insts[i].ty = dyncomp_ir::Ty::Int; // stale: callee returns Float
+        }
+    }
+    assert!(dyncomp_ir::verify::verify_module(&m).is_err());
+}
+
+#[test]
 fn all_lowered_functions_pass_ssa_verification() {
     // A grab-bag program exercising most constructs at once.
     let src = r#"

@@ -59,6 +59,7 @@ pub mod eval;
 pub mod func;
 pub mod fxhash;
 pub mod ids;
+pub mod inline;
 pub mod inst;
 pub mod loops;
 pub mod ops;
@@ -70,5 +71,6 @@ pub mod verify;
 
 pub use func::{Block, DynRegion, Function, Global, InstData, Module, VarInfo};
 pub use ids::{BlockId, FuncId, GlobalId, IdSet, IndexVec, InstId, RegionId, VarId};
+pub use inline::{inline_call, InlineError, InlinedCall};
 pub use inst::{InstKind, Intrinsic, SlotPath, TemplateMarker, Terminator, Ty};
 pub use ops::{BinOp, Const, MemSize, Signedness, UnOp};

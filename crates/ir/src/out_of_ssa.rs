@@ -54,7 +54,10 @@ pub fn destruct_ssa(f: &mut Function) {
     }
 
     // For each block with φs, plan one parallel copy per predecessor.
-    let blocks_with_phis: Vec<BlockId> = phi_of_block.keys().copied().collect();
+    // Sorted: copy instructions and swap temporaries must be created in a
+    // deterministic order so repeated compiles emit identical artifacts.
+    let mut blocks_with_phis: Vec<BlockId> = phi_of_block.keys().copied().collect();
+    blocks_with_phis.sort_unstable();
     for b in blocks_with_phis {
         let phis = phi_of_block[&b].clone();
         for &p in preds.of(b) {

@@ -2,7 +2,7 @@
 
 use crate::cfg::Preds;
 use crate::dom::DomTree;
-use crate::func::Function;
+use crate::func::{Function, Module};
 use crate::ids::{BlockId, IdSet, IndexVec, InstId};
 use crate::inst::{InstKind, Terminator};
 use std::fmt;
@@ -65,6 +65,36 @@ pub fn verify(f: &Function) -> Result<(), VerifyError> {
         return err("entry block out of range".into());
     }
 
+    // Dynamic-region metadata. Transforms that add blocks inside a region
+    // (edge splitting, inlining) must keep the membership set and roots
+    // coherent; a dangling block or an un-renamed root value here would
+    // otherwise only surface at stitch time.
+    for (rid, r) in f.regions.iter_enumerated() {
+        if r.entry.index() >= f.blocks.len() {
+            return err(format!("region {rid} entry {} out of range", r.entry));
+        }
+        for b in r.blocks.iter() {
+            if b.index() >= f.blocks.len() {
+                return err(format!("region {rid} contains nonexistent block {b}"));
+            }
+        }
+        // Roots must be real values; before specialization rewrites the
+        // region they must also be placed (specialized regions start with
+        // an `EnterRegion` terminator at their entry).
+        let specialized = matches!(
+            f.blocks[r.entry].term,
+            Terminator::EnterRegion { .. } | Terminator::EndSetup { .. }
+        );
+        for &v in r.const_roots.iter().chain(r.key_roots.iter()) {
+            if v.index() >= f.insts.len() {
+                return err(format!("region {rid} root {v} does not exist"));
+            }
+            if !specialized && place[v].is_none() {
+                return err(format!("region {rid} root {v} is not placed"));
+            }
+        }
+    }
+
     // Operands must be placed instructions (in reachable code).
     let live = crate::cfg::reachable(f);
     let check_op = |user: String, v: InstId| -> Result<(), VerifyError> {
@@ -106,6 +136,52 @@ pub fn verify(f: &Function) -> Result<(), VerifyError> {
         verify_ssa(f, &place, &live)?;
     }
 
+    Ok(())
+}
+
+/// Check cross-function invariants of `m`, then [`verify`] each function:
+///
+/// * every `Call` names an existing function;
+/// * argument count matches the callee's parameter count;
+/// * the call's result kind matches the callee's return kind (i.e.
+///   [`Module::retype_calls`] has been run and later transforms — inlining
+///   in particular — kept it consistent).
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for (fid, f) in m.funcs.iter_enumerated() {
+        for (b, blk) in f.iter_blocks() {
+            for &i in &blk.insts {
+                let InstKind::Call { callee, args } = f.kind(i) else {
+                    continue;
+                };
+                let err =
+                    |msg: String| Err(VerifyError(format!("{}: call {i} in {b}: {msg}", f.name)));
+                let Some(target) = m.funcs.get(*callee) else {
+                    return err(format!("callee {callee:?} does not exist"));
+                };
+                if args.len() != target.params.len() {
+                    return err(format!(
+                        "`{}` expects {} arguments, got {}",
+                        target.name,
+                        target.params.len(),
+                        args.len()
+                    ));
+                }
+                if f.ty(i) != target.ret_ty {
+                    return err(format!(
+                        "result kind {:?} disagrees with `{}` returning {:?} \
+                         (missing `retype_calls`?)",
+                        f.ty(i),
+                        target.name,
+                        target.ret_ty
+                    ));
+                }
+            }
+        }
+        verify(f).map_err(|e| VerifyError(format!("fn {fid}: {}", e.0)))?;
+    }
     Ok(())
 }
 
@@ -284,6 +360,103 @@ mod tests {
         let s = f.append(e, InstKind::Copy(ghost));
         f.blocks[e].term = Terminator::Return(Some(s));
         assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_region_with_dangling_block() {
+        // Hand-corrupted: a region membership set naming a block that was
+        // never created — the shape a buggy inline would leave behind.
+        let mut f = Function::new("dangle", vec![Ty::Int], Ty::Int);
+        let e = f.entry;
+        let p = f.append(e, InstKind::Param(0));
+        f.blocks[e].term = Terminator::Return(Some(p));
+        let mut blocks = IdSet::new();
+        blocks.insert(e);
+        blocks.insert(BlockId::from_index(17));
+        f.regions.push(crate::func::DynRegion {
+            entry: e,
+            blocks,
+            const_roots: vec![p],
+            key_roots: vec![],
+        });
+        f.is_ssa = true;
+        let err = verify(&f).unwrap_err();
+        assert!(err.0.contains("nonexistent block"), "{err}");
+    }
+
+    #[test]
+    fn rejects_region_with_unrenamed_root() {
+        // Hand-corrupted: a const root naming an unplaced value — an
+        // un-renamed id from another function's instruction pool.
+        let mut f = Function::new("unrooted", vec![Ty::Int], Ty::Int);
+        let e = f.entry;
+        let p = f.append(e, InstKind::Param(0));
+        f.blocks[e].term = Terminator::Return(Some(p));
+        let ghost = f.create_inst(InstKind::Const(crate::ops::Const::Int(9)));
+        let mut blocks = IdSet::new();
+        blocks.insert(e);
+        f.regions.push(crate::func::DynRegion {
+            entry: e,
+            blocks,
+            const_roots: vec![ghost],
+            key_roots: vec![],
+        });
+        f.is_ssa = true;
+        let err = verify(&f).unwrap_err();
+        assert!(err.0.contains("not placed"), "{err}");
+    }
+
+    #[test]
+    fn module_verify_rejects_arity_and_type_mismatch() {
+        use crate::func::Module;
+        use crate::ids::FuncId;
+
+        let mk_caller = |nargs: usize| {
+            let mut caller = Function::new("caller", vec![Ty::Int], Ty::Int);
+            let e = caller.entry;
+            let p = caller.append(e, InstKind::Param(0));
+            let call = caller.append(
+                e,
+                InstKind::Call {
+                    callee: FuncId::from_index(1),
+                    args: vec![p; nargs],
+                },
+            );
+            caller.blocks[e].term = Terminator::Return(Some(call));
+            caller.is_ssa = true;
+            caller
+        };
+        let callee = |ret| {
+            let mut h = Function::new("helper", vec![Ty::Int], ret);
+            let e = h.entry;
+            let p = h.append(e, InstKind::Param(0));
+            h.blocks[e].term = Terminator::Return(Some(p));
+            h.is_ssa = true;
+            h
+        };
+
+        // Arity mismatch.
+        let mut m = Module::new();
+        m.funcs.push(mk_caller(2));
+        m.funcs.push(callee(Ty::Int));
+        m.retype_calls();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.0.contains("expects 1 arguments, got 2"), "{err}");
+
+        // Stale call type (retype_calls not re-run).
+        let mut m = Module::new();
+        m.funcs.push(mk_caller(1)); // call ty defaults to Int
+        m.funcs.push(callee(Ty::Float));
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.0.contains("retype_calls"), "{err}");
+        m.retype_calls();
+        verify_module(&m).unwrap();
+
+        // Nonexistent callee.
+        let mut m = Module::new();
+        m.funcs.push(mk_caller(1));
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.0.contains("does not exist"), "{err}");
     }
 
     #[test]

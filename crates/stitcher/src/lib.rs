@@ -803,6 +803,13 @@ impl Stitcher<'_> {
                 self.known_load_at.remove(&inst.rc);
             }
         }
+        // A subroutine call clobbers every caller-saved register the
+        // callee may touch; templates with calls (demand-driven inlining
+        // leftovers) must not carry constant knowledge across one.
+        if matches!(inst.op, Op::Jsr | Op::Jmp) {
+            self.reg_known.clear();
+            self.known_load_at.clear();
+        }
     }
 
     /// Attempt a block's precompiled copy-and-patch plan. Returns `Ok(true)`
