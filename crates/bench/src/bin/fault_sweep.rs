@@ -126,6 +126,13 @@ fn options_for(point: FaultPoint, warmed: &Arc<SharedCodeCache>) -> EngineOption
         FaultPoint::NativeArenaExhausted => {
             options.native = true;
         }
+        // Chain-patch faults need chain requests, which need the native
+        // backend requested (chaining is on by default). The fault fires
+        // in `request_chain` before any backend-availability check, so
+        // this row too is exercised on every host.
+        FaultPoint::NativeChainPatch => {
+            options.native = true;
+        }
         _ => {}
     }
     options

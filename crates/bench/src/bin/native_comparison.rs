@@ -1,28 +1,34 @@
-//! Host wall-clock comparison of the three execution backends over the
+//! Host wall-clock comparison of the execution backends over the
 //! Table 2 kernels: the statically compiled baseline on the VM
 //! (`interp`), dynamic compilation executed on the VM (`vm_stitched`),
 //! and dynamic compilation executed through the host-native
-//! copy-and-patch backend (`native_stitched`), plus the native
-//! translation cost per SimAlpha instruction.
+//! copy-and-patch backend both with direct-threaded chaining (the
+//! default, `native_chained`) and with chaining disabled (the ablation,
+//! `native_unchained`), plus the native translation cost per SimAlpha
+//! instruction.
 //!
-//! Everything *simulated* is asserted bit-identical across the three
-//! runs — checksums must agree, and the two dynamic runs must agree on
-//! simulated cycles ([`dyncomp::run_session_differential`] enforces
-//! both). Only host nanoseconds differ; each configuration is run
-//! `--repeat` times (default 3) and the minimum wall-clock is reported,
-//! the standard way to suppress scheduler noise in a determinism-pinned
-//! workload.
+//! Everything *simulated* is asserted bit-identical across all runs —
+//! checksums must agree, and each dynamic run must agree with the VM
+//! oracle on simulated cycles ([`dyncomp::run_session_differential`]
+//! enforces both, once per chain mode). Only host nanoseconds differ;
+//! each configuration is run `--repeat` times (default 3) and the
+//! minimum wall-clock is reported, the standard way to suppress
+//! scheduler noise in a determinism-pinned workload.
 //!
 //! Usage: `cargo run --release -p dyncomp-bench --bin native_comparison
 //! [--smoke] [--repeat N] [--json <path>] [--check <path>]`
 //!
 //! The rendered document is validated with the in-tree JSON checker
 //! before it is written. `--check <path>` compares the *deterministic*
-//! fields (kernel, config, iterations, checksum, checksums_match)
-//! against a committed reference — wall-clock fields are host noise and
-//! are exempt from the drift gate. On hosts without the native backend
-//! the native half runs on the VM, `native_active` is false, and the
-//! wall-clock columns simply coincide; checksums still gate.
+//! fields (kernel, config, iterations, checksum, checksums_match, and
+//! the simulated dispatch split `native_entries` / `native_chained` /
+//! `unchained_entries`) against a reference — wall-clock fields are
+//! host noise and are exempt from the drift gate. On hosts without the
+//! native backend the native halves run on the VM, `native_active` is
+//! false, and the wall-clock columns simply coincide; checksums still
+//! gate (the dispatch-split counters are host-dependent, so `--check`
+//! is meaningful against a same-host reference — CI runs the bench
+//! twice and diffs).
 
 use dyncomp::{run_session_differential, run_session_timed, Compiler, EngineOptions, KernelSetup};
 use dyncomp_bench::kernels::{calculator, dispatch, smatmul, sorter, spmv};
@@ -110,16 +116,20 @@ struct Row {
     iterations: u64,
     checksum: u64,
     checksums_match: bool,
+    native_entries: u64,
+    native_chained: u64,
+    unchained_entries: u64,
     interp_ns: u64,
     vm_stitched_ns: u64,
-    native_stitched_ns: u64,
+    native_chained_ns: u64,
+    native_unchained_ns: u64,
     native_speedup_vs_vm: f64,
+    chain_speedup: f64,
     translate_ns: u64,
     translated_instructions: u64,
     covered_instructions: u64,
     translate_ns_per_instruction: f64,
     native_installs: u64,
-    native_entries: u64,
     native_declined: u64,
     native_bytes: u64,
     native_active: bool,
@@ -131,12 +141,15 @@ impl Row {
             concat!(
                 "{{\"kernel\": {}, \"config\": {}, \"iterations\": {}, ",
                 "\"checksum\": {}, \"checksums_match\": {}, ",
+                "\"native_entries\": {}, \"native_chained\": {}, ",
+                "\"unchained_entries\": {}, ",
                 "\"interp_ns\": {}, \"vm_stitched_ns\": {}, ",
-                "\"native_stitched_ns\": {}, \"native_speedup_vs_vm\": {:.4}, ",
+                "\"native_chained_ns\": {}, \"native_unchained_ns\": {}, ",
+                "\"native_speedup_vs_vm\": {:.4}, \"chain_speedup\": {:.4}, ",
                 "\"translate_ns\": {}, \"translated_instructions\": {}, ",
                 "\"covered_instructions\": {}, ",
                 "\"translate_ns_per_instruction\": {:.4}, ",
-                "\"native_installs\": {}, \"native_entries\": {}, ",
+                "\"native_installs\": {}, ",
                 "\"native_declined\": {}, \"native_bytes\": {}, ",
                 "\"native_active\": {}}}"
             ),
@@ -145,16 +158,20 @@ impl Row {
             self.iterations,
             self.checksum,
             self.checksums_match,
+            self.native_entries,
+            self.native_chained,
+            self.unchained_entries,
             self.interp_ns,
             self.vm_stitched_ns,
-            self.native_stitched_ns,
+            self.native_chained_ns,
+            self.native_unchained_ns,
             self.native_speedup_vs_vm,
+            self.chain_speedup,
             self.translate_ns,
             self.translated_instructions,
             self.covered_instructions,
             self.translate_ns_per_instruction,
             self.native_installs,
-            self.native_entries,
             self.native_declined,
             self.native_bytes,
             self.native_active,
@@ -162,17 +179,23 @@ impl Row {
     }
 
     /// The deterministic prefix the drift gate compares (wall-clock
-    /// fields are host noise). Matches the rendered object's field
-    /// order: everything before `interp_ns`.
+    /// fields are host noise; the dispatch-split counters are simulated
+    /// and repeat-stable on a given host). Matches the rendered
+    /// object's field order: everything before `interp_ns`.
     fn deterministic_key(&self) -> String {
         format!(
             "{{\"kernel\": {}, \"config\": {}, \"iterations\": {}, \
-             \"checksum\": {}, \"checksums_match\": {}",
+             \"checksum\": {}, \"checksums_match\": {}, \
+             \"native_entries\": {}, \"native_chained\": {}, \
+             \"unchained_entries\": {}",
             json_str(self.kernel),
             json_str(&self.config),
             self.iterations,
             self.checksum,
-            self.checksums_match
+            self.checksums_match,
+            self.native_entries,
+            self.native_chained,
+            self.unchained_entries,
         )
     }
 }
@@ -217,10 +240,10 @@ fn main() {
     let scale = if smoke { "Smoke" } else { "Paper" };
     println!("Backend wall-clock comparison ({scale} scale, best of {repeat})");
     println!(
-        "{:<12} | {:<28} | {:>12} | {:>12} | {:>12} | {:>7} | {:>9} | match",
-        "kernel", "config", "interp ns", "vm ns", "native ns", "nat/vm", "ns/instr",
+        "{:<12} | {:<28} | {:>12} | {:>12} | {:>12} | {:>12} | {:>7} | {:>7} | match",
+        "kernel", "config", "interp ns", "vm ns", "chained ns", "unchain ns", "nat/vm", "chain x",
     );
-    println!("{}", "-".repeat(116));
+    println!("{}", "-".repeat(128));
 
     let mut rows = Vec::new();
     let mut bad = 0u32;
@@ -238,23 +261,40 @@ fn main() {
 
         let mut interp_ns = u64::MAX;
         let mut vm_ns = u64::MAX;
-        let mut native_ns = u64::MAX;
+        let mut chained_ns = u64::MAX;
+        let mut unchained_ns = u64::MAX;
         let mut checksum = 0u64;
         let mut matches = true;
-        let mut native = dyncomp::NativeReport::default();
+        let mut chained = dyncomp::NativeReport::default();
+        let mut unchained = dyncomp::NativeReport::default();
+        let ablation = EngineOptions {
+            native_chain: false,
+            ..EngineOptions::default()
+        };
         for _ in 0..repeat {
             let interp = run_session_timed(&static_prog, &w.setup, EngineOptions::default())
                 .unwrap_or_else(|e| panic!("{} interp run: {e}", w.kernel));
-            // The differential asserts vm/native checksum and simulated-
+            // Each differential asserts vm/native checksum and simulated-
             // cycle equality internally; a divergence aborts the bench.
+            // The chain modes are exercised separately: direct-threaded
+            // chaining (the default) and the VM-dispatch ablation.
             let d = run_session_differential(&dynamic_prog, &w.setup, EngineOptions::default())
-                .unwrap_or_else(|e| panic!("{} differential: {e}", w.kernel));
+                .unwrap_or_else(|e| panic!("{} differential (chained): {e}", w.kernel));
+            let u = run_session_differential(&dynamic_prog, &w.setup, ablation.clone())
+                .unwrap_or_else(|e| panic!("{} differential (unchained): {e}", w.kernel));
+            assert_eq!(
+                d.native.outcome.checksum, u.native.outcome.checksum,
+                "{}: chain modes disagree",
+                w.kernel
+            );
             interp_ns = interp_ns.min(interp.wall_ns);
-            vm_ns = vm_ns.min(d.vm.wall_ns);
-            native_ns = native_ns.min(d.native.wall_ns);
+            vm_ns = vm_ns.min(d.vm.wall_ns.min(u.vm.wall_ns));
+            chained_ns = chained_ns.min(d.native.wall_ns);
+            unchained_ns = unchained_ns.min(u.native.wall_ns);
             checksum = d.native.outcome.checksum;
             matches &= interp.outcome.checksum == d.native.outcome.checksum;
-            native = d.native.native;
+            chained = d.native.native;
+            unchained = u.native.native;
         }
         if !matches {
             bad += 1;
@@ -263,25 +303,31 @@ fn main() {
                 w.kernel
             );
         }
-        let per_instr = if native.translated_instructions > 0 {
-            native.translate_ns as f64 / native.translated_instructions as f64
+        let per_instr = if chained.translated_instructions > 0 {
+            chained.translate_ns as f64 / chained.translated_instructions as f64
         } else {
             0.0
         };
-        let speedup = if native_ns > 0 {
-            vm_ns as f64 / native_ns as f64
+        let speedup = if chained_ns > 0 {
+            vm_ns as f64 / chained_ns as f64
+        } else {
+            0.0
+        };
+        let chain_speedup = if chained_ns > 0 {
+            unchained_ns as f64 / chained_ns as f64
         } else {
             0.0
         };
         println!(
-            "{:<12} | {:<28} | {:>12} | {:>12} | {:>12} | {:>6.2}x | {:>9.1} | {}",
+            "{:<12} | {:<28} | {:>12} | {:>12} | {:>12} | {:>12} | {:>6.2}x | {:>6.2}x | {}",
             w.kernel,
             w.config,
             interp_ns,
             vm_ns,
-            native_ns,
+            chained_ns,
+            unchained_ns,
             speedup,
-            per_instr,
+            chain_speedup,
             if matches { "ok" } else { "DRIFT" },
         );
         rows.push(Row {
@@ -290,19 +336,23 @@ fn main() {
             iterations: w.setup.iterations,
             checksum,
             checksums_match: matches,
+            native_entries: chained.entries,
+            native_chained: chained.chained,
+            unchained_entries: unchained.entries,
             interp_ns,
             vm_stitched_ns: vm_ns,
-            native_stitched_ns: native_ns,
+            native_chained_ns: chained_ns,
+            native_unchained_ns: unchained_ns,
             native_speedup_vs_vm: speedup,
-            translate_ns: native.translate_ns,
-            translated_instructions: native.translated_instructions,
-            covered_instructions: native.covered_instructions,
+            chain_speedup,
+            translate_ns: chained.translate_ns,
+            translated_instructions: chained.translated_instructions,
+            covered_instructions: chained.covered_instructions,
             translate_ns_per_instruction: per_instr,
-            native_installs: native.installs,
-            native_entries: native.entries,
-            native_declined: native.declined,
-            native_bytes: native.bytes,
-            native_active: native.active,
+            native_installs: chained.installs,
+            native_declined: chained.declined,
+            native_bytes: chained.bytes,
+            native_active: chained.active,
         });
     }
 

@@ -13,7 +13,7 @@
 //! pinned-checksum assertions still hold.
 
 use dyncomp::{run_session_differential, Compiler, EngineOptions, KernelSetup, TieredOptions};
-use dyncomp_bench::kernels::{calculator, dispatch, smatmul, sorter, spmv};
+use dyncomp_bench::kernels::{calculator, dispatch, protomsg, queryexec, smatmul, sorter, spmv};
 use std::sync::Arc;
 
 /// The smoke-scale Table 2 configurations, in `BENCH_table2_smoke.json`
@@ -93,7 +93,19 @@ fn sweep(mode: &str, options: &EngineOptions, tiered_artifact: bool) {
 
 #[test]
 fn sync_mode_matches_oracle_and_reference() {
+    // Chaining is on by default: this is the chained-mode sweep.
     sweep("sync", &EngineOptions::default(), false);
+}
+
+#[test]
+fn unchained_mode_matches_oracle_and_reference() {
+    // `--no-native-chain` ablation: the per-instance dispatch path must
+    // still match the oracle and the committed reference on its own.
+    let options = EngineOptions {
+        native_chain: false,
+        ..EngineOptions::default()
+    };
+    sweep("unchained", &options, false);
 }
 
 #[test]
@@ -104,6 +116,68 @@ fn tiered_mode_matches_oracle_and_reference() {
 #[test]
 fn speculate_mode_matches_oracle_and_reference() {
     sweep("speculate", &tiered_options(true), true);
+}
+
+/// The cross-function inlining workloads — whose opened regions span
+/// call boundaries — must match the oracle in both chain modes, and the
+/// two modes must agree with each other (chaining is a pure host-speed
+/// substitution; every simulated quantity is identical).
+#[test]
+fn inline_workloads_match_oracle_in_both_chain_modes() {
+    for (name, setup) in [
+        ("protomsg", protomsg::setup(8, 40)),
+        ("queryexec", queryexec::setup(6, 30, 5)),
+    ] {
+        let program = Arc::new(
+            Compiler::with_inline_depth(2)
+                .compile(setup.src)
+                .expect("kernel compiles"),
+        );
+        let chained = run_session_differential(&program, &setup, EngineOptions::default())
+            .unwrap_or_else(|e| panic!("{name} (chained): {e}"));
+        let unchained_opts = EngineOptions {
+            native_chain: false,
+            ..EngineOptions::default()
+        };
+        let unchained = run_session_differential(&program, &setup, unchained_opts)
+            .unwrap_or_else(|e| panic!("{name} (unchained): {e}"));
+        assert_eq!(
+            chained.native.outcome.checksum, unchained.native.outcome.checksum,
+            "{name}: chain mode changed the checksum"
+        );
+        assert_eq!(
+            chained.native.outcome.total_cycles, unchained.native.outcome.total_cycles,
+            "{name}: chain mode changed simulated cycles"
+        );
+    }
+}
+
+/// The tentpole's observable effect: with chaining on, the sorter's
+/// VM-dispatched native entries collapse to roughly its iteration count
+/// (control stays native across the comparator's exit-and-re-enter
+/// loop), while the unchained session re-dispatches every comparison.
+#[test]
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+fn chained_sorter_collapses_vm_dispatches() {
+    let setup = sorter::setup(40, 4, 5);
+    let program = Arc::new(Compiler::new().compile(setup.src).expect("compiles"));
+    let d = run_session_differential(&program, &setup, EngineOptions::default()).expect("runs");
+    let unchained_opts = EngineOptions {
+        native_chain: false,
+        ..EngineOptions::default()
+    };
+    let u = run_session_differential(&program, &setup, unchained_opts).expect("runs");
+    let (chained, unchained) = (d.native.native, u.native.native);
+    assert!(
+        chained.chained > 0,
+        "sorter must chain transfers: {chained:?}"
+    );
+    assert!(
+        chained.entries * 50 < unchained.entries,
+        "chaining must collapse VM dispatches ({} vs {})",
+        chained.entries,
+        unchained.entries
+    );
 }
 
 /// The native backend installs real instances and reports coverage on a

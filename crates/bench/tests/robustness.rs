@@ -271,8 +271,14 @@ fn byte_budget_accounts_native_stub_bytes() {
     let (clean, vm_session) = run(EngineOptions::default(), 12);
     let vm_bytes = vm_session.health().code_bytes_installed;
 
+    // Chaining off: the exact-surplus equality below pins the unchained
+    // accounting, where every backend byte is a budget-charged install.
+    // (The chained mode adds a whole-static-code snapshot that shows up
+    // in `NativeReport::bytes` but is deliberately not budget-charged —
+    // it is baseline code, not an optimized install.)
     let native_options = EngineOptions {
         native: true,
+        native_chain: false,
         ..EngineOptions::default()
     };
     let (checksum, native_session) = run(native_options, 12);
@@ -294,6 +300,7 @@ fn byte_budget_accounts_native_stub_bytes() {
         // past-budget keys run the fallback, results unchanged.
         let options = EngineOptions {
             native: true,
+            native_chain: false,
             recovery: RecoveryPolicy {
                 code_budget_bytes: Some(vm_bytes),
                 ..RecoveryPolicy::default()

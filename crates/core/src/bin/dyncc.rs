@@ -4,7 +4,8 @@
 //! dyncc <file.mc> [--ir] [--templates] [--disasm] [--regions]
 //!                 [--static] [--run <func> [args…]] [--report] [--stitched]
 //!                 [--sessions N] [--threads T] [--shared-cache] [--native]
-//!                 [--tiered] [--stitch-workers N] [--speculate]
+//!                 [--no-native-chain] [--tiered] [--stitch-workers N]
+//!                 [--speculate]
 //! ```
 //!
 //! * `--ir`        print the final IR of every function
@@ -55,6 +56,12 @@
 //!   the VM backend — the VM remains the cycle oracle — and a backend
 //!   summary is printed afterwards. On unsupported hosts the session
 //!   degrades to the VM with one `backend-unavailable` health entry.
+//!   Direct-threaded chaining is on by default: installed instances
+//!   jump straight to each other (and through patched region-entry
+//!   guards) without bouncing through the VM dispatch loop.
+//! * `--no-native-chain` with `--native`, disable direct-threaded
+//!   chaining (the ablation: every native exit returns to the VM loop
+//!   and re-dispatches from there)
 
 use dyncomp::{
     CompileOptions, Compiler, Engine, EngineOptions, FaultPlan, InlineOptions, RecoveryPolicy,
@@ -335,6 +342,7 @@ fn main() {
             exit(2);
         }
         let native = flag("--native");
+        let native_chain = !flag("--no-native-chain");
         if sessions > 1 || flag("--shared-cache") {
             if trace_out.is_some() {
                 eprintln!(
@@ -353,6 +361,7 @@ fn main() {
                 fault_seed.map(FaultPlan::seeded),
                 recovery,
                 native,
+                native_chain,
             );
             return;
         }
@@ -365,6 +374,7 @@ fn main() {
                 faults: fault_seed.map(FaultPlan::seeded),
                 recovery,
                 native,
+                native_chain,
                 ..EngineOptions::default()
             },
         );
@@ -392,11 +402,13 @@ fn main() {
             if n.active {
                 println!(
                     "\nnative backend: {} instance(s) installed ({} bytes), {} declined, \
-                     {} dispatch(es); {}/{} instruction(s) covered, translated in {} ns",
+                     {} dispatch(es), {} chained transfer(s); {}/{} instruction(s) covered, \
+                     translated in {} ns",
                     n.installs,
                     n.bytes,
                     n.declined,
                     n.entries,
+                    n.chained,
                     n.covered_instructions,
                     n.translated_instructions,
                     n.translate_ns
@@ -581,6 +593,7 @@ fn run_multi_session(
     faults: Option<FaultPlan>,
     recovery: RecoveryPolicy,
     native: bool,
+    native_chain: bool,
 ) {
     let cache = shared.then(|| Arc::new(SharedCodeCache::default()));
     let mut rows: Vec<Option<Result<SessionRow, dyncomp::Error>>> = (0..n).map(|_| None).collect();
@@ -599,6 +612,7 @@ fn run_multi_session(
                         faults: faults.clone(),
                         recovery: recovery.clone(),
                         native,
+                        native_chain,
                         ..EngineOptions::default()
                     };
                     let mut session = Session::with_options(Arc::clone(program), options);

@@ -121,6 +121,21 @@ pub struct EngineOptions {
     /// records one `backend-unavailable` health entry and runs entirely
     /// on the VM. Off by default.
     pub native: bool,
+    /// Direct-threaded native dispatch (only meaningful with `native`):
+    /// the whole static code region is installed as one native instance,
+    /// `Jmp`/`Jsr` lower through a pc → host-entry dispatch table, and
+    /// after each install the exit blobs of covered instances are
+    /// back-patched into direct jumps, so hot control flow transfers
+    /// between native instances without bouncing through the VM loop.
+    /// Keyed `EnterRegion` traps additionally get patchable monomorphic
+    /// inline-cache guards (when no keyed-cache capacity bound and no
+    /// tiering is configured, whose bookkeeping needs the trap). Chained
+    /// transfers charge *exactly* the simulated cycles and fuel the
+    /// VM-dispatched path would, so all simulated quantities stay
+    /// bit-identical. On by default; `false` reproduces the PR 6
+    /// one-instance-per-dispatch behaviour (the `--no-native-chain`
+    /// ablation).
+    pub native_chain: bool,
 }
 
 impl Default for EngineOptions {
@@ -140,9 +155,18 @@ impl Default for EngineOptions {
             faults: None,
             recovery: RecoveryPolicy::default(),
             native: false,
+            native_chain: true,
         }
     }
 }
+
+/// Native dispatches within a single `call` before the whole-static-code
+/// instance is installed (chain mode). Kernels that bounce between
+/// native instances and the VM loop cross this within their first
+/// post-install call; kernels that enter native once per call never do,
+/// and never pay the snapshot's one-time translate cost. Purely a
+/// host-side heuristic: simulated cycles are identical either way.
+const STATIC_CHAIN_THRESHOLD: u64 = 4;
 
 /// Per-session state of the host-native backend (`Some` iff
 /// [`EngineOptions::native`] was set). All counters are host-side
@@ -166,6 +190,34 @@ struct NativeState {
     translate_ns: u64,
     translated_instructions: u64,
     covered_instructions: u64,
+    /// Whether the whole-static-code instance install was attempted
+    /// (chain mode; tried once, lazily, when a single call shows
+    /// repeated native dispatches — the VM-bounce pattern chaining
+    /// exists to collapse).
+    static_attempted: bool,
+    /// One past the last static code word, snapshotted at session build
+    /// (everything past it is dynamically installed).
+    static_end: u32,
+    /// Pristine static code words, snapshotted at session build (chain
+    /// mode). The whole-static-code instance is translated from this
+    /// copy, not the live code space: by the time the bounce heuristic
+    /// fires, trap retirement may already have patched `EnterRegion`
+    /// words into branches, and the guard-sled protocol is defined
+    /// against the original traps. Consumed (freed) by the install.
+    static_code: Vec<u32>,
+    /// Value of `entries` when the current `call` started; the install
+    /// heuristic compares against it to detect repeated dispatches
+    /// within one call.
+    call_entries: u64,
+    /// pcs marked for native dispatch, per install base — retired when
+    /// the instance is severed so the VM never bounces on a dead pc.
+    marks: FxHashMap<u32, Vec<u32>>,
+    /// Install base → owning region ([`crate::STATIC_REGION`] for the
+    /// static-code instance), for attributing chained transfers.
+    region_of: FxHashMap<u32, u16>,
+    /// Direct transfers attributed to the static-code instance (it has
+    /// no per-region report row).
+    static_chained: u64,
 }
 
 impl NativeState {
@@ -181,6 +233,13 @@ impl NativeState {
             translate_ns: 0,
             translated_instructions: 0,
             covered_instructions: 0,
+            static_attempted: false,
+            static_end: 0,
+            static_code: Vec::new(),
+            call_entries: 0,
+            marks: FxHashMap::default(),
+            region_of: FxHashMap::default(),
+            static_chained: 0,
         }
     }
 }
@@ -200,8 +259,13 @@ pub struct NativeReport {
     /// Instances declined because their entry instruction does not lower
     /// natively (they stay on the VM backend).
     pub declined: u64,
-    /// Native dispatches served ([`Stop::Native`] handled).
+    /// Native dispatches served through the VM loop that made progress
+    /// (a bail-out straight back to the dispatch pc does not count).
     pub entries: u64,
+    /// Direct (chained) transfers between native instances: back-patched
+    /// exit jumps, dispatch-table `Jmp`/`Jsr`, and guard hits. Zero when
+    /// [`EngineOptions::native_chain`] is off.
+    pub chained: u64,
     /// Host bytes currently installed in the arena.
     pub bytes: u64,
     /// Host nanoseconds spent translating instances.
@@ -282,6 +346,9 @@ struct RegionState {
     /// Compile-time inline sites replayed by this session's synchronous
     /// stitches (one per site per stitch).
     inlined_calls: u64,
+    /// Direct (chained) native transfers taken by dispatches that entered
+    /// through this region's instances.
+    native_chained: u64,
 }
 
 /// Per-region measurement report (feeds Table 2 / Table 3).
@@ -325,6 +392,9 @@ pub struct RegionReport {
     /// Compile-time inline sites replayed by this session's synchronous
     /// stitches ([`crate::Program::inline_sites`] × stitches).
     pub inlined_calls: u64,
+    /// Direct (chained) native transfers taken by dispatches that entered
+    /// through this region's instances (zero without `native_chain`).
+    pub native_chained: u64,
 }
 
 /// One execution session over a shared, immutable [`Program`].
@@ -392,7 +462,18 @@ impl<P: Borrow<Program>> Session<P> {
             .as_ref()
             .map(|plan| Box::new(FaultState::new(plan)));
         let recovery = RecoveryState::new(options.recovery.clone(), p.compiled.regions.len());
-        let native = options.native.then(|| Box::new(NativeState::new()));
+        let mut native = options.native.then(|| Box::new(NativeState::new()));
+        if let Some(ns) = native.as_deref_mut() {
+            // Snapshot the static-code extent before any dynamic install
+            // grows the code space (chain mode translates exactly this
+            // window as one instance), and keep a pristine copy of the
+            // words themselves — the lazy install may fire after trap
+            // retirement has patched some of them.
+            ns.static_end = vm.code.len() as u32;
+            if options.native_chain {
+                ns.static_code = vm.code.clone();
+            }
+        }
         Session {
             program,
             vm,
@@ -421,6 +502,12 @@ impl<P: Borrow<Program>> Session<P> {
     /// # Errors
     /// VM faults, stitching failures, unknown names.
     pub fn call(&mut self, name: &str, args: &[u64]) -> Result<u64, Error> {
+        if let Some(ns) = self.native.as_deref_mut() {
+            // Call boundary for the static-instance install heuristic:
+            // only repeated dispatches *within* one call count as the
+            // bounce pattern worth paying the snapshot translate for.
+            ns.call_entries = ns.entries;
+        }
         let entry = self
             .program
             .borrow()
@@ -462,14 +549,62 @@ impl<P: Borrow<Program>> Session<P> {
     /// the pc back to the interpreter exactly once
     /// ([`Vm::skip_native_once`]), so execution always advances.
     fn native_dispatch(&mut self, at: u32) -> Result<(), Error> {
-        let Some(ns) = self.native.as_mut() else {
+        if self.native.is_none() {
             // A stale mark with no backend (cannot happen through the
             // public API): retire it and interpret.
             self.vm.unmark_native(at);
             return Ok(());
+        }
+        let (out, delta, region) = {
+            let ns = self.native.as_mut().expect("checked above");
+            let before = ns.backend.chained();
+            let out = ns.backend.run(at, &mut self.vm);
+            let delta = ns.backend.chained() - before;
+            let region = ns
+                .backend
+                .base_of(at)
+                .and_then(|b| ns.region_of.get(&b).copied());
+            (out, delta, region)
         };
-        ns.entries += 1;
-        match ns.backend.run(at, &mut self.vm) {
+        // An entry is a dispatch that made progress: a bail-out straight
+        // back to the dispatch pc (fuel too short for the first block)
+        // and a raced eviction are not entries.
+        let progressed = match out {
+            dyncomp_native::RunOutcome::Missing => false,
+            dyncomp_native::RunOutcome::Exit { pc } => pc != at || delta > 0,
+            _ => true,
+        };
+        if progressed {
+            let ns = self.native.as_mut().expect("checked above");
+            ns.entries += 1;
+            // The bounce heuristic: one call re-dispatching this often
+            // is ping-ponging between native code and the VM loop, so
+            // the one-time static-snapshot translate will pay for
+            // itself. Kernels that enter native once per call never
+            // trip it and never pay.
+            if !ns.static_attempted && ns.entries - ns.call_entries >= STATIC_CHAIN_THRESHOLD {
+                self.install_static_native();
+            }
+        }
+        if delta > 0 {
+            match region {
+                Some(r) if (r as usize) < self.regions.len() => {
+                    self.regions[r as usize].native_chained += delta;
+                    self.tr(EventKind::NativeChained {
+                        region: r,
+                        count: delta,
+                    });
+                }
+                _ => {
+                    self.native.as_mut().expect("checked above").static_chained += delta;
+                    self.tr(EventKind::NativeChained {
+                        region: crate::STATIC_REGION,
+                        count: delta,
+                    });
+                }
+            }
+        }
+        match out {
             dyncomp_native::RunOutcome::Exit { pc } => {
                 if pc == at {
                     self.vm.skip_native_once(at);
@@ -496,12 +631,261 @@ impl<P: Borrow<Program>> Session<P> {
     fn translate_native(&mut self, base: u32, len: u32) -> dyncomp_native::Artifact {
         let start = Instant::now();
         let code = &self.vm.code[base as usize..(base as usize + len as usize)];
-        let artifact = dyncomp_native::translate(code, base, &self.vm.model);
+        // Chain mode lowers Jmp/Jsr through the dispatch table; region
+        // instances carry no guard sleds (those live in the static-code
+        // instance, in front of the EnterRegion traps themselves).
+        let spec = dyncomp_native::ChainSpec {
+            indirect: self.options.native_chain,
+            guards: Vec::new(),
+            leaders: Vec::new(),
+        };
+        let artifact = dyncomp_native::translate_with(code, base, &self.vm.model, &spec);
         let ns = self.native.as_mut().expect("caller checked native state");
         ns.translate_ns += start.elapsed().as_nanos() as u64;
         ns.translated_instructions += u64::from(artifact.instructions);
         ns.covered_instructions += u64::from(artifact.covered);
         artifact
+    }
+
+    /// Whether `EnterRegion` inline-cache guards may be patched: a guard
+    /// hit bypasses the trap handler, so it is only bit-identical when
+    /// nothing on the hit path has observable state — no keyed-cache LRU
+    /// to touch (capacity bound) and no key predictor to feed (tiering).
+    fn guards_enabled(&self) -> bool {
+        self.options.native_chain
+            && self.options.keyed_cache_capacity.is_none()
+            && self.options.tiered.is_none()
+    }
+
+    /// Install the whole static code region as one native instance
+    /// (chain mode): every supported block leader becomes a dispatch
+    /// point and a published chain target, `Jmp`/`Jsr` thread through
+    /// the dispatch table, and keyed `EnterRegion` pcs reserve
+    /// patchable guard sleds. Attempted once, lazily, when the bounce
+    /// heuristic fires ([`STATIC_CHAIN_THRESHOLD`] dispatches within one
+    /// call); a decline (nothing lowered, arena refused) leaves the
+    /// session on the PR 6 per-instance path. Translation reads the
+    /// pristine session-build snapshot, so traps retired before the
+    /// install still appear as `EnterRegion` words — their guard sleds
+    /// are armed retroactively below.
+    fn install_static_native(&mut self) {
+        if !self.options.native_chain {
+            return;
+        }
+        let Some(ns) = self.native.as_deref() else {
+            return;
+        };
+        if ns.static_attempted || ns.disabled {
+            return;
+        }
+        let end = ns.static_end;
+        self.native
+            .as_deref_mut()
+            .expect("checked above")
+            .static_attempted = true;
+        if !dyncomp_native::available() || end == 0 {
+            // `maybe_install_native` reports host unavailability once.
+            return;
+        }
+        let guards: Vec<dyncomp_native::GuardSpec> = if self.guards_enabled() {
+            self.program
+                .borrow()
+                .compiled
+                .regions
+                .iter()
+                .filter(|rc| rc.enter_pc < end)
+                .map(|rc| dyncomp_native::GuardSpec {
+                    pc: rc.enter_pc,
+                    keys: rc.key_locs.iter().map(keyslot).collect(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Region exit continuations must be block leaders: a stitched
+        // instance's patched exit blob can only land on a block head
+        // (where the block's fuel and cycles are charged), and the
+        // static control flow alone often leaves those pcs mid-block.
+        let leaders: Vec<u32> = self
+            .program
+            .borrow()
+            .compiled
+            .regions
+            .iter()
+            .flat_map(|rc| rc.exit_pcs.iter().copied())
+            .collect();
+        let spec = dyncomp_native::ChainSpec {
+            indirect: true,
+            guards,
+            leaders,
+        };
+        let start = Instant::now();
+        let snapshot = std::mem::take(
+            &mut self
+                .native
+                .as_deref_mut()
+                .expect("checked above")
+                .static_code,
+        );
+        let artifact = {
+            let code = &snapshot[..end as usize];
+            dyncomp_native::translate_with(code, 0, &self.vm.model, &spec)
+        };
+        let ns = self.native.as_deref_mut().expect("checked above");
+        ns.translate_ns += start.elapsed().as_nanos() as u64;
+        ns.translated_instructions += u64::from(artifact.instructions);
+        ns.covered_instructions += u64::from(artifact.covered);
+        if ns.backend.install_any(0, &artifact).is_err() {
+            return;
+        }
+        ns.installs += 1;
+        ns.region_of.insert(0, crate::STATIC_REGION);
+        // Deliberately mark *no* VM dispatch pc for the static snapshot:
+        // marking every leader would hand the VM off into many short
+        // native runs (one per stretch between unsupported ops), and the
+        // per-dispatch FFI overhead of those bounces costs more than the
+        // VM interpreting the same stretch. The snapshot is reached only
+        // through chained transfers — dispatch-table jumps and patched
+        // exits from region instances, and patched entry guards — where
+        // control is already native and the transfer is a bare `jmp`.
+        ns.marks.insert(0, Vec::new());
+        ns.backend.chain(0);
+        // Unkeyed regions whose trap retired before this install left
+        // their guard sleds unarmed (retirement arms the guard, but the
+        // sled did not exist yet). Arm them now; keyed guards re-arm on
+        // the next cache hit without help.
+        let retired: Vec<(u16, u32)> = self
+            .program
+            .borrow()
+            .compiled
+            .regions
+            .iter()
+            .enumerate()
+            .filter(|(_, rc)| rc.key_locs.is_empty())
+            .filter_map(|(i, _)| {
+                let entry = self.regions[i].cache.get(&[] as &[u64])?;
+                Some((i as u16, entry.base))
+            })
+            .collect();
+        for (region, base) in retired {
+            self.maybe_patch_guard(region, &[], base);
+        }
+    }
+
+    /// Request direct threading for the freshly installed instance at
+    /// `base`. The fault plan is consulted *before* any availability
+    /// check — an injected chain-patch failure is exercised (and
+    /// counted) on every host — and a declined request leaves the
+    /// instance installed but unchained, excluded from chaining in both
+    /// directions.
+    fn request_chain(&mut self, region: u16, base: u32) {
+        if self.native.is_none() || !self.options.native_chain {
+            return;
+        }
+        if self.fire(FaultPoint::NativeChainPatch, region).is_some() {
+            self.record_failure(
+                region,
+                FailureKind::BackendUnavailable,
+                true,
+                "injected native chain-patch failure: instance stays unchained".to_string(),
+            );
+            self.tr(EventKind::NativeUnchained { region });
+            return;
+        }
+        let ns = self.native.as_deref_mut().expect("checked above");
+        if ns.disabled || !ns.backend.has(base) {
+            return;
+        }
+        ns.backend.chain(base);
+    }
+
+    /// Chain mode: patch the static instance's guard sled at this
+    /// region's `EnterRegion` into a direct entry to the chained
+    /// instance at `base`.
+    ///
+    /// Keyed regions (called on a keyed trap hit, `key` non-empty) get
+    /// a monomorphic inline cache: the guard compares the live key
+    /// locations against `key` and on a hit charges exactly what the
+    /// trap path does (1 fuel; trap + lookup + per-key cycles). Unkeyed
+    /// regions (called at trap retirement, `key` empty) get an
+    /// unconditional entry charging what the VM pays interpreting the
+    /// retirement `Br` it replaces (1 fuel; one taken branch). Any miss
+    /// — different key, low fuel, unreadable frame slot — falls back to
+    /// the VM path, uncharged. At most one guard per region is live at
+    /// a time.
+    fn maybe_patch_guard(&mut self, region: u16, key: &[u64], base: u32) {
+        if !self.guards_enabled() {
+            return;
+        }
+        let Some(ns) = self.native.as_deref() else {
+            return;
+        };
+        if ns.disabled || !ns.backend.has(0) {
+            return;
+        }
+        let rc = &self.program.borrow().compiled.regions[region as usize];
+        let enter_pc = rc.enter_pc;
+        let keys: Vec<(dyncomp_native::KeySlot, u64)> = rc
+            .key_locs
+            .iter()
+            .zip(key)
+            .map(|(l, &v)| (keyslot(l), v))
+            .collect();
+        let cycles = if key.is_empty() {
+            self.vm.model.cost(Op::Br, true)
+        } else {
+            self.options.trap_cycles
+                + self.options.keyed_lookup_cycles
+                + self.options.per_key_cycles * key.len() as u64
+        };
+        let ns = self.native.as_deref_mut().expect("checked above");
+        if ns.backend.patch_guard(0, enter_pc, &keys, SP, cycles, base) {
+            // The guard lives and dies with its target: record the mark
+            // under `base` so severing the instance retires it too.
+            ns.marks.entry(base).or_default().push(enter_pc);
+            self.vm.mark_native(enter_pc);
+        }
+    }
+
+    /// Tear down the native instance at `base` (evicted, quarantined,
+    /// or shed by the byte-budget ladder): every chain link through it
+    /// is severed before its pages are unmapped, and its dispatch marks
+    /// are retired so the VM never bounces on a dead pc. Chain mode
+    /// only — the unchained backend keeps instances installed for the
+    /// append-only code space, exactly as in PR 6.
+    fn sever_native(&mut self, region: u16, base: u32) {
+        if !self.options.native_chain {
+            return;
+        }
+        let Some(ns) = self.native.as_deref_mut() else {
+            return;
+        };
+        if !ns.backend.remove(base) {
+            return;
+        }
+        ns.region_of.remove(&base);
+        let marks = ns.marks.remove(&base).unwrap_or_default();
+        for pc in marks {
+            self.vm.unmark_native(pc);
+        }
+        self.tr(EventKind::NativeUnchained { region });
+    }
+
+    /// Sever every native instance belonging to `region` (quarantine,
+    /// budget degradation): stale chains must never outlive a target the
+    /// session will not trust again.
+    fn sever_region_native(&mut self, region: u16) {
+        if self.native.is_none() || !self.options.native_chain {
+            return;
+        }
+        let bases: Vec<u32> = self.regions[region as usize]
+            .instances
+            .iter()
+            .map(|&(_, b, _)| b)
+            .collect();
+        for b in bases {
+            self.sever_native(region, b);
+        }
     }
 
     /// Attempt a native install for the instance at `base` (all three
@@ -556,11 +940,24 @@ impl<P: Borrow<Program>> Session<P> {
             return 0;
         }
         let bytes = artifact.bytes.len() as u64;
+        let chain = self.options.native_chain;
         let ns = self.native.as_mut().expect("checked above");
         match ns.backend.install(base, &artifact) {
             Ok(()) => {
                 ns.installs += 1;
-                self.vm.mark_native(base);
+                ns.region_of.insert(base, region);
+                // Chain mode marks every dispatchable leader, so the VM
+                // re-enters native code mid-instance after any exit;
+                // unchained mode keeps the PR 6 base-only mark.
+                let marks: Vec<u32> = if chain {
+                    artifact.entries.iter().map(|&(pc, _)| pc).collect()
+                } else {
+                    vec![base]
+                };
+                ns.marks.insert(base, marks.clone());
+                for pc in marks {
+                    self.vm.mark_native(pc);
+                }
                 bytes
             }
             Err(e) => {
@@ -673,6 +1070,10 @@ impl<P: Borrow<Program>> Session<P> {
         };
         if self.recovery.record(rec) {
             self.tr(EventKind::Quarantined { region });
+            // The quarantined region's optimized instances will never be
+            // trusted again: sever any chains into them before the
+            // session degrades to set-up or fallback execution.
+            self.sever_region_native(region);
         }
     }
 
@@ -721,6 +1122,7 @@ impl<P: Borrow<Program>> Session<P> {
             Some(entry) => {
                 if keyed {
                     self.regions[region as usize].lru.touch(entry.lru);
+                    self.maybe_patch_guard(region, &key, entry.base);
                 }
                 self.vm.pc = entry.base;
                 self.speculate_after(region, &key);
@@ -1281,23 +1683,34 @@ impl<P: Borrow<Program>> Session<P> {
         // stitched code words, so `with_byte_budget` and the degradation
         // ladder govern both backends.
         let native_bytes = self.maybe_install_native(region, base, len);
+        // Then request direct threading for it: publish its blocks in
+        // the dispatch table and back-patch every exit blob that now has
+        // a native continuation (its own and other chained instances').
+        self.request_chain(region, base);
         // Account the installed bytes against the session's code budget;
         // crossing a ladder step is a trace event (the step itself takes
-        // effect at the next stitch / entry).
+        // effect at the next stitch / entry). At level 2 the ladder
+        // sheds optimized execution for the region, so its native
+        // instances are severed — a stale chain must not outlive them.
+        let mut degraded = false;
         if let Some(level) = self.recovery.add_bytes(4 * u64::from(len) + native_bytes) {
             self.tr(EventKind::BudgetDegrade { region, level });
+            degraded = level >= 2;
         }
         let rc = &self.program.borrow().compiled.regions[region as usize];
         let (keyed, enter_pc) = (!rc.key_locs.is_empty(), rc.enter_pc);
         let st = &mut self.regions[region as usize];
         st.instances.push((key.clone(), base, len));
         let mut evicted = 0u64;
+        let mut evicted_bases: Vec<u32> = Vec::new();
         let lru = if keyed {
             if let Some(cap) = self.options.keyed_cache_capacity {
                 while st.cache.len() >= cap.max(1) {
                     match st.lru.pop_lru() {
                         Some(victim) => {
-                            st.cache.remove(&victim);
+                            if let Some(e) = st.cache.remove(&victim) {
+                                evicted_bases.push(e.base);
+                            }
                             st.evictions += 1;
                             evicted += 1;
                         }
@@ -1312,6 +1725,15 @@ impl<P: Borrow<Program>> Session<P> {
         st.cache.insert(key, CacheEntry { base, lru });
         for _ in 0..evicted {
             self.tr(EventKind::KeyedEvict { region });
+        }
+        // Sever chains into evicted instances *before* anything can
+        // dispatch again: their keys are gone from the cache, so the
+        // next entry with them re-stitches at a fresh base.
+        for b in evicted_bases {
+            self.sever_native(region, b);
+        }
+        if degraded {
+            self.sever_region_native(region);
         }
 
         // Unkeyed regions: retire the trap — patch EnterRegion into a
@@ -1331,6 +1753,11 @@ impl<P: Borrow<Program>> Session<P> {
                 )))
             })?;
             self.vm.patch_code(enter_pc, w)?;
+            // The static snapshot still holds the stale `EnterRegion` at
+            // this pc; patch its guard sled into an unconditional entry
+            // so chained control need not bounce through the VM to take
+            // the retired branch.
+            self.maybe_patch_guard(region, &[], base);
         }
 
         self.vm.pc = base;
@@ -1357,6 +1784,7 @@ impl<P: Borrow<Program>> Session<P> {
             faults_injected: st.faults_injected,
             retries: st.retries,
             inlined_calls: st.inlined_calls,
+            native_chained: st.native_chained,
         }
     }
 
@@ -1395,6 +1823,7 @@ impl<P: Borrow<Program>> Session<P> {
                 installs: ns.installs,
                 declined: ns.declined,
                 entries: ns.entries,
+                chained: ns.backend.chained(),
                 bytes: ns.backend.bytes(),
                 translate_ns: ns.translate_ns,
                 translated_instructions: ns.translated_instructions,
@@ -1504,6 +1933,16 @@ enum StitchFailure {
     /// A real [`dyncomp_stitcher::StitchError`]: deterministic, so
     /// retrying cannot help; the caller propagates it as-is.
     Fatal(dyncomp_stitcher::StitchError),
+}
+
+/// Mirror a region-key [`ValueLoc`] into the native translator's
+/// [`dyncomp_native::KeySlot`] (same kinds, crate-local type).
+fn keyslot(l: &ValueLoc) -> dyncomp_native::KeySlot {
+    match *l {
+        ValueLoc::Reg(r) => dyncomp_native::KeySlot::Reg(r),
+        ValueLoc::FReg(r) => dyncomp_native::KeySlot::FReg(r),
+        ValueLoc::Frame(off) => dyncomp_native::KeySlot::Frame(off),
+    }
 }
 
 /// Word positions in `code` that begin an instruction (never an `Ldiw`

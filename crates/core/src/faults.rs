@@ -75,12 +75,17 @@ pub enum FaultPoint {
     /// [`FailureKind::BackendUnavailable`] record is logged once, and
     /// the region keeps running on the VM backend.
     NativeArenaExhausted,
+    /// A chain request after a native install is declined (modeling an
+    /// mprotect refusal mid-back-patch): the instance stays unchained
+    /// and every entry keeps bouncing through the VM dispatch loop,
+    /// exercising the severed-link/unchained path on any host.
+    NativeChainPatch,
 }
 
 impl FaultPoint {
     /// Every fault point, in a stable order (the `fault_sweep` bench
     /// enumerates these).
-    pub const ALL: [FaultPoint; 9] = [
+    pub const ALL: [FaultPoint; 10] = [
         FaultPoint::StitchBadTemplate,
         FaultPoint::CodeArenaExhausted,
         FaultPoint::CodeCorruption,
@@ -90,6 +95,7 @@ impl FaultPoint {
         FaultPoint::WorkerSlow,
         FaultPoint::SetupVmTrap,
         FaultPoint::NativeArenaExhausted,
+        FaultPoint::NativeChainPatch,
     ];
 
     /// Stable name (trace events, `BENCH_fault_sweep.json` rows).
@@ -104,6 +110,7 @@ impl FaultPoint {
             FaultPoint::WorkerSlow => "WorkerSlow",
             FaultPoint::SetupVmTrap => "SetupVmTrap",
             FaultPoint::NativeArenaExhausted => "NativeArenaExhausted",
+            FaultPoint::NativeChainPatch => "NativeChainPatch",
         }
     }
 }

@@ -102,6 +102,11 @@ pub use trace::{
     ClockDomain, CycleHistogram, EventKind, RegionProfile, TraceEvent, TraceOptions, TraceState,
 };
 
+/// Region sentinel for native-backend trace events that belong to the
+/// whole-static-code instance rather than any dynamic region (it has no
+/// [`RegionReport`] row; per-region aggregation skips it).
+pub const STATIC_REGION: u16 = u16::MAX;
+
 use dyncomp_analysis::AnalysisConfig;
 use dyncomp_codegen::CompiledModule;
 use dyncomp_frontend::{FrontendError, LowerOptions, TypeTable};

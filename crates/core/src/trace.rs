@@ -282,6 +282,24 @@ pub enum EventKind {
         /// The new ladder level (1 = plans off, 2 = fallback only).
         level: u8,
     },
+    /// A native dispatch took `count` direct (chained) transfers —
+    /// back-patched exits, dispatch-table jumps, or guard hits — without
+    /// bouncing through the VM loop.
+    NativeChained {
+        /// Region of the dispatched instance ([`crate::STATIC_REGION`]
+        /// for static-code instances).
+        region: u16,
+        /// Direct transfers taken during the dispatch.
+        count: u64,
+    },
+    /// A native instance was installed (or kept) without direct
+    /// threading: a chain request was declined by a fault or by
+    /// `--no-native-chain`, so its entries bounce through the VM loop.
+    NativeUnchained {
+        /// Region of the unchained instance ([`crate::STATIC_REGION`]
+        /// for static-code instances).
+        region: u16,
+    },
 }
 
 impl EventKind {
@@ -312,7 +330,9 @@ impl EventKind {
             | EventKind::RecoveryRetry { region, .. }
             | EventKind::Quarantined { region }
             | EventKind::VerifyReject { region }
-            | EventKind::BudgetDegrade { region, .. } => region,
+            | EventKind::BudgetDegrade { region, .. }
+            | EventKind::NativeChained { region, .. }
+            | EventKind::NativeUnchained { region } => region,
         }
     }
 
@@ -344,6 +364,8 @@ impl EventKind {
             EventKind::Quarantined { .. } => "Quarantined",
             EventKind::VerifyReject { .. } => "VerifyReject",
             EventKind::BudgetDegrade { .. } => "BudgetDegrade",
+            EventKind::NativeChained { .. } => "NativeChained",
+            EventKind::NativeUnchained { .. } => "NativeUnchained",
         }
     }
 }
@@ -456,6 +478,8 @@ pub struct RegionProfile {
     pub verify_rejects: u64,
     /// Byte-budget ladder steps this region's installs crossed.
     pub budget_degrades: u64,
+    /// Native direct (chained) transfers attributed to this region.
+    pub native_chained: u64,
     /// First session-cycle stamp at which stitched code for this region
     /// became available to run (first install or first keyed hit): the
     /// crossing point after which every entry proceeds at the asymptotic
@@ -534,7 +558,12 @@ impl TraceState {
     }
 
     fn aggregate(&mut self, at: u64, kind: &EventKind) {
-        let p = &mut self.profiles[kind.region() as usize];
+        // Native events can carry the static-region sentinel
+        // (`crate::STATIC_REGION`), which has no profile row; aggregate
+        // them nowhere rather than indexing out of range.
+        let Some(p) = self.profiles.get_mut(kind.region() as usize) else {
+            return;
+        };
         match *kind {
             EventKind::RegionEnter { .. } => p.invocations += 1,
             EventKind::KeyedLookup { hit, .. } => {
@@ -602,6 +631,8 @@ impl TraceState {
             EventKind::Quarantined { .. } => p.quarantines += 1,
             EventKind::VerifyReject { .. } => p.verify_rejects += 1,
             EventKind::BudgetDegrade { .. } => p.budget_degrades += 1,
+            EventKind::NativeChained { count, .. } => p.native_chained += count,
+            EventKind::NativeUnchained { .. } => {}
         }
     }
 
@@ -658,7 +689,7 @@ impl TraceState {
             ));
         }
         for (i, (r, p)) in reports.iter().zip(self.profiles.iter()).enumerate() {
-            let checks: [(&str, u64, u64); 15] = [
+            let checks: [(&str, u64, u64); 16] = [
                 ("invocations", r.invocations, p.invocations),
                 ("stitches", u64::from(r.stitches), p.stitches),
                 (
@@ -678,6 +709,7 @@ impl TraceState {
                 ("faults_injected", r.faults_injected, p.faults_injected),
                 ("retries", r.retries, p.retries),
                 ("inlined_calls", r.inlined_calls, p.inlined_calls),
+                ("native_chained", r.native_chained, p.native_chained),
             ];
             for (name, reported, traced) in checks {
                 if reported != traced {
@@ -850,6 +882,12 @@ fn event_fields(kind: &EventKind, out: &mut String) {
         }
         EventKind::BudgetDegrade { region, level } => {
             write!(out, ",\"region\":{region},\"level\":{level}")
+        }
+        EventKind::NativeChained { region, count } => {
+            write!(out, ",\"region\":{region},\"count\":{count}")
+        }
+        EventKind::NativeUnchained { region } => {
+            write!(out, ",\"region\":{region}")
         }
     };
 }

@@ -87,6 +87,36 @@ impl ExecMap {
         Some(ExecMap { base, len })
     }
 
+    /// Back-patch `bytes` into the sealed code at `offset`, preserving
+    /// W^X: the mapping is flipped RX→RW, mutated, and flipped back to
+    /// RX before control can re-enter it. Returns `false` (leaving the
+    /// code untouched) if the patch would fall outside the mapping or
+    /// either protection flip is refused.
+    pub fn patch(&mut self, offset: usize, bytes: &[u8]) -> bool {
+        let Some(end) = offset.checked_add(bytes.len()) else {
+            return false;
+        };
+        if end > self.len || bytes.is_empty() {
+            return false;
+        }
+        // SAFETY: we own the mapping; flipping it writable while no
+        // generated code is running (the engine only patches between
+        // dispatches, on this thread) upholds W^X over time.
+        let writable = unsafe { mprotect(self.base.cast(), self.len, PROT_READ | PROT_WRITE) };
+        if writable != 0 {
+            return false;
+        }
+        // SAFETY: offset+len checked against the mapping above.
+        unsafe {
+            core::ptr::copy_nonoverlapping(bytes.as_ptr(), self.base.add(offset), bytes.len());
+        }
+        // SAFETY: same mapping; a refused reseal would leave W+!X pages,
+        // so treat it as fatal for the whole backend by reporting false
+        // after attempting to restore RX (the caller discards the map).
+        let sealed = unsafe { mprotect(self.base.cast(), self.len, PROT_READ | PROT_EXEC) };
+        sealed == 0
+    }
+
     /// Entry point of the sealed code (offset 0).
     pub fn entry(&self) -> *const u8 {
         self.base

@@ -33,7 +33,7 @@ mod arena;
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
 pub use arena::ExecMap;
 
-pub use translate::{translate, Artifact};
+pub use translate::{translate, translate_with, Artifact, ChainSpec, GuardSpec, KeySlot};
 
 use dyncomp_machine::Vm;
 use std::collections::HashMap;
@@ -64,6 +64,12 @@ pub const CTX_FAULT_ADDR: u32 = 568;
 pub const CTX_IDISCARD: u32 = 576;
 /// Write sink for float register 31.
 pub const CTX_FDISCARD: u32 = 584;
+/// Base pointer of the pc → host-entry dispatch table (8-byte slots).
+pub const CTX_DISPATCH: u32 = 592;
+/// Number of dispatch-table slots.
+pub const CTX_DISPATCH_LEN: u32 = 600;
+/// Direct transfers taken during this run (chained jumps and guard hits).
+pub const CTX_CHAINED: u32 = 608;
 
 /// The machine-state block generated code executes against.
 ///
@@ -96,6 +102,13 @@ pub struct NativeCtx {
     pub idiscard: u64,
     /// Discard slot for float f31 writes.
     pub fdiscard: u64,
+    /// Dispatch-table base: slot `pc` holds the host address of the
+    /// native block body for SimAlpha pc, or 0 when unchained.
+    pub dispatch: u64,
+    /// Dispatch-table length in slots.
+    pub dispatch_len: u64,
+    /// Direct transfers taken during this run.
+    pub chained: u64,
 }
 
 /// Whether this build can execute translated code. Translation itself
@@ -152,10 +165,63 @@ pub enum RunOutcome {
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
 struct Instance {
     map: ExecMap,
+    /// pc → FFI entry-thunk offset (dispatchable leaders).
+    entries: HashMap<u32, u32>,
+    /// pc → block-body offset (in-native chain targets).
+    blocks: Vec<(u32, u32)>,
+    /// Exit pc (outside the instance) → shared exit-blob offset.
+    exit_sites: Vec<(u32, u32)>,
+    /// `EnterRegion` pc → reserved guard sled (offset, len).
+    guards: HashMap<u32, (u32, u32)>,
+}
+
+/// How one patched chain link was made, with what's needed to undo it.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+enum LinkKind {
+    /// A back-patched exit blob (`saved` = original head bytes).
+    Exit {
+        pc: u32,
+        off: u32,
+        saved: [u8; EXIT_PATCH_LEN],
+    },
+    /// A patched `EnterRegion` guard sled (severed back to NOPs).
+    Guard { pc: u32, off: u32, len: u32 },
+    /// A dispatch-table slot published for the owning instance.
+    Table { pc: u32 },
+}
+
+/// One live chain link: severing removes every link whose `target` (or
+/// holder, `from`) goes away — a stale chain never outlives its target.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+struct Link {
+    from: u32,
+    target: u32,
+    kind: LinkKind,
+}
+
+/// Byte length of a back-patched exit blob head: `inc [r15+chained]`,
+/// `movabs rax, target`, `jmp rax`.
+const EXIT_PATCH_LEN: usize = 20;
+
+/// Reconstruct the first [`EXIT_PATCH_LEN`] bytes of the pristine exit
+/// blob for `pc`, exactly as `translate` emitted them — severing a link
+/// restores these over the back-patch.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+fn exit_blob_head(pc: u32) -> [u8; EXIT_PATCH_LEN] {
+    let mut a = stubs::Asm::default();
+    a.mov_slot_imm32(CTX_EXIT_PC, pc);
+    a.mov_slot_imm32(CTX_STATUS, 0);
+    a.copy(stubs::EPILOGUE);
+    let bytes = a.finish();
+    let mut head = [0u8; EXIT_PATCH_LEN];
+    head.copy_from_slice(&bytes[..EXIT_PATCH_LEN]);
+    head
 }
 
 /// The set of installed native instances, keyed by the SimAlpha code
-/// address their translation starts at.
+/// address their translation starts at, plus the direct-threading state:
+/// the pc → host-entry dispatch table, the live chain links, and the
+/// accumulated chained-transfer counter.
 #[derive(Default)]
 pub struct Backend {
     #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
@@ -163,6 +229,25 @@ pub struct Backend {
     #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
     instances: HashMap<u32, ()>,
     bytes: u64,
+    /// pc → base for every dispatchable entry of every instance.
+    entry_index: HashMap<u32, u32>,
+    /// Dispatch table: slot `pc` = host block address or 0. Published
+    /// only for chained instances.
+    table: Vec<u64>,
+    /// Published chain-target pc → owning base.
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    block_index: HashMap<u32, u32>,
+    /// Instances whose chaining was requested (and not since severed).
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    chained_bases: std::collections::HashSet<u32>,
+    /// Live links, for severing.
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    links: Vec<Link>,
+    /// Already-patched exit sites, as (holder base, exit pc).
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    patched_exits: std::collections::HashSet<(u32, u32)>,
+    /// Total direct transfers across all runs.
+    chained: u64,
 }
 
 impl Backend {
@@ -182,13 +267,48 @@ impl Backend {
         if !artifact.entry_supported {
             return Err(InstallError::EntryUnsupported);
         }
+        self.install_any(base, artifact)
+    }
+
+    /// Install an artifact that may have an interpreter-only first
+    /// instruction, as long as *some* block is natively dispatchable —
+    /// the static-code instance dispatches at marked leaders, never at
+    /// its base.
+    ///
+    /// # Errors
+    /// [`InstallError::EntryUnsupported`] when no block lowered;
+    /// [`InstallError::Unavailable`] when the host cannot supply a W^X
+    /// arena.
+    pub fn install_any(&mut self, base: u32, artifact: &Artifact) -> Result<(), InstallError> {
+        if artifact.entries.is_empty() {
+            return Err(InstallError::EntryUnsupported);
+        }
         #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
         {
             let map = ExecMap::new(&artifact.bytes).ok_or(InstallError::Unavailable)?;
-            self.bytes += map.len() as u64;
-            if let Some(old) = self.instances.insert(base, Instance { map }) {
-                self.bytes -= old.map.len() as u64;
+            // Replacing an instance severs every link through the old
+            // mapping first.
+            if self.instances.contains_key(&base) {
+                self.remove(base);
             }
+            self.bytes += map.len() as u64;
+            for &(pc, _) in &artifact.entries {
+                self.entry_index.insert(pc, base);
+            }
+            self.instances.insert(
+                base,
+                Instance {
+                    map,
+                    entries: artifact.entries.iter().copied().collect(),
+                    blocks: artifact.block_offsets.clone(),
+                    exit_sites: artifact.exit_sites.clone(),
+                    guards: artifact
+                        .guard_areas
+                        .iter()
+                        .map(|g| (g.pc, (g.offset, g.len)))
+                        .collect(),
+                },
+            );
             Ok(())
         }
         #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
@@ -204,18 +324,62 @@ impl Backend {
     }
 
     /// Drop the instance at `base` (e.g. when the VM code there is
-    /// patched or evicted), returning whether one was installed.
+    /// patched, evicted, quarantined, or shed by the byte budget),
+    /// returning whether one was installed.
+    ///
+    /// Every chain link into the instance is severed *before* its pages
+    /// are unmapped: back-patched exit blobs are restored to their
+    /// original return-to-VM bytes, patched guards revert to NOP sleds,
+    /// and its dispatch-table slots are nulled, so no stale direct jump
+    /// can outlive the target.
     pub fn remove(&mut self, base: u32) -> bool {
         #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
         {
-            if let Some(old) = self.instances.remove(&base) {
-                self.bytes -= old.map.len() as u64;
-                return true;
+            if !self.instances.contains_key(&base) {
+                return false;
             }
-            false
+            let (dead, live): (Vec<Link>, Vec<Link>) = std::mem::take(&mut self.links)
+                .into_iter()
+                .partition(|l| l.from == base || l.target == base);
+            self.links = live;
+            for link in dead {
+                match link.kind {
+                    LinkKind::Table { pc } => {
+                        if link.from == base {
+                            self.table[pc as usize] = 0;
+                            self.block_index.remove(&pc);
+                        }
+                    }
+                    LinkKind::Exit { pc, off, saved } => {
+                        self.patched_exits.remove(&(link.from, pc));
+                        if link.from != base {
+                            if let Some(holder) = self.instances.get_mut(&link.from) {
+                                holder.map.patch(off as usize, &saved);
+                            }
+                        }
+                    }
+                    LinkKind::Guard { pc, off, len } => {
+                        if link.from != base {
+                            if let Some(holder) = self.instances.get_mut(&link.from) {
+                                if holder.map.patch(off as usize, &vec![0x90u8; len as usize]) {
+                                    // The sled is pristine again: re-arm
+                                    // it for a future region instance.
+                                    holder.guards.insert(pc, (off, len));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            self.chained_bases.remove(&base);
+            let old = self.instances.remove(&base).expect("checked above");
+            self.entry_index.retain(|_, b| *b != base);
+            self.bytes -= old.map.len() as u64;
+            true
         }
         #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
         {
+            self.entry_index.retain(|_, b| *b != base);
             self.instances.remove(&base).is_some()
         }
     }
@@ -230,6 +394,158 @@ impl Backend {
         self.bytes
     }
 
+    /// Total direct (chained) transfers taken across all runs.
+    pub fn chained(&self) -> u64 {
+        self.chained
+    }
+
+    /// Whether `pc` is a dispatchable entry of some installed instance.
+    pub fn has_entry(&self, pc: u32) -> bool {
+        self.entry_index.contains_key(&pc)
+    }
+
+    /// The install base of the instance serving dispatches at `pc`.
+    pub fn base_of(&self, pc: u32) -> Option<u32> {
+        self.entry_index.get(&pc).copied()
+    }
+
+    /// Request direct threading for the instance at `base`: publish its
+    /// block bodies in the dispatch table, then back-patch every exit
+    /// blob — its own and those of already-chained instances — whose
+    /// exit pc now has a published native continuation. Returns the
+    /// number of new links patched (0 if `base` is not installed).
+    pub fn chain(&mut self, base: u32) -> u32 {
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        {
+            let Some(inst) = self.instances.get(&base) else {
+                return 0;
+            };
+            // Publish chain targets: block bodies expect live r15/r13/r12,
+            // which every chained transfer preserves.
+            let entry = inst.map.entry() as u64;
+            let publish: Vec<(u32, u64)> = inst
+                .blocks
+                .iter()
+                .map(|&(pc, off)| (pc, entry + u64::from(off)))
+                .collect();
+            for (pc, addr) in publish {
+                if self.table.len() <= pc as usize {
+                    self.table.resize(pc as usize + 1, 0);
+                }
+                self.table[pc as usize] = addr;
+                self.block_index.insert(pc, base);
+                self.links.push(Link {
+                    from: base,
+                    target: base,
+                    kind: LinkKind::Table { pc },
+                });
+            }
+            self.chained_bases.insert(base);
+            // Back-patch exit blobs that can now jump straight to a
+            // published block: the new instance's own sites, plus every
+            // already-chained instance's sites that land in it.
+            let mut work: Vec<(u32, u32, u32, u64)> = Vec::new(); // (holder, pc, off, addr)
+            for &holder in &self.chained_bases {
+                let Some(inst) = self.instances.get(&holder) else {
+                    continue;
+                };
+                for &(pc, off) in &inst.exit_sites {
+                    if self.patched_exits.contains(&(holder, pc)) {
+                        continue;
+                    }
+                    if holder != base && self.block_index.get(&pc) != Some(&base) {
+                        continue; // only new links involve the new instance
+                    }
+                    if let Some(&addr) = self.table.get(pc as usize) {
+                        if addr != 0 {
+                            work.push((holder, pc, off, addr));
+                        }
+                    }
+                }
+            }
+            let mut patched = 0u32;
+            for (holder, pc, off, addr) in work {
+                let target = self.block_index[&pc];
+                let saved = exit_blob_head(pc);
+                let mut patch = [0u8; EXIT_PATCH_LEN];
+                patch[0..3].copy_from_slice(&[0x49, 0x83, 0x87]); // add qword [r15+d32], 1
+                patch[3..7].copy_from_slice(&CTX_CHAINED.to_le_bytes());
+                patch[7] = 0x01;
+                patch[8..10].copy_from_slice(&[0x48, 0xB8]); // movabs rax, addr
+                patch[10..18].copy_from_slice(&addr.to_le_bytes());
+                patch[18..20].copy_from_slice(&[0xFF, 0xE0]); // jmp rax
+                let holder_inst = self.instances.get_mut(&holder).expect("holder installed");
+                if holder_inst.map.patch(off as usize, &patch) {
+                    self.patched_exits.insert((holder, pc));
+                    self.links.push(Link {
+                        from: holder,
+                        target,
+                        kind: LinkKind::Exit { pc, off, saved },
+                    });
+                    patched += 1;
+                }
+            }
+            patched
+        }
+        #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+        {
+            let _ = base;
+            0
+        }
+    }
+
+    /// Patch the reserved guard sled at `pc` inside the instance at
+    /// `holder` into a monomorphic inline cache: compare the region keys
+    /// against `keys` (frame slots relative to register `sp`), charge
+    /// `cycles` + 1 fuel on a hit, and jump directly to the chained
+    /// instance at `target` (its published base block). Any miss falls
+    /// back to the VM's keyed trap, uncharged. Returns whether the sled
+    /// was patched.
+    pub fn patch_guard(
+        &mut self,
+        holder: u32,
+        pc: u32,
+        keys: &[(KeySlot, u64)],
+        sp: u8,
+        cycles: u64,
+        target: u32,
+    ) -> bool {
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        {
+            let Some(&addr) = self.table.get(target as usize) else {
+                return false;
+            };
+            if addr == 0 || self.block_index.get(&target) != Some(&target) {
+                return false; // target must be a chained instance base
+            }
+            let Some(inst) = self.instances.get_mut(&holder) else {
+                return false;
+            };
+            let Some(&(off, len)) = inst.guards.get(&pc) else {
+                return false;
+            };
+            let code = translate::build_guard(keys, sp, cycles, addr);
+            if code.len() > len as usize {
+                return false;
+            }
+            if !inst.map.patch(off as usize, &code) {
+                return false;
+            }
+            inst.guards.remove(&pc); // at most one live patch per sled
+            self.links.push(Link {
+                from: holder,
+                target,
+                kind: LinkKind::Guard { pc, off, len },
+            });
+            true
+        }
+        #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+        {
+            let _ = (holder, pc, keys, sp, cycles, target);
+            false
+        }
+    }
+
     /// Run the instance installed at `at` against `vm`'s machine state.
     ///
     /// Registers, memory, cycles, and fuel are synced into a context
@@ -238,10 +554,16 @@ impl Backend {
     /// set `vm.pc` and continue; faults translate to the corresponding
     /// `VmError`s; [`RunOutcome::Missing`] means dispatch raced an
     /// eviction and the caller should unmark and interpret.
-    pub fn run(&self, at: u32, vm: &mut Vm) -> RunOutcome {
+    pub fn run(&mut self, at: u32, vm: &mut Vm) -> RunOutcome {
         #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
         {
-            let Some(inst) = self.instances.get(&at) else {
+            let Some(&base) = self.entry_index.get(&at) else {
+                return RunOutcome::Missing;
+            };
+            let Some(inst) = self.instances.get(&base) else {
+                return RunOutcome::Missing;
+            };
+            let Some(&thunk) = inst.entries.get(&at) else {
                 return RunOutcome::Missing;
             };
             let mem = vm.mem.bytes_mut();
@@ -258,17 +580,22 @@ impl Backend {
                 fault_addr: 0,
                 idiscard: 0,
                 fdiscard: 0,
+                dispatch: self.table.as_ptr() as u64,
+                dispatch_len: self.table.len() as u64,
+                chained: 0,
             };
             ctx.regs[31] = 0;
             ctx.fregs[31] = 0.0;
-            // SAFETY: `entry` points at a sealed RX mapping whose bytes
-            // were produced by `translate` for this ABI; the context
-            // outlives the call and the memory window is exclusively
-            // borrowed from the VM for its duration.
+            // SAFETY: the entry thunk points into a sealed RX mapping
+            // whose bytes were produced by `translate` for this ABI; the
+            // context outlives the call and the memory window is
+            // exclusively borrowed from the VM for its duration.
             unsafe {
-                let f: extern "C" fn(*mut NativeCtx) = core::mem::transmute(inst.map.entry());
+                let f: extern "C" fn(*mut NativeCtx) =
+                    core::mem::transmute(inst.map.entry().add(thunk as usize));
                 f(&mut ctx);
             }
+            self.chained += ctx.chained;
             vm.regs = ctx.regs;
             vm.regs[31] = 0;
             vm.fregs = ctx.fregs;
@@ -317,6 +644,9 @@ mod tests {
             fault_addr: 0,
             idiscard: 0,
             fdiscard: 0,
+            dispatch: 0,
+            dispatch_len: 0,
+            chained: 0,
         };
         let base = &c as *const NativeCtx as usize;
         let off = |p: usize| (p - base) as u32;
@@ -332,7 +662,10 @@ mod tests {
         assert_eq!(off(&c.fault_addr as *const _ as usize), CTX_FAULT_ADDR);
         assert_eq!(off(&c.idiscard as *const _ as usize), CTX_IDISCARD);
         assert_eq!(off(&c.fdiscard as *const _ as usize), CTX_FDISCARD);
-        assert_eq!(core::mem::size_of::<NativeCtx>(), 592);
+        assert_eq!(off(&c.dispatch as *const _ as usize), CTX_DISPATCH);
+        assert_eq!(off(&c.dispatch_len as *const _ as usize), CTX_DISPATCH_LEN);
+        assert_eq!(off(&c.chained as *const _ as usize), CTX_CHAINED);
+        assert_eq!(core::mem::size_of::<NativeCtx>(), 616);
     }
 
     fn words(insts: &[Inst]) -> Vec<u32> {

@@ -126,6 +126,14 @@ stub!(STL_CORE = [0x41, 0x89, 0x4C, 0x05, 0x00]); // mov dword [r13+rax], ecx
 stub!(STQ_CORE = [0x49, 0x89, 0x4C, 0x05, 0x00]); // mov qword [r13+rax], rcx
 stub!(CMP_RDX_R12 = [0x4C, 0x39, 0xE2]); // cmp rdx, r12
 
+// ---- direct-threaded chaining ----
+stub!(CMP_RAX_SLOT = [0x49, 0x3B, 0x87, 0, 0, 0, 0] @ 3); // cmp rax, [r15+d32]
+stub!(MOV_RCX_TABLE = [0x48, 0x8B, 0x0C, 0xC2]); // mov rcx, [rdx+rax*8]
+stub!(JMP_RAX = [0xFF, 0xE0]);
+stub!(JMP_RCX = [0xFF, 0xE1]);
+stub!(MOV_RAX_RCX = [0x48, 0x89, 0xC8]);
+stub!(INC_SLOT = [0x49, 0x83, 0x87, 0, 0, 0, 0, 0x01] @ 3); // add qword [r15+d32], 1
+
 // ---- float cores ----
 stub!(ADDSD_X0_X1 = [0xF2, 0x0F, 0x58, 0xC1]);
 stub!(SUBSD_X0_X1 = [0xF2, 0x0F, 0x5C, 0xC1]);
@@ -304,6 +312,23 @@ impl Asm {
         self.buf.extend_from_slice(&[0x49, 0xC7, 0x87]);
         self.buf.extend_from_slice(&slot.to_le_bytes());
         self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `movabs rax, imm64` (chain-target host addresses).
+    pub fn movabs_rax(&mut self, v: u64) {
+        self.buf.extend_from_slice(&[0x48, 0xB8]);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `movabs rcx, imm64` (guard key constants).
+    pub fn movabs_rcx(&mut self, v: u64) {
+        self.buf.extend_from_slice(&[0x48, 0xB9]);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Emit `n` single-byte NOPs (reserved guard sleds, patched later).
+    pub fn nops(&mut self, n: usize) {
+        self.buf.resize(self.buf.len() + n, 0x90);
     }
 
     /// Patch a previously recorded rel32 hole to land on `target`.

@@ -35,15 +35,72 @@
 
 use crate::stubs::{self as s, Asm, Cc};
 use crate::{
-    CTX_CYCLES, CTX_EXIT_PC, CTX_FAULT_PC, CTX_FDISCARD, CTX_FREGS, CTX_FUEL, CTX_IDISCARD,
-    CTX_MEM_LEN, CTX_MEM_PTR, CTX_REGS, CTX_STATUS,
+    CTX_CHAINED, CTX_CYCLES, CTX_DISPATCH, CTX_DISPATCH_LEN, CTX_EXIT_PC, CTX_FAULT_PC,
+    CTX_FDISCARD, CTX_FREGS, CTX_FUEL, CTX_IDISCARD, CTX_MEM_LEN, CTX_MEM_PTR, CTX_REGS,
+    CTX_STATUS,
 };
 use dyncomp_machine::isa::{decode, Format, Inst, Op, Operand, Reg};
 use dyncomp_machine::vm::CycleModel;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// A translated instance: host bytes plus coverage counters. Produced by
-/// [`translate`]; executable only after [`crate::Backend::install`].
+/// Where one region-key value lives, mirrored from the engine's key
+/// descriptor. Only the *kind* matters at translate time (it sizes the
+/// guard sled); the concrete constants arrive with the later patch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeySlot {
+    /// Integer register.
+    Reg(Reg),
+    /// Float register (raw bits compare).
+    FReg(Reg),
+    /// Stack frame slot: `mem[SP + offset]`, 8 bytes.
+    Frame(i32),
+}
+
+/// A patchable inline-cache site reserved at an `EnterRegion` pc.
+#[derive(Clone, Debug)]
+pub struct GuardSpec {
+    /// The `EnterRegion` pc (word address).
+    pub pc: u32,
+    /// Key locations, in region-key order.
+    pub keys: Vec<KeySlot>,
+}
+
+/// Direct-threading options for [`translate_with`]. The default (no
+/// guards, `indirect` off) reproduces the plain single-entry artifact.
+#[derive(Clone, Debug, Default)]
+pub struct ChainSpec {
+    /// Lower `Jmp`/`Jsr` through the context dispatch table instead of
+    /// exiting to the VM.
+    pub indirect: bool,
+    /// `EnterRegion` pcs that get NOP-sled guard areas for later
+    /// patching: monomorphic inline caches for keyed regions,
+    /// unconditional retired-trap entries for unkeyed ones.
+    pub guards: Vec<GuardSpec>,
+    /// Extra pcs to force as block leaders. Chained control can only
+    /// land on a block boundary (the fuel/cycle accounting is charged
+    /// per block from its head), so pcs that other instances exit to —
+    /// region exit continuations — must start a block even when the
+    /// static control flow alone would leave them mid-block.
+    pub leaders: Vec<u32>,
+}
+
+/// A reserved guard area inside an artifact: `len` NOP bytes at
+/// `offset`, falling through to the exit blob for `pc`. [`crate::Backend`]
+/// patches the sled in place; overwriting it with NOPs restores the
+/// original unchained behaviour.
+#[derive(Clone, Copy, Debug)]
+pub struct GuardArea {
+    /// The `EnterRegion` pc this sled fronts.
+    pub pc: u32,
+    /// Byte offset of the sled in the artifact.
+    pub offset: u32,
+    /// Sled length in bytes.
+    pub len: u32,
+}
+
+/// A translated instance: host bytes plus coverage counters and the
+/// chain-patch tables. Produced by [`translate`] / [`translate_with`];
+/// executable only after [`crate::Backend::install`].
 #[derive(Clone, Debug)]
 pub struct Artifact {
     /// Position-independent host code (entry at offset 0).
@@ -58,6 +115,21 @@ pub struct Artifact {
     pub covered: u32,
     /// Basic blocks emitted.
     pub blocks: u32,
+    /// First word address covered (the install base).
+    pub base: u32,
+    /// One past the last word address covered.
+    pub end: u32,
+    /// pc → entry-thunk offset: FFI-callable entry (full prologue) for
+    /// every block whose leader lowered natively, plus the base entry.
+    pub entries: Vec<(u32, u32)>,
+    /// pc → block-body offset: in-native continuation points (live
+    /// `r15`/`r13`/`r12`), the targets chained jumps land on.
+    pub block_offsets: Vec<(u32, u32)>,
+    /// Exit pc (outside `base..end`) → shared exit-blob offset: the
+    /// back-patchable chain sites.
+    pub exit_sites: Vec<(u32, u32)>,
+    /// Reserved `EnterRegion` guard sleds.
+    pub guard_areas: Vec<GuardArea>,
 }
 
 /// Context-slot displacement holding integer register `r` for *reads*
@@ -92,16 +164,102 @@ fn fwslot(r: Reg) -> u32 {
 
 /// Whether `inst` lowers to native stubs. Float operates with a literal
 /// operand are VM-defined faults (`BadInstruction`), so they route to
-/// the interpreter for the authoritative error.
-fn supported(inst: &Inst) -> bool {
+/// the interpreter for the authoritative error. `Jmp`/`Jsr` lower only
+/// when the chain spec enables dispatch-table indirection.
+fn supported(inst: &Inst, indirect: bool) -> bool {
     use Op::*;
     match inst.op {
-        Jmp | Jsr | Alloc | Halt | EnterRegion | EndSetup => false,
+        Jmp | Jsr => indirect && matches!(inst.rb, Operand::Reg(_)),
+        Alloc | Halt | EnterRegion | EndSetup => false,
         Addt | Subt | Mult | Divt | Cmpteq | Cmptlt | Cmptle | Sqrtt | Fmov | Fneg | Fcmovne => {
             matches!(inst.rb, Operand::Reg(_))
         }
         _ => true,
     }
+}
+
+/// Guard-sled byte budget for one key compare (worst case: the key
+/// constant and the miss `jcc` per key, plus the frame-load address
+/// arithmetic and bounds checks for `Frame` keys).
+fn key_sled_len(k: &KeySlot) -> u32 {
+    match k {
+        KeySlot::Reg(_) | KeySlot::FReg(_) => 7 + 10 + 3 + 6,
+        KeySlot::Frame(_) => 7 + 6 + 3 + 6 + 3 + 4 + 6 + 3 + 6 + 5 + 10 + 3 + 6,
+    }
+}
+
+/// Total sled length for a guard over `keys`: fuel header + per-key
+/// compares + the charge/jump tail.
+pub(crate) fn guard_sled_len(keys: &[KeySlot]) -> u32 {
+    let header = 11 + 6; // cmp fuel,1 ; jb miss
+    let tail = 11 + 11 + 8 + 10 + 2; // sub fuel ; add cycles ; inc chained ; movabs rax ; jmp rax
+    header + keys.iter().map(key_sled_len).sum::<u32>() + tail
+}
+
+/// Build the monomorphic inline-cache code for a guard sled: compare
+/// every key location against its recorded constant, and on a full match
+/// charge exactly what the VM's keyed `EnterRegion` path would (1 fuel,
+/// `cycles` simulated cycles), bump the chained counter, and jump
+/// straight to the region instance at host address `target_addr`. Any
+/// mismatch — or any unreadable frame slot — falls to the sled's miss
+/// exit, where the VM re-executes the trap from an identical state.
+///
+/// The result is at most [`guard_sled_len`] bytes; the caller pads the
+/// remainder of the sled with the NOPs already there.
+pub(crate) fn build_guard(
+    keys: &[(KeySlot, u64)],
+    sp: Reg,
+    cycles: u64,
+    target_addr: u64,
+) -> Vec<u8> {
+    let mut a = Asm::default();
+    let mut miss: Vec<usize> = Vec::new();
+    a.cmp_slot_imm32(CTX_FUEL, 1);
+    miss.push(a.jcc(Cc::B));
+    for (k, v) in keys {
+        match *k {
+            KeySlot::Reg(r) => {
+                a.patch(s::LD_SLOT_RAX, rslot(r));
+                a.movabs_rcx(*v);
+                a.copy(s::CMP_RAX_RCX);
+                miss.push(a.jcc(Cc::Nz));
+            }
+            KeySlot::FReg(r) => {
+                a.patch(s::LD_SLOT_RAX, frslot(r));
+                a.movabs_rcx(*v);
+                a.copy(s::CMP_RAX_RCX);
+                miss.push(a.jcc(Cc::Nz));
+            }
+            KeySlot::Frame(off) => {
+                a.patch(s::LD_SLOT_RAX, rslot(sp));
+                a.patch(s::ADD_RAX_IMM32S, off as u32);
+                a.copy(s::TEST_RAX_RAX);
+                miss.push(a.jcc(Cc::Z));
+                a.copy(s::MOV_RDX_RAX);
+                a.add_rdx_imm8(8);
+                miss.push(a.jcc(Cc::B));
+                a.copy(s::CMP_RDX_R12);
+                miss.push(a.jcc(Cc::A));
+                a.copy(s::LDQ_CORE);
+                a.movabs_rcx(*v);
+                a.copy(s::CMP_RAX_RCX);
+                miss.push(a.jcc(Cc::Nz));
+            }
+        }
+    }
+    a.sub_slot_imm32(CTX_FUEL, 1);
+    a.add_slot_imm32(
+        CTX_CYCLES,
+        u32::try_from(cycles).expect("trap cost fits u32"),
+    );
+    a.patch(s::INC_SLOT, CTX_CHAINED);
+    a.movabs_rax(target_addr);
+    a.copy(s::JMP_RAX);
+    let end = a.here();
+    for h in miss {
+        a.resolve(h, end);
+    }
+    a.finish()
 }
 
 /// Pending rel32 destinations, resolved once every block, thunk, and
@@ -117,6 +275,8 @@ enum Fix {
     MemFault,
     /// A divide-fault blob for this pc.
     DivFault(u32),
+    /// The shared dynamic-exit blob (`rax` holds the resume pc).
+    DynExit,
 }
 
 struct DInst {
@@ -132,11 +292,18 @@ fn exit_jump(a: &mut Asm, fixups: &mut Vec<(usize, Fix)>, exit_pcs: &mut BTreeSe
     fixups.push((h, Fix::Exit(pc)));
 }
 
-/// Translate a verified instance installed at word address `base`.
-/// Deterministic: the same `(code, base, model)` always yields the same
-/// bytes, so artifact sizes can be accounted before any install.
+/// Translate a verified instance installed at word address `base` with
+/// the default (unchained) spec.
 pub fn translate(code: &[u32], base: u32, model: &CycleModel) -> Artifact {
+    translate_with(code, base, model, &ChainSpec::default())
+}
+
+/// Translate a verified instance installed at word address `base`.
+/// Deterministic: the same `(code, base, model, spec)` always yields the
+/// same bytes, so artifact sizes can be accounted before any install.
+pub fn translate_with(code: &[u32], base: u32, model: &CycleModel, spec: &ChainSpec) -> Artifact {
     let end = base + code.len() as u32;
+    let indirect = spec.indirect;
 
     // Decode pass. `verify_code` ran before install, so decode failures
     // cannot occur on engine inputs; treat one defensively as an
@@ -177,16 +344,22 @@ pub fn translate(code: &[u32], base: u32, model: &CycleModel) -> Artifact {
     // instruction after every terminator.
     let mut leaders: BTreeSet<u32> = BTreeSet::new();
     leaders.insert(base);
+    for &pc in &spec.leaders {
+        if is_start(pc) {
+            leaders.insert(pc);
+        }
+    }
     for d in &insts {
         let next = d.pc + d.len;
         let branch = d.inst.op.format() == Format::Branch;
+        let jump = matches!(d.inst.op, Op::Jmp | Op::Jsr);
         if branch {
             let t = next.wrapping_add_signed(d.inst.imm);
             if is_start(t) {
                 leaders.insert(t);
             }
         }
-        if (branch || !supported(&d.inst)) && next < end {
+        if (branch || jump || !supported(&d.inst, indirect)) && next < end {
             leaders.insert(next);
         }
     }
@@ -199,6 +372,8 @@ pub fn translate(code: &[u32], base: u32, model: &CycleModel) -> Artifact {
     let mut div_pcs: BTreeSet<u32> = BTreeSet::new();
     let mut mem_fault = false;
     let mut covered = 0u32;
+    let mut guard_areas: Vec<GuardArea> = Vec::new();
+    let mut dyn_exit = false;
 
     // Entry shim: save callee-saved scratch, cache the context pointer
     // and the simulated-memory window.
@@ -222,7 +397,10 @@ pub fn translate(code: &[u32], base: u32, model: &CycleModel) -> Artifact {
                 body_end = j;
                 break;
             }
-            if d.inst.op.format() == Format::Branch || !supported(&d.inst) {
+            if d.inst.op.format() == Format::Branch
+                || matches!(d.inst.op, Op::Jmp | Op::Jsr)
+                || !supported(&d.inst, indirect)
+            {
                 term = Some(j);
                 body_end = j + 1;
                 break;
@@ -234,7 +412,7 @@ pub fn translate(code: &[u32], base: u32, model: &CycleModel) -> Artifact {
         // Fuel and cycles for the whole block, charged up front.
         // Unsupported terminators are excluded: the VM executes them.
         let charged: Vec<usize> = (start_j..body_end)
-            .filter(|&k| supported(&insts[k].inst))
+            .filter(|&k| supported(&insts[k].inst, indirect))
             .collect();
         let n = charged.len() as u32;
         let cycles: u64 = charged
@@ -256,12 +434,29 @@ pub fn translate(code: &[u32], base: u32, model: &CycleModel) -> Artifact {
         }
 
         for (k, d) in insts.iter().enumerate().take(body_end).skip(start_j) {
-            if !supported(&d.inst) {
+            if !supported(&d.inst, indirect) {
+                // Reserve a patchable inline-cache sled in front of a
+                // guarded `EnterRegion`; unpatched it is a NOP slide
+                // into the ordinary exit.
+                if d.inst.op == Op::EnterRegion {
+                    if let Some(g) = spec.guards.iter().find(|g| g.pc == d.pc) {
+                        let len = guard_sled_len(&g.keys);
+                        guard_areas.push(GuardArea {
+                            pc: d.pc,
+                            offset: a.here() as u32,
+                            len,
+                        });
+                        a.nops(len as usize);
+                    }
+                }
                 exit_jump(&mut a, &mut fixups, &mut exit_pcs, d.pc);
                 continue;
             }
             covered += 1;
-            if Some(k) == term {
+            if Some(k) == term && matches!(d.inst.op, Op::Jmp | Op::Jsr) {
+                lower_jump(&mut a, &mut fixups, d);
+                dyn_exit = true;
+            } else if Some(k) == term {
                 lower_branch(
                     &mut a,
                     &mut fixups,
@@ -328,6 +523,57 @@ pub fn translate(code: &[u32], base: u32, model: &CycleModel) -> Artifact {
         a.copy(s::EPILOGUE);
     }
 
+    // Dynamic-exit blob for dispatch-table misses: `rax` holds the
+    // (u32-truncated) jump target the VM should resume at.
+    let dyn_exit_off = if dyn_exit {
+        let off = a.here();
+        a.patch(s::ST_RAX_SLOT, CTX_EXIT_PC);
+        a.mov_slot_imm32(CTX_STATUS, 0);
+        a.copy(s::EPILOGUE);
+        Some(off)
+    } else {
+        None
+    };
+
+    // FFI entry thunks: a full prologue per supported leader, so the
+    // engine can dispatch a marked pc anywhere in the instance — chained
+    // jumps skip these and land on the block bodies directly.
+    let leader_supported = |pc: u32| {
+        supported(
+            &insts[idx_of[(pc - base) as usize].expect("leader")].inst,
+            indirect,
+        )
+    };
+    let mut entries: Vec<(u32, u32)> = Vec::new();
+    for &bpc in &leader_list {
+        if !leader_supported(bpc) {
+            continue;
+        }
+        if bpc == base {
+            entries.push((bpc, 0));
+            continue;
+        }
+        let off = a.here() as u32;
+        a.copy(s::PROLOGUE_PUSHES);
+        a.patch(s::LD_R13_SLOT, CTX_MEM_PTR);
+        a.patch(s::LD_R12_SLOT, CTX_MEM_LEN);
+        let h = a.jmp();
+        fixups.push((h, Fix::Block(bpc)));
+        entries.push((bpc, off));
+    }
+    // Guarded `EnterRegion` pcs get entry thunks into their sleds: once
+    // a guard is patched (and the pc marked), a VM dispatch there runs
+    // the inline cache natively too.
+    for g in &guard_areas {
+        let off = a.here() as u32;
+        a.copy(s::PROLOGUE_PUSHES);
+        a.patch(s::LD_R13_SLOT, CTX_MEM_PTR);
+        a.patch(s::LD_R12_SLOT, CTX_MEM_LEN);
+        let h = a.jmp();
+        a.resolve(h, g.offset as usize);
+        entries.push((g.pc, off));
+    }
+
     // Fix-up pass: every recorded rel32 lands on its block, thunk, or
     // blob.
     for (hole, fix) in fixups {
@@ -337,18 +583,64 @@ pub fn translate(code: &[u32], base: u32, model: &CycleModel) -> Artifact {
             Fix::Exit(pc) => exit_off[&pc],
             Fix::MemFault => mem_fault_off.expect("mem fault blob emitted"),
             Fix::DivFault(pc) => div_off[&pc],
+            Fix::DynExit => dyn_exit_off.expect("dyn exit blob emitted"),
         };
         a.resolve(hole, target);
     }
 
-    let entry_supported = insts.first().map(|d| supported(&d.inst)).unwrap_or(false);
+    let entry_supported = insts
+        .first()
+        .map(|d| supported(&d.inst, indirect))
+        .unwrap_or(false);
+    let block_offsets: Vec<(u32, u32)> = block_off
+        .iter()
+        .filter(|&(&pc, _)| leader_supported(pc))
+        .map(|(&pc, &off)| (pc, off as u32))
+        .collect();
+    let exit_sites: Vec<(u32, u32)> = exit_off
+        .iter()
+        .filter(|&(&pc, _)| pc < base || pc >= end)
+        .map(|(&pc, &off)| (pc, off as u32))
+        .collect();
+    entries.sort_unstable();
     Artifact {
         bytes: a.finish(),
         entry_supported,
         instructions: insts.len() as u32,
         covered,
         blocks: leader_list.len() as u32,
+        base,
+        end,
+        entries,
+        block_offsets,
+        exit_sites,
+        guard_areas,
     }
+}
+
+/// Lower a `Jmp`/`Jsr` terminator through the context dispatch table:
+/// read the target, write the link register, and either jump straight to
+/// the target's native block (a *chained* transfer) or exit to the VM at
+/// the target pc when the table has no entry for it.
+fn lower_jump(a: &mut Asm, fixups: &mut Vec<(usize, Fix)>, d: &DInst) {
+    let Operand::Reg(rb) = d.inst.rb else {
+        unreachable!("jump formats decode a register operand")
+    };
+    let next = d.pc + d.len;
+    // Target first: the link register may alias the target register.
+    a.patch(s::LD_SLOT_RCX, rslot(rb));
+    a.patch(s::MOV_EAX_IMM, next);
+    a.patch(s::ST_RAX_SLOT, wslot(d.inst.ra));
+    a.copy(s::MOV_RAX_RCX);
+    a.copy(s::MOV_EAX_EAX); // the VM truncates jump targets to u32
+    a.patch(s::CMP_RAX_SLOT, CTX_DISPATCH_LEN);
+    fixups.push((a.jcc(Cc::Ae), Fix::DynExit));
+    a.patch(s::LD_SLOT_RDX, CTX_DISPATCH);
+    a.copy(s::MOV_RCX_TABLE);
+    a.copy(s::TEST_RCX_RCX);
+    fixups.push((a.jcc(Cc::Z), Fix::DynExit));
+    a.patch(s::INC_SLOT, CTX_CHAINED);
+    a.copy(s::JMP_RCX);
 }
 
 /// Lower a block terminator that is a branch (conditional or
